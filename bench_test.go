@@ -1,0 +1,304 @@
+package fusecu
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the ablation benches DESIGN.md calls out. Each benchmark regenerates
+// its experiment and reports the headline quantities as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation:
+//
+//	BenchmarkTable1..3      — the three tables
+//	BenchmarkFig9           — principle vs DAT-style search validation
+//	BenchmarkFig10          — cross-platform MA bars + utilization lines
+//	BenchmarkFig11          — LLaMA2 sequence-length sweep
+//	BenchmarkFig12          — 28 nm area breakdown
+//	BenchmarkHeadline       — the abstract's averages
+//	BenchmarkAblation*      — design-choice ablations
+import (
+	"testing"
+
+	"fusecu/internal/core"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/experiments"
+	"fusecu/internal/fusion"
+	"fusecu/internal/mapping"
+	"fusecu/internal/model"
+	"fusecu/internal/op"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().Rows() != 6 {
+			b.Fatal("Table I wrong")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2().Rows() != 7 {
+			b.Fatal("Table II wrong")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table3().Rows() != 5 {
+			b.Fatal("Table III wrong")
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the validation sweep: the principle line must
+// never sit above the search points; the reported metric is the mean
+// search-to-principle MA ratio (≥ 1, with >1 meaning the GA fell short of
+// the analytical optimum, the effect Fig. 9 annotates).
+func BenchmarkFig9(b *testing.B) {
+	ops := experiments.Fig9Ops()
+	buffers := experiments.Fig9Buffers()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Fig9(ops, buffers, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, r := range results {
+			for _, p := range r.Points {
+				if p.SearchMA < p.PrincipleMA {
+					b.Fatalf("search beat principles on %v BS=%d", r.Op, p.BufferElems)
+				}
+				sum += float64(p.SearchMA) / float64(p.PrincipleMA)
+				n++
+			}
+		}
+		ratio = sum / float64(n)
+	}
+	b.ReportMetric(ratio, "search/principle-MA")
+}
+
+func fig10Rows(b *testing.B) []experiments.Fig10Row {
+	b.Helper()
+	rows, err := experiments.Fig10(model.TableII())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+// BenchmarkFig10 regenerates the cross-platform comparison and reports the
+// mean normalized MA of FuseCU (paper: bars well below the baselines).
+func BenchmarkFig10(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		rows := fig10Rows(b)
+		var sum float64
+		for _, r := range rows {
+			sum += r.NormMA["FuseCU"]
+		}
+		norm = sum / float64(len(rows))
+	}
+	b.ReportMetric(norm, "FuseCU-MA/TPUv4i")
+}
+
+// BenchmarkFig11 regenerates the LLaMA2 sweep and reports the normalized MA
+// at the longest sequence (paper: the reduction grows with length).
+func BenchmarkFig11(b *testing.B) {
+	seqs := model.Fig11SeqLengths()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(seqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 1; j < len(rows); j++ {
+			if rows[j].NormMA["FuseCU"] >= rows[j-1].NormMA["FuseCU"] {
+				b.Fatal("fusion benefit did not grow with sequence length")
+			}
+		}
+		last = rows[len(rows)-1].NormMA["FuseCU"]
+	}
+	b.ReportMetric(last, "FuseCU-MA/TPUv4i@16K")
+}
+
+// BenchmarkFig12 regenerates the area model and reports the FuseCU overhead
+// percentage (paper: 12.0 %).
+func BenchmarkFig12(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		fuse, _, _ := experiments.Fig12()
+		pct = fuse.OverheadPct()
+	}
+	b.ReportMetric(pct, "overhead-%")
+}
+
+// BenchmarkHeadline reports the abstract's numbers
+// (paper: 63.6/62.4/38.7 % saving, 1.33/1.25/1.14× speedup).
+func BenchmarkHeadline(b *testing.B) {
+	var h experiments.Headline
+	for i := 0; i < b.N; i++ {
+		h = experiments.ComputeHeadline(fig10Rows(b))
+	}
+	b.ReportMetric(h.SavingPct["TPUv4i"], "save-vs-TPUv4i-%")
+	b.ReportMetric(h.SavingPct["Gemmini"], "save-vs-Gemmini-%")
+	b.ReportMetric(h.SavingPct["Planaria"], "save-vs-Planaria-%")
+	b.ReportMetric(h.Speedup["TPUv4i"], "speedup-vs-TPUv4i")
+	b.ReportMetric(h.Speedup["Gemmini"], "speedup-vs-Gemmini")
+	b.ReportMetric(h.Speedup["Planaria"], "speedup-vs-Planaria")
+}
+
+// BenchmarkAblationStationaryChoice measures Principle 1's scheduling rule:
+// how much worse the non-smallest stationary choices are in the tiny-buffer
+// regime (metric: worst/best MA ratio, > 1).
+func BenchmarkAblationStationaryChoice(b *testing.B) {
+	mm := op.MatMul{M: 2048, K: 512, L: 1024} // smallest tensor: B
+	bs := int64(512 * 512 / 4)                // tiny regime
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		var best, worst int64
+		for _, t := range dataflow.Tensors() {
+			c, ok := core.SingleNRACandidate(mm, bs, t)
+			if !ok {
+				b.Fatal("no candidate")
+			}
+			if best == 0 || c.Access.Total < best {
+				best = c.Access.Total
+			}
+			if c.Access.Total > worst {
+				worst = c.Access.Total
+			}
+		}
+		ratio = float64(worst) / float64(best)
+	}
+	if ratio <= 1 {
+		b.Fatal("stationary choice made no difference")
+	}
+	b.ReportMetric(ratio, "worst/best-MA")
+}
+
+// BenchmarkAblationUntiledDim measures Principle 2's scheduling rule:
+// untiling the smallest dimension versus the others (metric: worst/best MA
+// ratio over the untiled-dimension choices).
+func BenchmarkAblationUntiledDim(b *testing.B) {
+	mm := op.MatMul{M: 4096, K: 256, L: 1024} // smallest dim: K
+	bs := int64(256*256/2 + 200*1000)         // medium regime
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		var best, worst int64
+		for _, d := range dataflow.Dims() {
+			for _, r := range dataflow.TensorsWithDim(d) {
+				c, ok := core.TwoNRACandidate(mm, bs, d, r)
+				if !ok {
+					continue
+				}
+				if best == 0 || c.Access.Total < best {
+					best = c.Access.Total
+				}
+				if c.Access.Total > worst {
+					worst = c.Access.Total
+				}
+			}
+		}
+		ratio = float64(worst) / float64(best)
+	}
+	if ratio <= 1 {
+		b.Fatal("untiled-dimension choice made no difference")
+	}
+	b.ReportMetric(ratio, "worst/best-MA")
+}
+
+// BenchmarkAblationCrossover locates the Single→Two-NRA crossover and
+// reports its position as a fraction of the paper's [Dmin²/4, Dmin²/2]
+// band (0 = lower edge, 1 = upper edge).
+func BenchmarkAblationCrossover(b *testing.B) {
+	mm := op.MatMul{M: 1024, K: 256, L: 512}
+	lo, hi := core.CrossoverBand(mm)
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		cross := hi
+		for bs := lo; bs <= hi; bs += (hi - lo) / 64 {
+			res, err := core.Optimize(mm, bs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Access.NRA >= dataflow.TwoNRA {
+				cross = bs
+				break
+			}
+		}
+		frac = float64(cross-lo) / float64(hi-lo)
+	}
+	if frac < 0 || frac > 1 {
+		b.Fatalf("crossover outside the paper's band: %f", frac)
+	}
+	b.ReportMetric(frac, "band-position")
+}
+
+// BenchmarkAblationFusionProfitability compares Principle 4's same-NRA
+// fusion gain against forcing fusion on a mixed-NRA pair (metric: the
+// same-NRA pair's fractional saving; the bench fails if the gate would have
+// rejected a profitable same-NRA fusion).
+func BenchmarkAblationFusionProfitability(b *testing.B) {
+	same, err := fusion.NewPair(
+		op.MatMul{M: 1024, K: 64, L: 1024},
+		op.MatMul{M: 1024, K: 1024, L: 64},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		d, err := core.DecideFusion(same, 256*1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Fuse {
+			b.Fatal("Principle 4 rejected a same-NRA attention pair")
+		}
+		saving = float64(d.Gain) / float64(d.UnfusedMA)
+	}
+	b.ReportMetric(saving, "fusion-saving-frac")
+}
+
+// BenchmarkAblationMappingShape compares tile fusion and column fusion
+// utilization on a column-like intermediate (metric: column/tile
+// utilization ratio; > 1 shows why FuseCU needs both mappings).
+func BenchmarkAblationMappingShape(b *testing.B) {
+	// A long-reduction pair: its intermediate is column-like (Two-NRA) and
+	// maps poorly as a stationary tile.
+	pair, err := fusion.NewPair(
+		op.MatMul{M: 4096, K: 128, L: 4096},
+		op.MatMul{M: 4096, K: 4096, L: 128},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shape := mapping.ArrayShape{Rows: 128, Cols: 128}
+	// A buffer small enough that the optimal fused dataflow is column-like
+	// (T_L = 1): mapping that tile stationary starves the array.
+	const buffer = 128 * 1024
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		colCand, ok := fusion.ConstructColumn(pair, buffer)
+		if !ok {
+			b.Fatal("no column candidate")
+		}
+		tileLike := fusion.FusedDataflow{
+			Pattern: fusion.PatternTileOSIS,
+			TM:      colCand.Dataflow.TM, TK: 1, TL: 1, TN: 1,
+		}
+		tile, err := mapping.MapFusedDataflow(pair, tileLike, shape)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := mapping.MapFusedDataflow(pair, colCand.Dataflow, shape)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = col.Utilization / tile.Utilization
+	}
+	if ratio <= 1 {
+		b.Fatalf("column fusion should beat stationary column tiles, ratio %f", ratio)
+	}
+	b.ReportMetric(ratio, "column/tile-util")
+}

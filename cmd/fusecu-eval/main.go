@@ -1,0 +1,109 @@
+// Command fusecu-eval regenerates the paper's tables and figures.
+//
+//	fusecu-eval -all          # everything
+//	fusecu-eval -fig10 -csv   # one experiment, CSV output
+//
+// Experiments: -table1 -table2 -table3 -fig9 -fig10 -fig11 -fig12 -headline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fusecu/internal/experiments"
+	"fusecu/internal/model"
+	"fusecu/internal/report"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		table1   = flag.Bool("table1", false, "Table I: optimizer features")
+		table2   = flag.Bool("table2", false, "Table II: model parameters")
+		table3   = flag.Bool("table3", false, "Table III: platform attributes")
+		fig9     = flag.Bool("fig9", false, "Fig. 9: principle vs search validation")
+		fig10    = flag.Bool("fig10", false, "Fig. 10: cross-platform MA and utilization")
+		fig11    = flag.Bool("fig11", false, "Fig. 11: LLaMA2 sequence-length sweep")
+		fig12    = flag.Bool("fig12", false, "Fig. 12: area breakdown")
+		headline = flag.Bool("headline", false, "headline averages (abstract numbers)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed     = flag.Int64("seed", 1, "genetic search seed for Fig. 9")
+		models   = flag.String("models", "", "JSON file of model configs replacing Table II for -fig10/-headline")
+	)
+	flag.Parse()
+
+	workloads := model.TableII()
+	if *models != "" {
+		data, err := os.ReadFile(*models)
+		fail(err)
+		workloads, err = model.UnmarshalConfigs(data)
+		fail(err)
+	}
+
+	if *all {
+		*table1, *table2, *table3 = true, true, true
+		*fig9, *fig10, *fig11, *fig12, *headline = true, true, true, true, true
+	}
+	if !(*table1 || *table2 || *table3 || *fig9 || *fig10 || *fig11 || *fig12 || *headline) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	if *table1 {
+		emit(experiments.Table1())
+	}
+	if *table2 {
+		emit(experiments.Table2())
+	}
+	if *table3 {
+		emit(experiments.Table3())
+	}
+	if *fig9 {
+		results, err := experiments.Fig9(experiments.Fig9Ops(), experiments.Fig9Buffers(), *seed)
+		fail(err)
+		for _, f := range experiments.RenderFig9(results) {
+			fmt.Println(f)
+		}
+	}
+
+	var rows []experiments.Fig10Row
+	if *fig10 || *headline {
+		var err error
+		rows, err = experiments.Fig10(workloads)
+		fail(err)
+	}
+	if *fig10 {
+		ma, util := experiments.RenderFig10(rows)
+		emit(ma)
+		emit(util)
+	}
+	if *fig11 {
+		sweep, err := experiments.Fig11(model.Fig11SeqLengths())
+		fail(err)
+		fmt.Println(experiments.RenderFig11(sweep))
+	}
+	if *fig12 {
+		bd, ov := experiments.RenderFig12()
+		emit(bd)
+		emit(ov)
+	}
+	if *headline {
+		emit(experiments.RenderHeadline(experiments.ComputeHeadline(rows)))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fusecu-eval:", err)
+		os.Exit(1)
+	}
+}

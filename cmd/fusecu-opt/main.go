@@ -1,0 +1,125 @@
+// Command fusecu-opt runs principle-based dataflow optimization on a matrix
+// multiplication or a chain of them.
+//
+// Single operator:
+//
+//	fusecu-opt -m 1024 -k 768 -l 768 -buffer 524288
+//
+// Chain (comma-separated MxKxL operators; consecutive shapes must chain):
+//
+//	fusecu-opt -chain 512x64x512,512x512x64 -buffer 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fusecu/internal/core"
+	"fusecu/internal/op"
+	"fusecu/internal/search"
+)
+
+func main() {
+	var (
+		m      = flag.Int("m", 1024, "M dimension (rows of A and C)")
+		k      = flag.Int("k", 768, "K dimension (reduction)")
+		l      = flag.Int("l", 768, "L dimension (columns of B and C)")
+		buffer = flag.Int64("buffer", 512*1024, "buffer size in elements")
+		chain  = flag.String("chain", "", "comma-separated MxKxL chain, e.g. 512x64x512,512x512x64")
+		check  = flag.Bool("check", false, "cross-check against the DAT-style search baseline")
+	)
+	flag.Parse()
+
+	if *chain != "" {
+		if err := runChain(*chain, *buffer); err != nil {
+			fmt.Fprintln(os.Stderr, "fusecu-opt:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runSingle(op.MatMul{Name: "op", M: *m, K: *k, L: *l}, *buffer, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "fusecu-opt:", err)
+		os.Exit(1)
+	}
+}
+
+func runSingle(mm op.MatMul, buffer int64, check bool) error {
+	res, err := core.Optimize(mm, buffer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("operator:   %v\n", mm)
+	fmt.Printf("buffer:     %d elements (%s regime)\n", buffer, res.Regime)
+	fmt.Printf("dataflow:   %v\n", res.Dataflow)
+	fmt.Printf("principle:  P%d — %s\n", res.Principle, res.Note)
+	fmt.Printf("NRA class:  %s\n", res.Access.NRA)
+	fmt.Printf("memory:     %d elements (ideal lower bound %d, overhead %.2f%%)\n",
+		res.Access.Total, mm.IdealMA(),
+		100*(float64(res.Access.Total)/float64(mm.IdealMA())-1))
+	fmt.Printf("per tensor: A=%d B=%d C=%d (spill read-back %d)\n",
+		res.Access.PerTensor[0], res.Access.PerTensor[1], res.Access.PerTensor[2], res.Access.OutputReads)
+	fmt.Printf("footprint:  %d / %d elements\n", res.Access.Footprint, buffer)
+	if check {
+		sr, err := search.Optimize(mm, buffer, search.GeneticOptions{Seed: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("search:     %d elements after %d cost evaluations (%s)\n",
+			sr.Access.Total, sr.Evaluations, sr.Method)
+	}
+	return nil
+}
+
+func runChain(spec string, buffer int64) error {
+	ops, err := parseChain(spec)
+	if err != nil {
+		return err
+	}
+	c, err := op.NewChain("chain", ops...)
+	if err != nil {
+		return err
+	}
+	plan, err := core.PlanChain(c, buffer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v\n", c)
+	fmt.Printf("buffer: %d elements\n\n", buffer)
+	for i, d := range plan.Decisions {
+		verdict := "do not fuse"
+		if d.Fuse {
+			verdict = fmt.Sprintf("fuse (%s, gain %d)", d.Fused.Dataflow.Pattern, d.Gain)
+		}
+		fmt.Printf("link %d: NRA %s ⨝ %s, same=%v → %s\n", i, d.FirstNRA, d.SecondNRA, d.SameNRA, verdict)
+	}
+	fmt.Println()
+	for _, g := range plan.Groups {
+		fmt.Printf("  %v\n", g)
+	}
+	fmt.Printf("\ntotal MA: %d (unfused %d, saving %.1f%%)\n",
+		plan.TotalMA, plan.UnfusedMA, 100*plan.Saving())
+	return nil
+}
+
+func parseChain(spec string) ([]op.MatMul, error) {
+	var ops []op.MatMul
+	for i, part := range strings.Split(spec, ",") {
+		dims := strings.Split(strings.TrimSpace(part), "x")
+		if len(dims) != 3 {
+			return nil, fmt.Errorf("operator %d: want MxKxL, got %q", i, part)
+		}
+		var v [3]int
+		for j, d := range dims {
+			n, err := strconv.Atoi(d)
+			if err != nil {
+				return nil, fmt.Errorf("operator %d: %w", i, err)
+			}
+			v[j] = n
+		}
+		ops = append(ops, op.MatMul{Name: fmt.Sprintf("op%d", i), M: v[0], K: v[1], L: v[2]})
+	}
+	return ops, nil
+}

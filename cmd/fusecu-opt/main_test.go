@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"fusecu/internal/op"
+)
+
+func opFor(m, k, l int) op.MatMul {
+	return op.MatMul{Name: "test", M: m, K: k, L: l}
+}
+
+func TestParseChain(t *testing.T) {
+	ops, err := parseChain("512x64x512, 512x512x64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	if ops[0].M != 512 || ops[0].K != 64 || ops[0].L != 512 {
+		t.Fatalf("op0 = %v", ops[0])
+	}
+	if ops[1].M != 512 || ops[1].K != 512 || ops[1].L != 64 {
+		t.Fatalf("op1 = %v", ops[1])
+	}
+}
+
+func TestParseChainErrors(t *testing.T) {
+	for _, bad := range []string{"", "1x2", "1x2x3x4", "ax2x3", "1x2x3,4x5"} {
+		if _, err := parseChain(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRunSingleAndChain(t *testing.T) {
+	// Exercise the command paths end to end (output goes to stdout).
+	if err := runSingle(opFor(64, 32, 48), 4096, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runChain("64x16x64,64x64x16", 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := runChain("64x16x64,63x64x16", 4096); err == nil {
+		t.Fatal("mismatched chain accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command fusecu-sim executes matrix multiplications on the cycle-stepped
+// FuseCU fabric simulator and verifies them against the reference math.
+//
+//	fusecu-sim -n 16 -mode tile -m 48 -k 16 -l 48 -nn 16
+//
+// Modes: ws, is, os (single operator with that stationary), tile and column
+// (fused E = (A×B)×D executions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/rtl"
+	"fusecu/internal/sim"
+	"fusecu/internal/tensor"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 16, "CU dimension (N×N PEs per CU)")
+		emitRTL = flag.Bool("emit-rtl", false, "emit the FuseCU Verilog design for -n and exit")
+		mode    = flag.String("mode", "tile", "ws | is | os | tile | column | attention")
+		m       = flag.Int("m", 48, "M dimension")
+		k       = flag.Int("k", 16, "K dimension")
+		l       = flag.Int("l", 48, "L dimension")
+		nn      = flag.Int("nn", 16, "N dimension (fused modes)")
+	)
+	flag.Parse()
+
+	if *emitRTL {
+		src, err := rtl.Emit(rtl.Config{N: *n, DataWidth: 8, AccWidth: 32})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fusecu-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Print(src)
+		return
+	}
+
+	if err := run(*n, *mode, *m, *k, *l, *nn); err != nil {
+		fmt.Fprintln(os.Stderr, "fusecu-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, mode string, m, k, l, nn int) error {
+	fabric, err := sim.NewFabric(n)
+	if err != nil {
+		return err
+	}
+	a := tensor.New(m, k).Seq(1)
+	b := tensor.New(k, l).Seq(2)
+
+	switch mode {
+	case "ws", "is", "os":
+		kinds := map[string]dataflow.StationaryKind{"ws": dataflow.WS, "is": dataflow.IS, "os": dataflow.OS}
+		got, err := fabric.MatMul(a, b, kinds[mode])
+		if err != nil {
+			return err
+		}
+		want, err := tensor.MatMul(a, b)
+		if err != nil {
+			return err
+		}
+		return reportRun(fabric, fmt.Sprintf("%s matmul %dx%dx%d", mode, m, k, l), got, want)
+	case "attention":
+		kT := tensor.New(k, l).Seq(2)
+		v := tensor.New(l, k).Seq(3)
+		q := tensor.New(m, k).Seq(1)
+		got, err := fabric.FusedAttention(q, kT, v, 1.0/float64(k))
+		if err != nil {
+			return err
+		}
+		s, err := tensor.MatMul(q, kT)
+		if err != nil {
+			return err
+		}
+		for i := range s.Data {
+			s.Data[i] /= float64(k)
+		}
+		want, err := tensor.MatMul(tensor.Softmax(s), v)
+		if err != nil {
+			return err
+		}
+		if !tensor.Equal(got, want, 1e-6) {
+			return fmt.Errorf("attention: simulator diverges from reference by %v", tensor.MaxAbsDiff(got, want))
+		}
+		fmt.Printf("fused attention (online softmax), %dx%d heads over %d keys\n", m, k, l)
+		fmt.Printf("  result matches full-softmax reference exactly\n")
+		fmt.Printf("  pipelined: %d cycles, traffic %+v\n", fabric.Cycles(), fabric.Traffic())
+		return nil
+	case "tile", "column":
+		d := tensor.New(l, nn).Seq(3)
+		var got *tensor.Matrix
+		if mode == "tile" {
+			got, err = fabric.TileFused(a, b, d, nil)
+		} else {
+			got, err = fabric.ColumnFused(a, b, d, nil)
+		}
+		if err != nil {
+			return err
+		}
+		c, err := tensor.MatMul(a, b)
+		if err != nil {
+			return err
+		}
+		want, err := tensor.MatMul(c, d)
+		if err != nil {
+			return err
+		}
+		return reportRun(fabric, fmt.Sprintf("%s fusion (%dx%dx%d)(%dx%d)", mode, m, k, l, l, nn), got, want)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func reportRun(fabric *sim.Fabric, what string, got, want *tensor.Matrix) error {
+	if !tensor.Equal(got, want, 1e-6) {
+		return fmt.Errorf("%s: simulator diverges from reference by %v", what, tensor.MaxAbsDiff(got, want))
+	}
+	fmt.Printf("%s\n", what)
+	fmt.Printf("  result:       %d×%d, matches reference exactly\n", got.Rows, got.Cols)
+	fmt.Printf("  pipelined:    %d cycles\n", fabric.Cycles())
+	fmt.Printf("  CU busy time: %d cycles\n", fabric.BusyCycles())
+	return nil
+}

@@ -1,0 +1,86 @@
+package fusecu_test
+
+import (
+	"fmt"
+
+	"fusecu"
+)
+
+// The paper's worked example (§III-A4): BERT's projection under a 512 Ki
+// element buffer lands in the medium regime, where Principle 2 untiles the
+// smallest dimension.
+func ExampleOptimize() {
+	mm := fusecu.MatMul{Name: "bert-proj", M: 1024, K: 768, L: 768}
+	res, err := fusecu.Optimize(mm, 512*1024)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Regime)
+	fmt.Println(res.Access.NRA)
+	fmt.Println(res.Dataflow.Tiling)
+	// Output:
+	// medium
+	// Two-NRA
+	// T_M=680 T_K=768 T_L=1
+}
+
+// Principle 4 on an attention pair: both operators share an NRA class, so
+// the seq×seq intermediate fuses away.
+func ExampleDecideFusion() {
+	pair, err := fusecu.NewFusedPair(
+		fusecu.MatMul{Name: "QKt", M: 512, K: 64, L: 512},
+		fusecu.MatMul{Name: "SV", M: 512, K: 512, L: 64},
+	)
+	if err != nil {
+		panic(err)
+	}
+	d, err := fusecu.DecideFusion(pair, 64*1024)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.SameNRA, d.Fuse)
+	fmt.Println(d.Fused.Dataflow.Pattern)
+	// Output:
+	// true true
+	// column
+}
+
+// Buffer regimes classify how much of the operator fits on chip.
+func ExampleClassify() {
+	mm := fusecu.MatMul{M: 1024, K: 768, L: 768}
+	for _, bs := range []int64{64 * 1024, 200 * 1024, 512 * 1024, 2 * 1024 * 1024} {
+		fmt.Println(fusecu.Classify(mm, bs))
+	}
+	// Output:
+	// tiny
+	// small
+	// medium
+	// large
+}
+
+// The cycle-stepped fabric executes a fused pair and matches the reference
+// math exactly.
+func ExampleFabric_TileFused() {
+	fabric, err := fusecu.NewFabric(8)
+	if err != nil {
+		panic(err)
+	}
+	a := fusecu.NewMatrix(16, 8).Seq(1)
+	b := fusecu.NewMatrix(8, 16).Seq(2)
+	d := fusecu.NewMatrix(16, 8).Seq(3)
+	got, err := fabric.TileFused(a, b, d, nil)
+	if err != nil {
+		panic(err)
+	}
+	c, _ := fusecu.MatMulReference(a, b)
+	want, _ := fusecu.MatMulReference(c, d)
+	diff := 0.0
+	for i := range want.Data {
+		if v := got.Data[i] - want.Data[i]; v > diff {
+			diff = v
+		}
+	}
+	fmt.Println(got.Rows, got.Cols, diff == 0)
+	// Output:
+	// 16 8 true
+}

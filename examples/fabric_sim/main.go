@@ -1,0 +1,68 @@
+// Fabric simulation: execute a fused attention-shaped computation on the
+// cycle-stepped FuseCU fabric simulator with both fused mappings (Fig. 5)
+// and verify each against the reference math — the role the paper's Chisel
+// RTL plays.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fusecu"
+)
+
+func main() {
+	// A small attention head: Q(24×8) × Kᵀ(8×24) = S(24×24), then
+	// softmax-like scaling, then S × V(24×8) = O(24×8), on 8×8 CUs.
+	fabric, err := fusecu.NewFabric(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := fusecu.NewMatrix(24, 8).Seq(1)
+	kT := fusecu.NewMatrix(8, 24).Seq(2)
+	v := fusecu.NewMatrix(24, 8).Seq(3)
+	scale := func(x float64) float64 { return x / 8 } // the in-array elementwise unit
+
+	s, err := fusecu.MatMulReference(q, kT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range s.Data {
+		s.Data[i] = scale(s.Data[i])
+	}
+	want, err := fusecu.MatMulReference(s, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tile, err := fabric.TileFused(q, kT, v, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tile fusion:   max |Δ| vs reference = %g, pipelined %d cycles\n",
+		maxDiff(tile, want), fabric.Cycles())
+
+	col, err := fabric.ColumnFused(q, kT, v, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("column fusion: max |Δ| vs reference = %g, pipelined %d cycles total\n",
+		maxDiff(col, want), fabric.Cycles())
+	fmt.Printf("CU busy time:  %d cycles (pipelining overlaps producer and consumer)\n",
+		fabric.BusyCycles())
+
+	fmt.Println("\nThe intermediate S never left the PE arrays: tile fusion consumed it")
+	fmt.Println("straight out of the accumulators; column fusion streamed its columns")
+	fmt.Println("from the producer CU into the consumer CU over the resize interconnect.")
+}
+
+func maxDiff(a, b *fusecu.Matrix) float64 {
+	max := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,52 @@
+// Memory hierarchy: the paper re-applies its buffer regimes at the register
+// level (§IV-B); this example makes the recursion explicit for a two-level
+// buffer system and shows the energy consequence of the communication lower
+// bound — plus the register-level 2N untiled-dimension bound that sizes
+// FuseCU's resize interconnect.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fusecu"
+)
+
+func main() {
+	mm := fusecu.MatMul{Name: "bert-proj", M: 1024, K: 768, L: 768}
+	lv := fusecu.MemoryLevels{Global: 512 * 1024, Local: 16 * 1024}
+
+	greedy, err := fusecu.OptimizeHierarchy(mm, lv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := fusecu.OptimizeHierarchyEnergy(mm, lv)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("operator: %v, global %d / local %d elements\n\n", mm, lv.Global, lv.Local)
+	show := func(name string, r fusecu.HierarchyResult) {
+		e := fusecu.EstimateMovementEnergy(r)
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  outer (DRAM↔global):  %v\n", r.Outer.Dataflow)
+		fmt.Printf("  inner (global↔local): %v\n", r.Inner.Dataflow)
+		fmt.Printf("  DRAM traffic:   %12d elements → %8.1f µJ\n", r.DRAMTraffic, e.DRAMpJ/1e6)
+		fmt.Printf("  global traffic: %12d elements (lower bound %d) → %8.1f µJ\n",
+			r.GlobalComposed, r.GlobalLower, e.GlobalpJ/1e6)
+		fmt.Printf("  total movement energy: %.1f µJ\n\n", e.TotalpJ/1e6)
+	}
+	show("DRAM-greedy outer dataflow", greedy)
+	show("energy-tuned outer dataflow", tuned)
+
+	// The §IV-B register-level bound.
+	const n = 128
+	fmt.Printf("register level (N=%d): untiled dimensions pay off only below 2N = %d\n",
+		n, fusecu.UntiledDimBound(n))
+	qkt := fusecu.MatMul{Name: "QKt", M: 4096, K: 64, L: 4096}
+	fmt.Printf("  %v: untiling optimal at registers? %v (Dmin = %d)\n",
+		qkt, fusecu.UntilingOptimalAtRegisters(qkt, n), qkt.MinDim())
+	big := fusecu.MatMul{Name: "proj", M: 4096, K: 4096, L: 4096}
+	fmt.Printf("  %v: untiling optimal at registers? %v (Dmin = %d)\n",
+		big, fusecu.UntilingOptimalAtRegisters(big, n), big.MinDim())
+}

@@ -1,0 +1,46 @@
+// LLaMA2 sequence sweep: evaluate the LLaMA2 layer on the TPUv4i baseline
+// and on FuseCU across sequence lengths 256–16K (the Fig. 11 experiment),
+// showing the fusion benefit growing with the quadratic attention
+// intermediate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fusecu"
+)
+
+func main() {
+	tpu, err := fusecu.PlatformByName("TPUv4i")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcu, err := fusecu.PlatformByName("FuseCU")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %16s %16s %10s %10s %10s\n",
+		"seq", "TPUv4i MA", "FuseCU MA", "MA ratio", "TPU util", "FuseCU util")
+	for _, seq := range []int{256, 512, 1024, 2048, 4096, 8192, 16384} {
+		w, err := fusecu.LLaMA2WithSeq(seq).Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt, err := tpu.EvaluateWorkload(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rf, err := fcu.EvaluateWorkload(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %16d %16d %9.3f %9.3f %9.3f\n",
+			seq, rt.MA, rf.MA, float64(rf.MA)/float64(rt.MA), rt.Utilization, rf.Utilization)
+	}
+
+	fmt.Println("\nThe eliminated attention intermediate is seq×seq, so FuseCU's")
+	fmt.Println("relative memory traffic keeps falling as the sequence grows —")
+	fmt.Println("the robustness Fig. 11 reports for long sequences.")
+}

@@ -1,0 +1,133 @@
+package fusecu
+
+// Extensions beyond the paper's headline scope, each grounded in a claim
+// the paper makes in passing: convolution lowering ("Principle 1-4 can be
+// extended to other tensor operators"), recursive multi-level application
+// (§IV-B applies the regimes at the register level), decode-phase GEMV
+// workloads (the Dmin = 1 extreme of the regime taxonomy), and chain-level
+// search (the full DAT role, for validation).
+
+import (
+	"fusecu/internal/conv"
+	"fusecu/internal/core"
+	"fusecu/internal/hierarchy"
+	"fusecu/internal/model"
+	"fusecu/internal/op"
+	"fusecu/internal/rtl"
+	"fusecu/internal/sched"
+	"fusecu/internal/search"
+)
+
+// Convolution.
+type (
+	// Conv2D is a 2-D convolution in NHWC layout.
+	Conv2D = conv.Conv2D
+	// ConvResult is a principle-optimized convolution dataflow.
+	ConvResult = conv.Result
+)
+
+// OptimizeConv lowers c via im2col and applies Principles 1–3.
+func OptimizeConv(c Conv2D, bufferSize int64) (ConvResult, error) {
+	return conv.Optimize(c, bufferSize)
+}
+
+// LowerConvChain lowers a convolution followed by a pointwise convolution
+// into a fusable chain (Principle 4 then applies unchanged).
+func LowerConvChain(name string, first, second Conv2D) (*Chain, error) {
+	return conv.LowerChain(name, first, second)
+}
+
+// Memory hierarchy.
+type (
+	// MemoryLevels is a two-level on-chip capacity description.
+	MemoryLevels = hierarchy.Levels
+	// HierarchyResult is a two-level dataflow decision.
+	HierarchyResult = hierarchy.Result
+	// MovementEnergy is a data-movement energy estimate.
+	MovementEnergy = hierarchy.Energy
+)
+
+// OptimizeHierarchy applies the principles recursively across two memory
+// levels, minimizing DRAM traffic.
+func OptimizeHierarchy(mm MatMul, lv MemoryLevels) (HierarchyResult, error) {
+	return hierarchy.Optimize(mm, lv)
+}
+
+// OptimizeHierarchyEnergy chooses the outer dataflow minimizing total
+// movement energy instead.
+func OptimizeHierarchyEnergy(mm MatMul, lv MemoryLevels) (HierarchyResult, error) {
+	return hierarchy.OptimizeEnergy(mm, lv)
+}
+
+// EstimateMovementEnergy converts a two-level result into picojoules.
+func EstimateMovementEnergy(r HierarchyResult) MovementEnergy {
+	return hierarchy.EstimateEnergy(r)
+}
+
+// Register-level analysis (§IV-B).
+
+// UntiledDimBound returns 2N, the widest untiled dimension an N×N array
+// must support.
+func UntiledDimBound(arrayDim int) int { return core.UntiledDimBound(arrayDim) }
+
+// UntilingOptimalAtRegisters reports whether register-level untiling is
+// optimal for mm on an N×N array (Dmin < 2N).
+func UntilingOptimalAtRegisters(mm MatMul, arrayDim int) bool {
+	return core.UntilingOptimalAtRegisters(mm, arrayDim)
+}
+
+// Decode phase.
+type (
+	// DecodeConfig is an autoregressive-generation workload description.
+	DecodeConfig = model.DecodeConfig
+)
+
+// Chain-level search baseline.
+type (
+	// ChainSearchResult is the search-based inter-operator outcome.
+	ChainSearchResult = search.ChainResult
+)
+
+// SearchChain runs the search-based inter-operator optimizer (the full DAT
+// role) over a chain.
+func SearchChain(c *Chain, bufferSize int64, seed int64) (ChainSearchResult, error) {
+	return search.OptimizeChain(c, bufferSize, search.GeneticOptions{Seed: seed})
+}
+
+// Model serialization.
+
+// MarshalModels serializes model configurations to JSON.
+func MarshalModels(cfgs []ModelConfig) ([]byte, error) { return model.MarshalConfigs(cfgs) }
+
+// UnmarshalModels parses and validates model configurations from JSON.
+func UnmarshalModels(data []byte) ([]ModelConfig, error) { return model.UnmarshalConfigs(data) }
+
+// NewMatMulChainFromOps builds a chain from raw operators (the facade's
+// escape hatch for custom workloads).
+func NewMatMulChainFromOps(name string, ops []MatMul) (*Chain, error) {
+	return op.NewChain(name, ops...)
+}
+
+// RTL emission.
+type (
+	// RTLConfig parameterizes the emitted Verilog design.
+	RTLConfig = rtl.Config
+)
+
+// EmitRTL returns the structural Verilog for the FuseCU datapath (XS PE,
+// compute unit, four-CU fabric) — the stand-in for the paper's Chisel
+// artifact.
+func EmitRTL(c RTLConfig) (string, error) { return rtl.Emit(c) }
+
+// Scheduling.
+type (
+	// Timeline is an instance-level schedule of a workload on a fabric.
+	Timeline = sched.Timeline
+)
+
+// ScheduleWorkload list-schedules a workload's chain instances across a
+// platform's compute units — the discrete-event counterpart to
+// EvaluateWorkload's aggregate roofline.
+func ScheduleWorkload(p Platform, w *Workload) (Timeline, error) {
+	return p.ScheduleWorkload(w)
+}

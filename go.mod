@@ -1,0 +1,3 @@
+module fusecu
+
+go 1.22

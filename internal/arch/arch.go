@@ -1,0 +1,415 @@
+// Package arch models the five evaluation platforms (Table III) as dataflow
+// space restrictions over the same TPUv4i compute configuration: 4 compute
+// units of 128×128 PEs, 1 TB/s on-chip bandwidth, a shared unified buffer.
+// Each platform restricts (a) which stationaries its PEs support, (b) the
+// buffer-level tile granularity its mapping can realize, (c) the logical
+// array shapes it can form, and (d) whether fused dataflow can execute on
+// its compute units. Every platform then runs the same principle-based
+// optimization flow inside its own space — the paper's "all designs undergo
+// our optimization process" methodology.
+package arch
+
+import (
+	"fmt"
+
+	"fusecu/internal/core"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/fusion"
+	"fusecu/internal/mapping"
+	"fusecu/internal/model"
+	"fusecu/internal/op"
+	"fusecu/internal/perf"
+)
+
+// Flexibility grades Table III's qualitative attribute levels.
+type Flexibility uint8
+
+// Attribute levels.
+const (
+	FlexNone Flexibility = iota
+	FlexLow
+	FlexMiddle
+	FlexHigh
+)
+
+func (f Flexibility) String() string {
+	switch f {
+	case FlexNone:
+		return "×"
+	case FlexLow:
+		return "low"
+	case FlexMiddle:
+		return "middle"
+	case FlexHigh:
+		return "high"
+	}
+	return fmt.Sprintf("Flexibility(%d)", uint8(f))
+}
+
+// Platform is one evaluated architecture.
+type Platform struct {
+	Name string
+	// Stationaries the PE datapath supports.
+	Stationaries []dataflow.StationaryKind
+	// Shapes are the logical PE array shapes the platform can form.
+	Shapes []mapping.ArrayShape
+	// Constraint restricts buffer-level tiling/scheduling.
+	Constraint core.Constraint
+	// SupportsFusion enables tensor-operator fusion on compute units.
+	SupportsFusion bool
+	// CUs × CUShape define the physical array; TotalPEs = CUs × CUShape.PEs.
+	CUs     int
+	CUShape mapping.ArrayShape
+	// BufferElems is the unified buffer capacity in elements.
+	BufferElems int64
+	// BandwidthPerCycle is on-chip bandwidth in elements per cycle.
+	BandwidthPerCycle int
+
+	// Table III attribute summary.
+	StationaryFlex bool
+	TilingFlex     Flexibility
+}
+
+// Default compute configuration shared by all platforms (§V-A).
+const (
+	// DefaultCUs and DefaultCUDim give 128×128×4 PEs.
+	DefaultCUs   = 4
+	DefaultCUDim = 128
+	// DefaultBufferElems is the evaluation buffer: 1 Mi elements (2 MiB at
+	// bf16), in the middle of the paper's 32 KiB – 32 MiB validation sweep.
+	DefaultBufferElems = 1024 * 1024
+	// DefaultBandwidthPerCycle models 1 TB/s at ~1 GHz with 2-byte (bf16)
+	// elements: 512 elements per cycle.
+	DefaultBandwidthPerCycle = 512
+	// DefaultMaxStationaryTile caps low-flexibility platforms' stationary
+	// tiles at four 128-wide blocks, matching TPUv4i's four-deep weight
+	// FIFO staging.
+	DefaultMaxStationaryTile = 4 * DefaultCUDim
+)
+
+// TotalPEs returns the platform's PE count.
+func (p Platform) TotalPEs() int { return p.CUs * p.CUShape.PEs() }
+
+// Spec returns the roofline envelope.
+func (p Platform) Spec() perf.Spec {
+	return perf.Spec{TotalPEs: p.TotalPEs(), BandwidthPerCycle: p.BandwidthPerCycle}
+}
+
+// Validate checks platform consistency.
+func (p Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("arch: unnamed platform")
+	}
+	if p.CUs <= 0 {
+		return fmt.Errorf("arch: %s has %d CUs", p.Name, p.CUs)
+	}
+	if err := p.CUShape.Validate(); err != nil {
+		return fmt.Errorf("arch: %s: %w", p.Name, err)
+	}
+	if len(p.Stationaries) == 0 || len(p.Shapes) == 0 {
+		return fmt.Errorf("arch: %s has empty stationary or shape set", p.Name)
+	}
+	if p.BufferElems < 3 || p.BandwidthPerCycle <= 0 {
+		return fmt.Errorf("arch: %s has invalid memory system", p.Name)
+	}
+	return nil
+}
+
+func base(name string) Platform {
+	return Platform{
+		Name:              name,
+		CUs:               DefaultCUs,
+		CUShape:           mapping.ArrayShape{Rows: DefaultCUDim, Cols: DefaultCUDim},
+		BufferElems:       DefaultBufferElems,
+		BandwidthPerCycle: DefaultBandwidthPerCycle,
+	}
+}
+
+// TPUv4i: weight-stationary systolic arrays, coarse square tiling, no
+// fusion.
+func TPUv4i() Platform {
+	p := base("TPUv4i")
+	p.Stationaries = []dataflow.StationaryKind{dataflow.WS}
+	p.Shapes = []mapping.ArrayShape{p.CUShape}
+	p.Constraint = core.Constraint{
+		Stationaries:      []dataflow.StationaryKind{dataflow.WS},
+		TileQuantum:       DefaultCUDim,
+		Square:            true,
+		MaxStationaryTile: DefaultMaxStationaryTile,
+	}
+	p.StationaryFlex = false
+	p.TilingFlex = FlexLow
+	return p
+}
+
+// Gemmini: flexible stationary PEs, coarse tiling, no fusion.
+func Gemmini() Platform {
+	p := base("Gemmini")
+	p.Stationaries = []dataflow.StationaryKind{dataflow.WS, dataflow.OS, dataflow.IS}
+	p.Shapes = []mapping.ArrayShape{p.CUShape}
+	p.Constraint = core.Constraint{TileQuantum: DefaultCUDim, Square: true,
+		MaxStationaryTile: DefaultMaxStationaryTile}
+	p.StationaryFlex = true
+	p.TilingFlex = FlexLow
+	return p
+}
+
+// Planaria: weight-stationary with dynamic array fission into power-of-two
+// subarrays — high tiling flexibility, no fusion.
+func Planaria() Platform {
+	p := base("Planaria")
+	p.Stationaries = []dataflow.StationaryKind{dataflow.WS}
+	p.Shapes = fissionShapes(p.CUShape.PEs())
+	p.Constraint = core.Constraint{
+		Stationaries: []dataflow.StationaryKind{dataflow.WS},
+		TileQuantum:  8,
+	}
+	p.StationaryFlex = false
+	p.TilingFlex = FlexHigh
+	return p
+}
+
+// UnfCU: the FuseCU datapath (XS PEs, resizable CU ganging) without tensor
+// fusion.
+func UnfCU() Platform {
+	p := base("UnfCU")
+	p.Stationaries = []dataflow.StationaryKind{dataflow.WS, dataflow.OS, dataflow.IS}
+	p.Shapes = fuseCUShapes(p.CUShape)
+	// The adaptive-tile datapath tiles as finely as Planaria's fission
+	// (the "middle" of Table III refers to the shape gangings above, not
+	// the tile lattice); fused stationary tiles align to the CU dimension
+	// so every fused pass fills the array.
+	p.Constraint = core.Constraint{TileQuantum: 8, FusedTileAlign: DefaultCUDim}
+	p.StationaryFlex = true
+	p.TilingFlex = FlexMiddle
+	return p
+}
+
+// FuseCU: the proposed architecture — UnfCU plus tensor-operator fusion on
+// compute units (tile fusion and column fusion).
+func FuseCU() Platform {
+	p := UnfCU()
+	p.Name = "FuseCU"
+	p.SupportsFusion = true
+	return p
+}
+
+// All returns the five platforms in the paper's comparison order.
+func All() []Platform {
+	return []Platform{TPUv4i(), Gemmini(), Planaria(), UnfCU(), FuseCU()}
+}
+
+// ByName looks a platform up by its Table III name.
+func ByName(name string) (Platform, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("arch: unknown platform %q", name)
+}
+
+// fissionShapes enumerates power-of-two subarray shapes of at most pes PEs
+// with both sides ≥ 16, Planaria's fission granularity.
+func fissionShapes(pes int) []mapping.ArrayShape {
+	var out []mapping.ArrayShape
+	for r := 16; r <= 2048; r *= 2 {
+		for c := 16; c <= 2048; c *= 2 {
+			if r*c <= pes {
+				out = append(out, mapping.ArrayShape{Rows: r, Cols: c})
+			}
+		}
+	}
+	return out
+}
+
+// fuseCUShapes enumerates the square/narrow/wide gangings of the four CUs
+// (Fig. 7c–e): single CUs, vertical and horizontal pairs, and the full
+// square.
+func fuseCUShapes(cu mapping.ArrayShape) []mapping.ArrayShape {
+	n := cu.Rows
+	return []mapping.ArrayShape{
+		{Rows: n, Cols: n},         // square: one CU
+		{Rows: 2 * n, Cols: n},     // narrow: two CUs stacked
+		{Rows: n, Cols: 2 * n},     // wide: two CUs abreast
+		{Rows: 2 * n, Cols: 2 * n}, // all four CUs
+	}
+}
+
+// ChainEval is the evaluated cost of one weighted chain on a platform.
+type ChainEval struct {
+	Name  string
+	Count int64
+	// Per-instance memory access and MAC count.
+	MA   int64
+	MACs int64
+	// Utilization is the spatial mapping utilization used for the roofline.
+	Utilization float64
+	// Roofline is the aggregate (count-scaled) cycle estimate.
+	Roofline perf.Roofline
+	// Plan is the chain's dataflow plan inside the platform's space.
+	Plan core.ChainPlan
+}
+
+// Result is a platform's evaluation on one workload.
+type Result struct {
+	Platform string
+	Workload string
+	// MA is total memory access in elements.
+	MA int64
+	// Cycles is total execution cycles under the roofline model.
+	Cycles int64
+	// MACs is the workload's total multiply-accumulate count.
+	MACs int64
+	// Utilization is achieved MACs / (Cycles × TotalPEs) — performance
+	// normalized to peak.
+	Utilization float64
+	PerChain    []ChainEval
+}
+
+// EvaluateWorkload runs the platform's constrained optimization flow on
+// every chain of w and aggregates traffic and cycles.
+//
+// Memory access (the Fig. 10 bar metric) follows the paper's per-visit
+// accounting. The cycle model additionally charges the physical read-back of
+// spilled partial sums, so a platform whose dataflow space forces output
+// spills (e.g. weight-stationary-only) pays for them in time even though the
+// paper's MA metric counts visits once. Each unfused operator picks, among
+// its platform's constrained-optimal candidates, the dataflow minimizing
+// cycles under the roofline — hardware chooses what runs fastest, not what
+// moves fewest bytes.
+func (p Platform) EvaluateWorkload(w *model.Workload) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Platform: p.Name, Workload: w.Name}
+	spec := p.Spec()
+	for _, wc := range w.Chains {
+		plan, err := core.PlanChainOpts(wc.Chain, p.BufferElems, core.PlanOptions{
+			Constraint:  p.Constraint,
+			AllowFusion: p.SupportsFusion,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("arch: %s on %s/%s: %w", p.Name, w.Name, wc.Chain.Name, err)
+		}
+		ce := ChainEval{Name: wc.Chain.Name, Count: wc.Count, MACs: wc.Chain.MACs(), Plan: plan}
+
+		var chainCycles int64
+		var utilWeighted float64
+		for _, g := range plan.Groups {
+			var (
+				ma, phys, macs int64
+				util           float64
+			)
+			if g.Fusedp() {
+				pair, err := fusion.NewPair(wc.Chain.Ops[g.Start], wc.Chain.Ops[g.Start+1])
+				if err != nil {
+					return Result{}, err
+				}
+				fm, err := bestFusedMapping(p, pair, g.Fused.Dataflow)
+				if err != nil {
+					return Result{}, err
+				}
+				util = fm.Utilization
+				macs = pair.First.MACs() + pair.Second.MACs()
+				ma = g.Fused.Access.Total
+				phys = ma + g.Fused.Access.EReads
+			} else {
+				mm := wc.Chain.Ops[g.Start]
+				macs = mm.MACs()
+				sel, err := p.selectIntra(mm, g.Intra, wc.Count, spec)
+				if err != nil {
+					return Result{}, err
+				}
+				ma, phys, util = sel.ma, sel.phys, sel.util
+			}
+			rl, err := perf.Estimate(macs*wc.Count, phys*wc.Count, util, spec)
+			if err != nil {
+				return Result{}, err
+			}
+			chainCycles += rl.Cycles
+			utilWeighted += util * float64(macs)
+			ce.MA += ma
+		}
+		ce.Utilization = utilWeighted / float64(ce.MACs)
+		rlAgg, err := perf.Estimate(ce.MACs*wc.Count, ce.MA*wc.Count, ce.Utilization, spec)
+		if err != nil {
+			return Result{}, err
+		}
+		rlAgg.Cycles = chainCycles
+		ce.Roofline = rlAgg
+
+		res.PerChain = append(res.PerChain, ce)
+		res.MA += ce.MA * wc.Count
+		res.MACs += ce.MACs * wc.Count
+		res.Cycles += chainCycles
+	}
+	if res.Cycles > 0 {
+		res.Utilization = float64(res.MACs) / (float64(res.Cycles) * float64(p.TotalPEs()))
+	}
+	return res, nil
+}
+
+type intraSelection struct {
+	ma, phys int64
+	util     float64
+}
+
+// selectIntra picks, among the platform-constrained candidates for one
+// operator, the (dataflow, mapping) pair minimizing roofline cycles; ties
+// break toward lower memory access.
+func (p Platform) selectIntra(mm op.MatMul, intra *core.Result, count int64, spec perf.Spec) (intraSelection, error) {
+	cands := intra.Considered
+	if len(cands) == 0 {
+		cands = []core.Candidate{intra.Candidate}
+	}
+	var (
+		best       intraSelection
+		bestCycles int64 = -1
+	)
+	for _, c := range cands {
+		st := c.Dataflow.Order.Stationary().Kind()
+		if !p.Constraint.AllowsStationary(st) {
+			continue
+		}
+		im, err := mapping.BestIntra(mm, []dataflow.StationaryKind{st}, p.Shapes)
+		if err != nil {
+			return intraSelection{}, err
+		}
+		phys := c.Access.Total + c.Access.OutputReads
+		rl, err := perf.Estimate(mm.MACs()*count, phys*count, im.Utilization, spec)
+		if err != nil {
+			return intraSelection{}, err
+		}
+		better := bestCycles < 0 || rl.Cycles < bestCycles ||
+			(rl.Cycles == bestCycles && c.Access.Total < best.ma)
+		if better {
+			bestCycles = rl.Cycles
+			best = intraSelection{ma: c.Access.Total, phys: phys, util: im.Utilization}
+		}
+	}
+	if bestCycles < 0 {
+		return intraSelection{}, fmt.Errorf("arch: %s has no mappable candidate for %v", p.Name, mm)
+	}
+	return best, nil
+}
+
+// bestFusedMapping maps the chosen fused dataflow onto the platform shape
+// maximizing its utilization.
+func bestFusedMapping(p Platform, pair fusion.Pair, fd fusion.FusedDataflow) (mapping.FusedMapping, error) {
+	var best mapping.FusedMapping
+	found := false
+	for _, sh := range p.Shapes {
+		m, err := mapping.MapFusedDataflow(pair, fd, sh)
+		if err != nil {
+			continue
+		}
+		if !found || m.Utilization > best.Utilization {
+			best, found = m, true
+		}
+	}
+	if !found {
+		return mapping.FusedMapping{}, fmt.Errorf("arch: %s cannot map fused dataflow %v", p.Name, fd)
+	}
+	return best, nil
+}

@@ -1,0 +1,237 @@
+package arch
+
+import (
+	"testing"
+
+	"fusecu/internal/model"
+)
+
+func TestAllPlatformsValid(t *testing.T) {
+	ps := All()
+	if len(ps) != 5 {
+		t.Fatalf("platforms = %d, want 5", len(ps))
+	}
+	names := []string{"TPUv4i", "Gemmini", "Planaria", "UnfCU", "FuseCU"}
+	for i, p := range ps {
+		if p.Name != names[i] {
+			t.Errorf("platform %d = %s, want %s", i, p.Name, names[i])
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.TotalPEs() != 128*128*4 {
+			t.Errorf("%s PEs = %d, want 65536", p.Name, p.TotalPEs())
+		}
+	}
+}
+
+func TestTableIIIAttributes(t *testing.T) {
+	cases := []struct {
+		name       string
+		statFlex   bool
+		tilingFlex Flexibility
+		fusion     bool
+	}{
+		{"TPUv4i", false, FlexLow, false},
+		{"Gemmini", true, FlexLow, false},
+		{"Planaria", false, FlexHigh, false},
+		{"UnfCU", true, FlexMiddle, false},
+		{"FuseCU", true, FlexMiddle, true},
+	}
+	for _, c := range cases {
+		p, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.StationaryFlex != c.statFlex || p.TilingFlex != c.tilingFlex || p.SupportsFusion != c.fusion {
+			t.Errorf("%s attributes = %v/%v/%v, want %v/%v/%v", c.name,
+				p.StationaryFlex, p.TilingFlex, p.SupportsFusion,
+				c.statFlex, c.tilingFlex, c.fusion)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestFissionShapesWithinBudget(t *testing.T) {
+	for _, s := range fissionShapes(16384) {
+		if s.PEs() > 16384 {
+			t.Errorf("fission shape %v exceeds one CU", s)
+		}
+		if s.Rows < 16 || s.Cols < 16 {
+			t.Errorf("fission shape %v below granularity", s)
+		}
+	}
+}
+
+func TestFuseCUShapes(t *testing.T) {
+	shapes := fuseCUShapes(FuseCU().CUShape)
+	want := map[string]bool{"128x128": true, "256x128": true, "128x256": true, "256x256": true}
+	if len(shapes) != len(want) {
+		t.Fatalf("shapes = %v", shapes)
+	}
+	for _, s := range shapes {
+		if !want[s.String()] {
+			t.Errorf("unexpected shape %v", s)
+		}
+	}
+}
+
+// The headline ordering on a small model: MA(FuseCU) ≤ MA(UnfCU) ≤
+// MA(Planaria) and MA(FuseCU) < MA(Gemmini) ≤ MA(TPUv4i).
+func TestPlatformMAOrdering(t *testing.T) {
+	cfg := model.Config{Name: "mini", Heads: 8, SeqLen: 512, Hidden: 512, Batch: 4}
+	w, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := map[string]int64{}
+	util := map[string]float64{}
+	for _, p := range All() {
+		r, err := p.EvaluateWorkload(w)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if r.MA <= 0 || r.Cycles <= 0 {
+			t.Fatalf("%s: degenerate result %+v", p.Name, r)
+		}
+		if r.Utilization <= 0 || r.Utilization > 1 {
+			t.Fatalf("%s: utilization %f", p.Name, r.Utilization)
+		}
+		ma[p.Name] = r.MA
+		util[p.Name] = r.Utilization
+	}
+	if !(ma["FuseCU"] <= ma["UnfCU"]) {
+		t.Errorf("FuseCU MA %d > UnfCU %d", ma["FuseCU"], ma["UnfCU"])
+	}
+	if !(ma["UnfCU"] <= ma["Planaria"]) {
+		t.Errorf("UnfCU MA %d > Planaria %d", ma["UnfCU"], ma["Planaria"])
+	}
+	if !(ma["FuseCU"] < ma["Gemmini"]) {
+		t.Errorf("FuseCU MA %d >= Gemmini %d", ma["FuseCU"], ma["Gemmini"])
+	}
+	if !(ma["Gemmini"] <= ma["TPUv4i"]) {
+		t.Errorf("Gemmini MA %d > TPUv4i %d", ma["Gemmini"], ma["TPUv4i"])
+	}
+	// Performance ordering: FuseCU at least matches every baseline.
+	for _, other := range []string{"TPUv4i", "Gemmini", "Planaria"} {
+		if util["FuseCU"] < util[other]-1e-9 {
+			t.Errorf("FuseCU utilization %f below %s's %f", util["FuseCU"], other, util[other])
+		}
+	}
+}
+
+func TestEvaluateWorkloadChainAccounting(t *testing.T) {
+	cfg := model.Config{Name: "mini", Heads: 4, SeqLen: 256, Hidden: 256, Batch: 2}
+	w, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FuseCU()
+	r, err := p.EvaluateWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerChain) != len(w.Chains) {
+		t.Fatalf("per-chain entries = %d, want %d", len(r.PerChain), len(w.Chains))
+	}
+	var ma, macs, cycles int64
+	for _, ce := range r.PerChain {
+		ma += ce.MA * ce.Count
+		macs += ce.MACs * ce.Count
+		cycles += ce.Roofline.Cycles
+		if ce.Utilization <= 0 || ce.Utilization > 1 {
+			t.Errorf("chain %s utilization %f", ce.Name, ce.Utilization)
+		}
+	}
+	if ma != r.MA || macs != r.MACs || cycles != r.Cycles {
+		t.Fatalf("aggregation mismatch: %d/%d/%d vs %d/%d/%d", ma, macs, cycles, r.MA, r.MACs, r.Cycles)
+	}
+	if macs != w.TotalMACs() {
+		t.Fatalf("MACs = %d, want %d", macs, w.TotalMACs())
+	}
+}
+
+// FuseCU must actually fuse the attention chain on a transformer workload.
+func TestFuseCUFusesAttention(t *testing.T) {
+	cfg := model.Config{Name: "mini", Heads: 8, SeqLen: 512, Hidden: 512, Batch: 4}
+	w, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FuseCU().EvaluateWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ce := range r.PerChain {
+		if ce.Name != "attention" {
+			continue
+		}
+		for _, g := range ce.Plan.Groups {
+			if g.Fusedp() {
+				return
+			}
+		}
+		t.Fatal("attention chain not fused on FuseCU")
+	}
+	t.Fatal("no attention chain found")
+}
+
+func TestUnfCUNeverFuses(t *testing.T) {
+	cfg := model.Config{Name: "mini", Heads: 8, SeqLen: 512, Hidden: 512, Batch: 4}
+	w, _ := cfg.Build()
+	r, err := UnfCU().EvaluateWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ce := range r.PerChain {
+		for _, g := range ce.Plan.Groups {
+			if g.Fusedp() {
+				t.Fatalf("UnfCU fused chain %s", ce.Name)
+			}
+		}
+	}
+}
+
+func TestEvaluateWorkloadInvalidPlatform(t *testing.T) {
+	w, _ := model.Config{Name: "m", Heads: 2, SeqLen: 64, Hidden: 64, Batch: 1}.Build()
+	bad := Platform{}
+	if _, err := bad.EvaluateWorkload(w); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestFlexibilityStringer(t *testing.T) {
+	for _, f := range []Flexibility{FlexNone, FlexLow, FlexMiddle, FlexHigh} {
+		if f.String() == "" {
+			t.Fatal("empty flexibility string")
+		}
+	}
+}
+
+// Decode-phase (GEMV-shaped) workloads must evaluate cleanly: Dmin = 1
+// attention is the degenerate extreme of the regime taxonomy.
+func TestDecodeWorkloadEvaluates(t *testing.T) {
+	cfg := model.Config{Name: "mini", Heads: 8, SeqLen: 512, Hidden: 512, Batch: 4}
+	w, err := cfg.DecodePhase(2048).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range All() {
+		r, err := p.EvaluateWorkload(w)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if r.MA <= 0 || r.Cycles <= 0 {
+			t.Fatalf("%s: degenerate decode result", p.Name)
+		}
+		// Decode is heavily memory-bound: utilization must be far below 1.
+		if r.Utilization > 0.5 {
+			t.Errorf("%s: decode utilization %f suspiciously high", p.Name, r.Utilization)
+		}
+	}
+}

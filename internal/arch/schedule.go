@@ -1,0 +1,100 @@
+package arch
+
+import (
+	"fmt"
+
+	"fusecu/internal/core"
+	"fusecu/internal/fusion"
+	"fusecu/internal/mapping"
+	"fusecu/internal/model"
+	"fusecu/internal/perf"
+	"fusecu/internal/sched"
+)
+
+// ScheduleWorkload lowers a workload to instance-level tasks and
+// list-schedules them across the platform's compute units — the
+// discrete-event counterpart to EvaluateWorkload's aggregate roofline.
+// Each chain instance becomes one task whose cycle cost is its per-instance
+// roofline (so memory-bound instances carry their stall time) and whose CU
+// demand reflects its mapping: column fusion occupies a producer/consumer
+// CU pair, everything else a single CU.
+func (p Platform) ScheduleWorkload(w *model.Workload) (sched.Timeline, error) {
+	tasks, err := p.WorkloadTasks(w)
+	if err != nil {
+		return sched.Timeline{}, err
+	}
+	return sched.ListSchedule(tasks, p.CUs, sched.LPT)
+}
+
+// WorkloadTasks builds the instance-level task list for w.
+func (p Platform) WorkloadTasks(w *model.Workload) ([]sched.Task, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Per-CU envelope: one CU's PEs, a fair share of bandwidth.
+	cuSpec := perf.Spec{
+		TotalPEs:          p.CUShape.PEs(),
+		BandwidthPerCycle: maxIntDiv(p.BandwidthPerCycle, p.CUs),
+	}
+	var tasks []sched.Task
+	for _, wc := range w.Chains {
+		plan, err := core.PlanChainOpts(wc.Chain, p.BufferElems, core.PlanOptions{
+			Constraint:  p.Constraint,
+			AllowFusion: p.SupportsFusion,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("arch: %s on %s/%s: %w", p.Name, w.Name, wc.Chain.Name, err)
+		}
+		for _, g := range plan.Groups {
+			var (
+				macs, ma int64
+				util     float64
+				cus      = 1
+			)
+			if g.Fusedp() {
+				pair, err := fusion.NewPair(wc.Chain.Ops[g.Start], wc.Chain.Ops[g.Start+1])
+				if err != nil {
+					return nil, err
+				}
+				fm, err := bestFusedMapping(p, pair, g.Fused.Dataflow)
+				if err != nil {
+					return nil, err
+				}
+				util = fm.Utilization
+				macs = pair.First.MACs() + pair.Second.MACs()
+				ma = g.Fused.Access.Total + g.Fused.Access.EReads
+				if fm.Kind == mapping.ColumnFusion {
+					cus = 2
+				}
+			} else {
+				mm := wc.Chain.Ops[g.Start]
+				macs = mm.MACs()
+				sel, err := p.selectIntra(mm, g.Intra, 1, cuSpec)
+				if err != nil {
+					return nil, err
+				}
+				util, ma = sel.util, sel.phys
+			}
+			rl, err := perf.Estimate(macs, ma, util, cuSpec)
+			if err != nil {
+				return nil, err
+			}
+			for i := int64(0); i < wc.Count; i++ {
+				tasks = append(tasks, sched.Task{
+					Name:   fmt.Sprintf("%s/%s[%d]", w.Name, wc.Chain.Name, g.Start),
+					Cycles: rl.Cycles,
+					CUs:    cus,
+				})
+			}
+		}
+	}
+	return tasks, nil
+}
+
+func maxIntDiv(v, d int) int {
+	out := v / d
+	if out < 1 {
+		return 1
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package arch
+
+import (
+	"testing"
+
+	"fusecu/internal/model"
+	"fusecu/internal/sched"
+)
+
+func TestScheduleWorkloadSanity(t *testing.T) {
+	cfg := model.Config{Name: "mini", Heads: 8, SeqLen: 512, Hidden: 512, Batch: 4}
+	w, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Platform{TPUv4i(), FuseCU()} {
+		tl, err := p.ScheduleWorkload(w)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if tl.Makespan <= 0 || len(tl.Placements) == 0 {
+			t.Fatalf("%s: empty timeline", p.Name)
+		}
+		if u := tl.Utilization(); u <= 0 || u > 1 {
+			t.Fatalf("%s: utilization %f", p.Name, u)
+		}
+		// The instance-level makespan can never beat the trivial floor.
+		tasks, err := p.WorkloadTasks(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tl.Makespan < sched.LowerBound(tasks, p.CUs) {
+			t.Fatalf("%s: makespan below floor", p.Name)
+		}
+	}
+}
+
+// The aggregate roofline assumes perfect packing; the instance-level
+// schedule must land within a modest factor of it (per-CU bandwidth
+// partitioning makes memory-bound chains cost more at instance level).
+func TestScheduleAgreesWithRoofline(t *testing.T) {
+	cfg := model.Config{Name: "mini", Heads: 8, SeqLen: 512, Hidden: 512, Batch: 4}
+	w, _ := cfg.Build()
+	p := FuseCU()
+	agg, err := p.EvaluateWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := p.ScheduleWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := agg.Cycles*9/10, agg.Cycles*3
+	if tl.Makespan < lo || tl.Makespan > hi {
+		t.Fatalf("makespan %d outside [%d, %d] around the roofline %d",
+			tl.Makespan, lo, hi, agg.Cycles)
+	}
+}
+
+func TestFuseCUScheduleUsesGangedPairs(t *testing.T) {
+	// LLaMA2-ish attention fuses with the column pattern → 2-CU tasks.
+	cfg := model.Config{Name: "mini", Heads: 4, SeqLen: 2048, Hidden: 512, Batch: 2}
+	w, _ := cfg.Build()
+	tasks, err := FuseCU().WorkloadTasks(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if task.CUs == 2 {
+			return
+		}
+	}
+	t.Skip("no column-fused tasks in this configuration")
+}

@@ -1,0 +1,170 @@
+// Package area models silicon area at 28 nm for the evaluated platforms and
+// regenerates Fig. 12: the FuseCU component breakdown, its overhead over the
+// TPUv4i baseline, and the contrast with Planaria's interconnect cost.
+//
+// The paper obtains these numbers from Synopsys Design Compiler synthesis of
+// the Chisel RTL; this reproduction replaces synthesis with an analytical
+// gate-count model whose per-component unit areas are calibrated to typical
+// 28 nm standard-cell figures. What the model reproduces is the *structure*
+// of Fig. 12: which components are overhead, the ≈12 % total overhead of the
+// XS PE datapath, and the < 0.1 % contribution of the FuseCU resize
+// interconnect and fusion control — versus Planaria's ≈12.6 % interconnect
+// overhead.
+package area
+
+import "fmt"
+
+// Unit areas in µm² at 28 nm. MAC datapath values assume the paper's int8
+// multiply / 32-bit accumulate PEs.
+const (
+	// Base PE datapath (identical across all platforms, not overhead).
+	MultiplierUM2 = 220.0 // int8 multiplier
+	AdderUM2      = 95.0  // 32-bit accumulator adder
+	AccumRegUM2   = 160.0 // 32-bit accumulator register
+	PERegsUM2     = 85.0  // operand pipeline registers
+	PECtrlUM2     = 18.0  // per-PE control
+	// Per-CU shared blocks (not overhead).
+	SoftmaxUnitUM2 = 185000.0 // softmax/elementwise unit per CU
+	CUCtrlUM2      = 42000.0  // base sequencing control per CU
+	// FuseCU additions (overhead).
+	XSMuxUM2        = 71.0   // Fig. 6 datapath MUXes per PE
+	EdgeMuxUM2      = 12.0   // per edge-PE port MUX of the resize interconnect
+	FusionCtrlUM2   = 2600.0 // per-CU XS/FU configuration control
+	FabricWiringUM2 = 8000.0 // inter-CU wiring of the Fig. 7 fabric
+	// Planaria's omni-directional fission interconnect per PE (overhead on
+	// its own baseline).
+	PlanariaLinkUM2 = 73.0
+)
+
+// Component is one line of the breakdown.
+type Component struct {
+	Name string
+	// Count of instances and unit area.
+	Count    int64
+	UnitUM2  float64
+	Overhead bool
+}
+
+// Area returns the component's total area in µm².
+func (c Component) Area() float64 { return float64(c.Count) * c.UnitUM2 }
+
+// Breakdown is a platform's area composition.
+type Breakdown struct {
+	Platform   string
+	Components []Component
+}
+
+// Total returns the full area in µm².
+func (b Breakdown) Total() float64 {
+	var t float64
+	for _, c := range b.Components {
+		t += c.Area()
+	}
+	return t
+}
+
+// BaseTotal returns the non-overhead area.
+func (b Breakdown) BaseTotal() float64 {
+	var t float64
+	for _, c := range b.Components {
+		if !c.Overhead {
+			t += c.Area()
+		}
+	}
+	return t
+}
+
+// OverheadTotal returns the overhead area.
+func (b Breakdown) OverheadTotal() float64 { return b.Total() - b.BaseTotal() }
+
+// OverheadPct returns overhead as a percentage of the base area.
+func (b Breakdown) OverheadPct() float64 {
+	base := b.BaseTotal()
+	if base == 0 {
+		return 0
+	}
+	return 100 * b.OverheadTotal() / base
+}
+
+// Share returns a component's share of total area as a percentage.
+func (b Breakdown) Share(name string) (float64, error) {
+	total := b.Total()
+	for _, c := range b.Components {
+		if c.Name == name {
+			return 100 * c.Area() / total, nil
+		}
+	}
+	return 0, fmt.Errorf("area: no component %q in %s", name, b.Platform)
+}
+
+// Config describes the array being synthesized.
+type Config struct {
+	CUs   int
+	CUDim int // PEs per CU side
+}
+
+// DefaultConfig is the TPUv4i compute configuration (128×128×4).
+func DefaultConfig() Config { return Config{CUs: 4, CUDim: 128} }
+
+// PEs returns the total PE count.
+func (c Config) PEs() int64 { return int64(c.CUs) * int64(c.CUDim) * int64(c.CUDim) }
+
+// EdgePEs returns the number of array-edge PEs whose ports carry resize
+// MUXes (two edges per CU participate in the Fig. 7 connections).
+func (c Config) EdgePEs() int64 { return int64(c.CUs) * 2 * int64(c.CUDim) }
+
+func basePE(c Config) []Component {
+	pes := c.PEs()
+	return []Component{
+		{Name: "multipliers", Count: pes, UnitUM2: MultiplierUM2},
+		{Name: "adders", Count: pes, UnitUM2: AdderUM2},
+		{Name: "accumulators", Count: pes, UnitUM2: AccumRegUM2},
+		{Name: "base PE registers", Count: pes, UnitUM2: PERegsUM2},
+		{Name: "PE control", Count: pes, UnitUM2: PECtrlUM2},
+		{Name: "softmax unit", Count: int64(c.CUs), UnitUM2: SoftmaxUnitUM2},
+		{Name: "CU control", Count: int64(c.CUs), UnitUM2: CUCtrlUM2},
+	}
+}
+
+// TPUv4i returns the baseline breakdown: a plain systolic array with no
+// overhead components.
+func TPUv4i(c Config) Breakdown {
+	return Breakdown{Platform: "TPUv4i", Components: basePE(c)}
+}
+
+// FuseCU returns the proposal's breakdown: the baseline plus the XS PE
+// logic, resize interconnect and fusion control marked as overhead.
+func FuseCU(c Config) Breakdown {
+	comps := basePE(c)
+	comps = append(comps,
+		Component{Name: "XS PE logic", Count: c.PEs(), UnitUM2: XSMuxUM2, Overhead: true},
+		Component{Name: "FuseCU interconnect", Count: c.EdgePEs(), UnitUM2: EdgeMuxUM2, Overhead: true},
+		Component{Name: "fusion control", Count: int64(c.CUs), UnitUM2: FusionCtrlUM2, Overhead: true},
+		Component{Name: "fabric wiring", Count: 1, UnitUM2: FabricWiringUM2, Overhead: true},
+	)
+	return Breakdown{Platform: "FuseCU", Components: comps}
+}
+
+// Planaria returns the fission design's breakdown, whose overhead is the
+// omni-directional interconnect on every PE.
+func Planaria(c Config) Breakdown {
+	comps := basePE(c)
+	comps = append(comps,
+		Component{Name: "fission interconnect", Count: c.PEs(), UnitUM2: PlanariaLinkUM2, Overhead: true},
+	)
+	return Breakdown{Platform: "Planaria", Components: comps}
+}
+
+// InterconnectPct returns the percentage of FuseCU's base area contributed
+// by the resize interconnect, control and wiring (the < 0.1 % claim).
+func InterconnectPct(c Config) float64 {
+	b := FuseCU(c)
+	var icArea float64
+	for _, comp := range b.Components {
+		switch comp.Name {
+		case "FuseCU interconnect", "fusion control", "fabric wiring":
+			icArea += comp.Area()
+		}
+	}
+	return 100 * icArea / b.BaseTotal()
+}

@@ -1,0 +1,112 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTPUv4iHasNoOverhead(t *testing.T) {
+	b := TPUv4i(DefaultConfig())
+	if b.OverheadTotal() != 0 {
+		t.Fatalf("baseline overhead = %f", b.OverheadTotal())
+	}
+	if b.Total() <= 0 {
+		t.Fatal("empty baseline")
+	}
+}
+
+// The headline Fig. 12 claim: FuseCU's overhead over TPUv4i is ≈ 12.0 %.
+func TestFuseCUOverheadNearPaper(t *testing.T) {
+	b := FuseCU(DefaultConfig())
+	pct := b.OverheadPct()
+	if pct < 10.5 || pct > 13.5 {
+		t.Fatalf("FuseCU overhead = %.2f%%, want ≈ 12.0%%", pct)
+	}
+}
+
+// The interconnect/control portion of the overhead is < 0.1 % of base area.
+func TestInterconnectBelowTenthOfPercent(t *testing.T) {
+	pct := InterconnectPct(DefaultConfig())
+	if pct <= 0 || pct >= 0.1 {
+		t.Fatalf("interconnect share = %.4f%%, want (0, 0.1)", pct)
+	}
+}
+
+// Planaria's fission interconnect costs ≈ 12.6 %, more than FuseCU's
+// interconnect by orders of magnitude.
+func TestPlanariaInterconnectNearPaper(t *testing.T) {
+	b := Planaria(DefaultConfig())
+	pct := b.OverheadPct()
+	if pct < 11 || pct > 14 {
+		t.Fatalf("Planaria overhead = %.2f%%, want ≈ 12.6%%", pct)
+	}
+	if pct <= InterconnectPct(DefaultConfig()) {
+		t.Fatal("Planaria interconnect should dwarf FuseCU's")
+	}
+}
+
+func TestXSLogicDominatesOverhead(t *testing.T) {
+	b := FuseCU(DefaultConfig())
+	var xs, rest float64
+	for _, c := range b.Components {
+		if !c.Overhead {
+			continue
+		}
+		if c.Name == "XS PE logic" {
+			xs = c.Area()
+		} else {
+			rest += c.Area()
+		}
+	}
+	if xs <= rest*10 {
+		t.Fatalf("XS logic %.0f should dominate other overheads %.0f", xs, rest)
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	b := FuseCU(DefaultConfig())
+	if math.Abs(b.Total()-(b.BaseTotal()+b.OverheadTotal())) > 1e-6 {
+		t.Fatal("total != base + overhead")
+	}
+	var sum float64
+	for _, c := range b.Components {
+		s, err := b.Share(c.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s
+	}
+	if math.Abs(sum-100) > 1e-6 {
+		t.Fatalf("shares sum to %f", sum)
+	}
+}
+
+func TestShareUnknownComponent(t *testing.T) {
+	b := TPUv4i(DefaultConfig())
+	if _, err := b.Share("warp drive"); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+}
+
+func TestConfigCounts(t *testing.T) {
+	c := DefaultConfig()
+	if c.PEs() != 65536 {
+		t.Fatalf("PEs = %d", c.PEs())
+	}
+	if c.EdgePEs() != 4*2*128 {
+		t.Fatalf("EdgePEs = %d", c.EdgePEs())
+	}
+}
+
+func TestOverheadScalesWithPEs(t *testing.T) {
+	small := FuseCU(Config{CUs: 4, CUDim: 64})
+	big := FuseCU(Config{CUs: 4, CUDim: 128})
+	// Overhead percentage is roughly scale-invariant (dominated by per-PE
+	// MUXes), while absolute area grows.
+	if big.Total() <= small.Total() {
+		t.Fatal("area does not grow with PEs")
+	}
+	if math.Abs(big.OverheadPct()-small.OverheadPct()) > 2 {
+		t.Fatalf("overhead pct changed too much: %f vs %f", big.OverheadPct(), small.OverheadPct())
+	}
+}

@@ -1,0 +1,59 @@
+// Package bound provides analytical communication lower bounds for matrix
+// multiplication under a limited buffer — the yardstick behind the paper's
+// title claim. Two bounds are exposed:
+//
+//   - Compulsory: every tensor element must cross the buffer boundary at
+//     least once (the unbounded-buffer minimum, size(A)+size(B)+size(C)).
+//   - HongKung: the red-blue pebble bound specialized to matmul. With a
+//     buffer of S elements, any execution window that performs F multiply-
+//     accumulates can touch at most O(√S) reuse per element, giving
+//     traffic ≥ 2·MKL/√S − S (Hong & Kung 1981; constant per
+//     Smith & van de Geijn 2017). The bound is only informative when the
+//     buffer is small relative to the tensors.
+//
+// The tests show the principle-optimal dataflow always sits between
+// LowerBound and a small constant multiple of it in the small-buffer
+// regime — the sense in which the principles achieve the communication
+// lower bound.
+package bound
+
+import (
+	"math"
+
+	"fusecu/internal/op"
+)
+
+// Compulsory is the unbounded-buffer minimum: each tensor moves once.
+func Compulsory(mm op.MatMul) int64 {
+	return mm.IdealMA()
+}
+
+// HongKung returns the red-blue pebble lower bound 2·MKL/√S − S for a
+// buffer of bufferSize elements (0 when the expression goes negative, i.e.
+// the buffer is large enough that the bound says nothing).
+func HongKung(mm op.MatMul, bufferSize int64) int64 {
+	if bufferSize <= 0 {
+		return 0
+	}
+	v := 2*float64(mm.MACs())/math.Sqrt(float64(bufferSize)) - float64(bufferSize)
+	if v <= 0 {
+		return 0
+	}
+	return int64(v)
+}
+
+// LowerBound returns the tighter of the two bounds — the floor no dataflow
+// can beat.
+func LowerBound(mm op.MatMul, bufferSize int64) int64 {
+	hk := HongKung(mm, bufferSize)
+	if c := Compulsory(mm); c > hk {
+		return c
+	}
+	return hk
+}
+
+// Ratio returns achieved / LowerBound, the optimality gap of a measured
+// traffic figure (∞ is impossible since LowerBound ≥ Compulsory > 0).
+func Ratio(mm op.MatMul, bufferSize, achieved int64) float64 {
+	return float64(achieved) / float64(LowerBound(mm, bufferSize))
+}

@@ -1,0 +1,98 @@
+package bound
+
+import (
+	"math/rand"
+	"testing"
+
+	"fusecu/internal/core"
+	"fusecu/internal/op"
+)
+
+func TestCompulsory(t *testing.T) {
+	mm := op.MatMul{M: 4, K: 5, L: 6}
+	if Compulsory(mm) != 4*5+5*6+4*6 {
+		t.Fatalf("Compulsory = %d", Compulsory(mm))
+	}
+}
+
+func TestHongKungShrinksWithBuffer(t *testing.T) {
+	mm := op.MatMul{M: 1024, K: 1024, L: 1024}
+	prev := int64(1) << 62
+	for bs := int64(64); bs <= 1<<20; bs *= 4 {
+		hk := HongKung(mm, bs)
+		if hk >= prev {
+			t.Fatalf("BS=%d: bound %d did not shrink (prev %d)", bs, hk, prev)
+		}
+		prev = hk
+	}
+	if HongKung(mm, 0) != 0 {
+		t.Fatal("degenerate buffer should give 0")
+	}
+}
+
+func TestHongKungVanishesForHugeBuffers(t *testing.T) {
+	mm := op.MatMul{M: 16, K: 16, L: 16}
+	if HongKung(mm, 1<<20) != 0 {
+		t.Fatal("bound should vanish when the buffer dwarfs the problem")
+	}
+}
+
+func TestLowerBoundIsMax(t *testing.T) {
+	mm := op.MatMul{M: 1024, K: 1024, L: 1024}
+	small := int64(256)
+	if LowerBound(mm, small) != HongKung(mm, small) {
+		t.Fatal("Hong-Kung should dominate at tiny buffers")
+	}
+	huge := int64(1) << 30
+	if LowerBound(mm, huge) != Compulsory(mm) {
+		t.Fatal("compulsory should dominate at huge buffers")
+	}
+}
+
+// The paper-title property: the principle-optimal dataflow is never below
+// the lower bound and stays within a small constant of it in the
+// communication-bound (tiny-buffer) regime.
+func TestPrinciplesSitOnTheLowerBound(t *testing.T) {
+	shapes := []op.MatMul{
+		{M: 512, K: 512, L: 512},
+		{M: 1024, K: 768, L: 768},
+		{M: 2048, K: 256, L: 1024},
+	}
+	for _, mm := range shapes {
+		dmin := int64(mm.MinDim())
+		for _, bs := range []int64{64, 256, 1024, 4096, dmin * dmin / 8} {
+			if bs < 3 {
+				continue
+			}
+			res, err := core.Optimize(mm, bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb := LowerBound(mm, bs)
+			if res.Access.Total < lb {
+				t.Fatalf("%v BS=%d: principle MA %d below the lower bound %d — impossible", mm, bs, res.Access.Total, lb)
+			}
+			// In the tiny regime the principle MA ≈ 2·MKL/√BS (balanced
+			// Single-NRA) versus the bound's 2·MKL/√BS − BS: ratio ≤ ~2
+			// even with integer-tile effects.
+			if r := Ratio(mm, bs, res.Access.Total); r > 2.5 {
+				t.Errorf("%v BS=%d: optimality gap %.2f too large", mm, bs, r)
+			}
+		}
+	}
+}
+
+func TestRatioRandomizedAboveOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50; i++ {
+		mm := op.MatMul{M: rng.Intn(256) + 32, K: rng.Intn(256) + 32, L: rng.Intn(256) + 32}
+		bs := int64(rng.Intn(1<<14)) + 16
+		res, err := core.Optimize(mm, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Ratio(mm, bs, res.Access.Total) < 1 {
+			t.Fatalf("%v BS=%d: achieved below the bound", mm, bs)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package conv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fusecu/internal/core"
+	"fusecu/internal/dataflow"
+)
+
+func TestValidate(t *testing.T) {
+	good := Conv2D{N: 1, H: 8, W: 8, C: 3, KH: 3, KW: 3, F: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid conv rejected: %v", err)
+	}
+	bad := []Conv2D{
+		{},
+		{N: 1, H: 2, W: 2, C: 1, KH: 5, KW: 5, F: 1},           // kernel too big
+		{N: 1, H: 8, W: 8, C: 3, KH: 3, KW: 3, F: 4, PadH: -1}, // negative pad
+		{N: 0, H: 8, W: 8, C: 3, KH: 3, KW: 3, F: 4},           // zero batch
+		{N: 1, H: 8, W: 8, C: 3, KH: 3, KW: 3, F: 0},           // zero filters
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid conv accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestOutputShape(t *testing.T) {
+	c := Conv2D{N: 2, H: 32, W: 32, C: 16, KH: 3, KW: 3, F: 32, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	if c.OutH() != 16 || c.OutW() != 16 {
+		t.Fatalf("out = %d×%d, want 16×16", c.OutH(), c.OutW())
+	}
+	if c.MACs() != int64(2)*16*16*3*3*16*32 {
+		t.Fatalf("MACs = %d", c.MACs())
+	}
+}
+
+func TestLowerShapes(t *testing.T) {
+	c := Conv2D{N: 2, H: 8, W: 8, C: 3, KH: 3, KW: 3, F: 4, PadH: 1, PadW: 1}
+	mm := c.Lower()
+	if mm.M != 2*8*8 || mm.K != 27 || mm.L != 4 {
+		t.Fatalf("lowered = %v", mm)
+	}
+	if mm.MACs() != c.MACs() {
+		t.Fatalf("lowering changed MACs: %d vs %d", mm.MACs(), c.MACs())
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	pointwise := Conv2D{N: 1, H: 8, W: 8, C: 16, KH: 1, KW: 1, F: 8}
+	if rf := pointwise.ReplicationFactor(); math.Abs(rf-1) > 1e-12 {
+		t.Fatalf("1×1 replication = %f", rf)
+	}
+	if !pointwise.Pointwise() {
+		t.Fatal("1×1 conv not detected as pointwise")
+	}
+	k3 := Conv2D{N: 1, H: 32, W: 32, C: 16, KH: 3, KW: 3, F: 8, PadH: 1, PadW: 1}
+	if rf := k3.ReplicationFactor(); rf < 8 || rf > 9 {
+		t.Fatalf("3×3 same-pad replication = %f, want ≈ 9", rf)
+	}
+	if k3.Pointwise() {
+		t.Fatal("3×3 conv detected as pointwise")
+	}
+}
+
+// The central lowering property: im2col + reference matmul reproduces the
+// direct seven-loop convolution exactly, across strides, padding and ragged
+// shapes.
+func TestLoweringMatchesDirectConvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 40; i++ {
+		c := Conv2D{
+			N:       rng.Intn(2) + 1,
+			H:       rng.Intn(8) + 3,
+			W:       rng.Intn(8) + 3,
+			C:       rng.Intn(4) + 1,
+			KH:      rng.Intn(3) + 1,
+			KW:      rng.Intn(3) + 1,
+			F:       rng.Intn(5) + 1,
+			StrideH: rng.Intn(2) + 1,
+			StrideW: rng.Intn(2) + 1,
+			PadH:    rng.Intn(2),
+			PadW:    rng.Intn(2),
+		}
+		if c.Validate() != nil {
+			continue
+		}
+		x := NewTensor4(c.N, c.H, c.W, c.C).Seq(i)
+		w := NewTensor4(c.KH, c.KW, c.C, c.F).Seq(i + 1)
+		want, err := Reference(c, x, w)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := Execute(c, x, w)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		for j := range want.Data {
+			if math.Abs(want.Data[j]-got.Data[j]) > 1e-9 {
+				t.Fatalf("case %d (%v): lowering diverges at %d: %v vs %v", i, c, j, got.Data[j], want.Data[j])
+			}
+		}
+	}
+}
+
+func TestIm2colShapeMismatch(t *testing.T) {
+	c := Conv2D{N: 1, H: 4, W: 4, C: 2, KH: 2, KW: 2, F: 3}
+	if _, err := Im2col(c, NewTensor4(1, 5, 4, 2)); err == nil {
+		t.Fatal("mismatched input accepted")
+	}
+	if _, err := WeightsMatrix(c, NewTensor4(2, 2, 2, 4)); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+}
+
+func TestOptimizeRegimes(t *testing.T) {
+	// A ResNet-ish layer: 56×56×64 ⊛ 3×3×64×64.
+	c := Conv2D{Name: "res3x3", N: 1, H: 56, W: 56, C: 64, KH: 3, KW: 3, F: 64, PadH: 1, PadW: 1}
+	r, err := Optimize(c, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lowered.M != 56*56 || r.Lowered.K != 576 || r.Lowered.L != 64 {
+		t.Fatalf("lowered = %v", r.Lowered)
+	}
+	if r.LoweredMA < r.Lowered.IdealMA() {
+		t.Fatal("lowered MA below the lowered ideal")
+	}
+	// The direct-conv input bound removes the im2col replication and must
+	// sit strictly below the lowered traffic for a 3×3 kernel.
+	if r.DirectInputBound >= r.LoweredMA {
+		t.Fatalf("direct bound %d not below lowered MA %d", r.DirectInputBound, r.LoweredMA)
+	}
+	if r.Intra.Access.Footprint > 256*1024 {
+		t.Fatal("footprint overflow")
+	}
+}
+
+func TestOptimizeInvalid(t *testing.T) {
+	if _, err := Optimize(Conv2D{}, 1024); err == nil {
+		t.Fatal("invalid conv accepted")
+	}
+}
+
+// Conv → pointwise-conv chains lower to fusable MatMul pairs; Principle 4
+// then applies unchanged — the separable/bottleneck fusion case.
+func TestLowerChainAndFuse(t *testing.T) {
+	first := Conv2D{Name: "dw", N: 1, H: 28, W: 28, C: 32, KH: 3, KW: 3, F: 64, PadH: 1, PadW: 1}
+	second := Conv2D{Name: "pw", N: 1, H: 28, W: 28, C: 64, KH: 1, KW: 1, F: 128}
+	chain, err := LowerChain("sep-block", first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Len() != 2 {
+		t.Fatalf("chain len = %d", chain.Len())
+	}
+	plan, err := core.PlanChain(chain, 512*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalMA > plan.UnfusedMA {
+		t.Fatal("conv chain plan worse than unfused")
+	}
+	if len(plan.Groups) == 1 && plan.Groups[0].Fusedp() {
+		// Fused: the intermediate activation never hits memory.
+		if plan.Saving() <= 0 {
+			t.Fatal("fused conv chain saved nothing")
+		}
+	}
+}
+
+func TestLowerChainRejectsNonPointwise(t *testing.T) {
+	first := Conv2D{N: 1, H: 28, W: 28, C: 32, KH: 3, KW: 3, F: 64, PadH: 1, PadW: 1}
+	second := Conv2D{N: 1, H: 28, W: 28, C: 64, KH: 3, KW: 3, F: 128, PadH: 1, PadW: 1}
+	if _, err := LowerChain("bad", first, second); err == nil {
+		t.Fatal("non-pointwise consumer accepted")
+	}
+}
+
+func TestLowerChainRejectsChannelMismatch(t *testing.T) {
+	first := Conv2D{N: 1, H: 28, W: 28, C: 32, KH: 3, KW: 3, F: 64, PadH: 1, PadW: 1}
+	second := Conv2D{N: 1, H: 28, W: 28, C: 63, KH: 1, KW: 1, F: 128}
+	if _, err := LowerChain("bad", first, second); err == nil {
+		t.Fatal("channel mismatch accepted")
+	}
+	third := Conv2D{N: 1, H: 27, W: 28, C: 64, KH: 1, KW: 1, F: 128}
+	if _, err := LowerChain("bad", first, third); err == nil {
+		t.Fatal("spatial mismatch accepted")
+	}
+}
+
+// The lowered conv obeys the same regime taxonomy as any matmul.
+func TestConvRegimeClassification(t *testing.T) {
+	c := Conv2D{N: 1, H: 56, W: 56, C: 64, KH: 3, KW: 3, F: 64, PadH: 1, PadW: 1}
+	mm := c.Lower() // Dmin = L = 64
+	if got := core.Classify(mm, 64*64/4); got != core.RegimeTiny {
+		t.Fatalf("regime = %v", got)
+	}
+	if got := core.Classify(mm, 1<<22); got != core.RegimeLarge {
+		t.Fatalf("regime = %v", got)
+	}
+	r, err := Optimize(c, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Intra.Access.NRA != dataflow.ThreeNRA {
+		t.Fatalf("large-buffer conv NRA = %v", r.Intra.Access.NRA)
+	}
+	if r.LoweredMA != r.Lowered.IdealMA() {
+		t.Fatal("large-buffer conv should reach the lowered ideal")
+	}
+}
+
+func TestTensor4PaddingReads(t *testing.T) {
+	x := NewTensor4(1, 2, 2, 1)
+	x.Set(0, 0, 0, 0, 5)
+	if x.At(0, -1, 0, 0) != 0 || x.At(0, 0, 2, 0) != 0 {
+		t.Fatal("out-of-range reads should be zero padding")
+	}
+	if x.At(0, 0, 0, 0) != 5 {
+		t.Fatal("in-range read wrong")
+	}
+}
+
+func TestNewTensor4Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape did not panic")
+		}
+	}()
+	NewTensor4(0, 1, 1, 1)
+}
+
+func BenchmarkConvOptimize(b *testing.B) {
+	c := Conv2D{N: 1, H: 56, W: 56, C: 64, KH: 3, KW: 3, F: 64, PadH: 1, PadW: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(c, 256*1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/fusion"
+	"fusecu/internal/op"
+)
+
+// Constraint restricts the dataflow space to what a platform's hardware can
+// execute (Table III's stationary and tiling flexibility columns). The zero
+// value is unconstrained.
+type Constraint struct {
+	// Stationaries lists the allowed stationary kinds; empty means all.
+	Stationaries []dataflow.StationaryKind
+	// TileQuantum forces buffer-level tile sizes to multiples of this value
+	// (a dimension's full extent is always allowed — "no tiling" needs no
+	// hardware support). 0 or 1 means any integer tile.
+	TileQuantum int
+	// Square forces the stationary tensor's two tile dimensions to be equal
+	// (clamped by extents) — the "low tiling flexibility" of fixed square
+	// systolic arrays that stream same-shaped blocks in both directions.
+	Square bool
+	// FusedTileAlign restricts fused-dataflow tile sizes to multiples of
+	// this value so stationary fused tiles match the PE array (0/1 = no
+	// alignment). FuseCU aligns to its CU dimension.
+	FusedTileAlign int
+	// MaxStationaryTile caps the stationary tensor's tile dimensions
+	// (0 = unbounded). Fixed systolic arrays stage the stationary operand
+	// through a shallow FIFO (TPUv4i's weight FIFO holds four 128×128
+	// blocks), so they cannot hold arbitrarily large stationary tiles the
+	// way adaptive-tile architectures can; this cap is what denies them the
+	// untiled-dimension (Two-/Three-NRA) dataflow on large dimensions.
+	MaxStationaryTile int
+}
+
+// Unconstrained is the empty constraint.
+var Unconstrained = Constraint{}
+
+// AllowsStationary reports whether kind is inside the constraint.
+func (c Constraint) AllowsStationary(kind dataflow.StationaryKind) bool {
+	if len(c.Stationaries) == 0 {
+		return true
+	}
+	for _, s := range c.Stationaries {
+		if s == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// quantum returns the effective tile quantum (≥ 1).
+func (c Constraint) quantum() int {
+	if c.TileQuantum < 1 {
+		return 1
+	}
+	return c.TileQuantum
+}
+
+// allowedTile reports whether tile value v is legal for a dimension of the
+// given extent.
+func (c Constraint) allowedTile(v, extent int) bool {
+	if v < 1 || v > extent {
+		return false
+	}
+	q := c.quantum()
+	return v == extent || v%q == 0
+}
+
+// snapDown returns the largest allowed tile ≤ v for the given extent, or 0
+// when none exists.
+func (c Constraint) snapDown(v, extent int) int {
+	if v >= extent {
+		return extent
+	}
+	q := c.quantum()
+	s := (v / q) * q
+	if s < 1 {
+		return 0
+	}
+	return s
+}
+
+// OptimizeConstrained is principle-based optimization inside a restricted
+// dataflow space. For each allowed stationary it walks the feasible frontier
+// of the two MA-relevant tile dimensions over the quantized tile lattice
+// (the same construction Optimize uses with quantum 1) and returns the best
+// candidate. The reported Principle is inferred from the winning dataflow's
+// NRA class.
+func OptimizeConstrained(mm op.MatMul, bufferSize int64, c Constraint) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
+	}
+	if bufferSize < minimumBuffer {
+		return Result{}, fmt.Errorf("%w: have %d elements", ErrBufferTooSmall, bufferSize)
+	}
+	var cands []Candidate
+	for _, t := range dataflow.Tensors() {
+		if !c.AllowsStationary(t.Kind()) {
+			continue
+		}
+		if cand, ok := frontierCandidate(mm, bufferSize, t, c); ok {
+			cands = append(cands, cand)
+		}
+	}
+	best, ok := bestOf(cands)
+	if !ok {
+		return Result{}, fmt.Errorf("core: no feasible dataflow for %v in buffer %d under %+v", mm, bufferSize, c)
+	}
+	return Result{Candidate: best, Regime: Classify(mm, bufferSize), Considered: cands}, nil
+}
+
+// frontierCandidate sweeps the feasible (T_d1, T_d2) frontier of the
+// stationary tensor's dimensions over the constraint's tile lattice, with
+// the third dimension's tile pinned to its minimum allowed value.
+func frontierCandidate(mm op.MatMul, bufferSize int64, stationary dataflow.Tensor, c Constraint) (Candidate, bool) {
+	dd := stationary.Dims()
+	d1, d2 := dd[0], dd[1]
+	third := irrelevantDimOf(stationary)
+	order := canonicalOrderForStationary(stationary)
+
+	ext1, ext2, ext3 := d1.Extent(mm), d2.Extent(mm), third.Extent(mm)
+	t3 := minAllowedTile(c, ext3)
+	if t3 == 0 {
+		return Candidate{}, false
+	}
+	cap1, cap2 := ext1, ext2
+	if m := c.MaxStationaryTile; m > 0 {
+		if m < cap1 {
+			cap1 = m
+		}
+		if m < cap2 {
+			cap2 = m
+		}
+	}
+
+	var (
+		found      bool
+		bestMA     int64
+		bestTiling dataflow.Tiling
+	)
+	try := func(t1 int) {
+		if t1 == 0 {
+			return
+		}
+		// Footprint: t1·t2 + t1·t3 + t2·t3 ≤ BS ⇒ t2 ≤ (BS − t1·t3)/(t1 + t3).
+		lim := (bufferSize - int64(t1)*int64(t3)) / (int64(t1) + int64(t3))
+		if lim < 1 {
+			return
+		}
+		if lim > int64(cap2) {
+			lim = int64(cap2)
+		}
+		if c.Square && lim > int64(t1) && t1 < cap1 {
+			// Square arrays stream equal-sized blocks in both directions;
+			// a dimension may only exceed its partner when the partner is
+			// clamped by its extent.
+			lim = int64(t1)
+		}
+		t2 := c.snapDown(int(lim), ext2)
+		if t2 == 0 {
+			return
+		}
+		ti := dataflow.Tiling{TM: 1, TK: 1, TL: 1}.
+			WithTile(third, t3).WithTile(d1, t1).WithTile(d2, t2)
+		a := cost.MustEvaluate(mm, dataflow.Dataflow{Order: order, Tiling: ti})
+		if a.Footprint > bufferSize {
+			return
+		}
+		if !found || a.Total < bestMA {
+			found, bestMA, bestTiling = true, a.Total, ti
+		}
+	}
+	q := c.quantum()
+	for t1 := q; t1 < cap1; t1 += q {
+		try(t1)
+	}
+	try(cap1)
+	if q > 1 && cap1 > 1 {
+		// The lattice also admits the minimum tile when the extent is not a
+		// quantum multiple.
+		try(minAllowedTile(c, cap1))
+	}
+	if !found {
+		return Candidate{}, false
+	}
+	df := dataflow.Dataflow{Order: order, Tiling: bestTiling}
+	acc := cost.MustEvaluate(mm, df)
+	return Candidate{
+		Dataflow:  df,
+		Access:    acc,
+		Principle: principleForNRA(acc.NRA),
+		Note: fmt.Sprintf("constrained frontier: %s stationary (%s), quantum %d",
+			stationary, stationary.Kind(), q),
+	}, true
+}
+
+// minAllowedTile returns the smallest legal tile for a dimension extent, or
+// 0 when the extent is unusable (never for positive extents).
+func minAllowedTile(c Constraint, extent int) int {
+	q := c.quantum()
+	if extent <= q {
+		return extent
+	}
+	return q
+}
+
+func principleForNRA(n dataflow.NRAClass) int {
+	switch n {
+	case dataflow.TwoNRA:
+		return 2
+	case dataflow.ThreeNRA:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// PlanOptions parameterize chain planning for a specific platform.
+type PlanOptions struct {
+	Constraint Constraint
+	// AllowFusion enables Principle 4 pairing; platforms without compute-
+	// unit fusion run every operator unfused.
+	AllowFusion bool
+}
+
+// DecideFusionConstrained is DecideFusion with the intra-operator optima
+// restricted to a platform's dataflow space. Fused dataflow itself is not
+// quantized: the fused patterns are precisely what FuseCU's XS PEs and CU
+// interconnect execute natively.
+func DecideFusionConstrained(pair fusion.Pair, bufferSize int64, c Constraint) (FusionDecision, error) {
+	first, err := OptimizeConstrained(pair.First, bufferSize, c)
+	if err != nil {
+		return FusionDecision{}, fmt.Errorf("core: producer: %w", err)
+	}
+	second, err := OptimizeConstrained(pair.Second, bufferSize, c)
+	if err != nil {
+		return FusionDecision{}, fmt.Errorf("core: consumer: %w", err)
+	}
+	d := FusionDecision{
+		Pair:      pair,
+		FirstNRA:  first.Access.NRA,
+		SecondNRA: second.Access.NRA,
+		First:     first,
+		Second:    second,
+		UnfusedMA: first.Access.Total + second.Access.Total,
+	}
+	d.SameNRA = d.FirstNRA == d.SecondNRA
+	if !d.SameNRA {
+		return d, nil
+	}
+	best, ok := fusion.BestAligned(pair, bufferSize, c.FusedTileAlign)
+	if !ok {
+		return d, nil
+	}
+	d.FusedMA = best.Access.Total
+	d.Gain = d.UnfusedMA - d.FusedMA
+	if d.Gain > 0 {
+		d.Fuse = true
+		d.Fused = best
+	}
+	return d, nil
+}
+
+// PlanChainOpts is PlanChain under a platform's dataflow-space restrictions.
+func PlanChainOpts(c *op.Chain, bufferSize int64, opts PlanOptions) (ChainPlan, error) {
+	if err := c.Validate(); err != nil {
+		return ChainPlan{}, err
+	}
+	n := c.Len()
+	intra := make([]Result, n)
+	for i, mm := range c.Ops {
+		r, err := OptimizeConstrained(mm, bufferSize, opts.Constraint)
+		if err != nil {
+			return ChainPlan{}, fmt.Errorf("core: chain op %d: %w", i, err)
+		}
+		intra[i] = r
+	}
+	var decisions []FusionDecision
+	pairDec := make([]*FusionDecision, max(0, n-1))
+	if opts.AllowFusion {
+		for i := 0; i+1 < n; i++ {
+			pair, err := fusion.NewPair(c.Ops[i], c.Ops[i+1])
+			if err != nil {
+				return ChainPlan{}, fmt.Errorf("core: chain link %d: %w", i, err)
+			}
+			d, err := DecideFusionConstrained(pair, bufferSize, opts.Constraint)
+			if err != nil {
+				return ChainPlan{}, err
+			}
+			decisions = append(decisions, d)
+			if d.Fuse {
+				dd := d
+				pairDec[i] = &dd
+			}
+		}
+	}
+
+	const inf = int64(1) << 62
+	best := make([]int64, n+1)
+	choice := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		best[i] = inf
+		if v := best[i-1] + intra[i-1].Access.Total; v < best[i] {
+			best[i], choice[i] = v, 1
+		}
+		if i >= 2 && pairDec[i-2] != nil {
+			if v := best[i-2] + pairDec[i-2].FusedMA; v < best[i] {
+				best[i], choice[i] = v, 2
+			}
+		}
+	}
+
+	var groups []Group
+	for i := n; i > 0; {
+		if choice[i] == 2 {
+			d := pairDec[i-2]
+			fc := d.Fused
+			groups = append(groups, Group{Start: i - 2, Len: 2, MA: d.FusedMA, Fused: &fc})
+			i -= 2
+			continue
+		}
+		r := intra[i-1]
+		groups = append(groups, Group{Start: i - 1, Len: 1, MA: r.Access.Total, Intra: &r})
+		i--
+	}
+	for l, r := 0, len(groups)-1; l < r; l, r = l+1, r-1 {
+		groups[l], groups[r] = groups[r], groups[l]
+	}
+
+	var unfused int64
+	for _, r := range intra {
+		unfused += r.Access.Total
+	}
+	return ChainPlan{
+		Chain:     c,
+		Groups:    groups,
+		TotalMA:   best[n],
+		UnfusedMA: unfused,
+		Decisions: decisions,
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

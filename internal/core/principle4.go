@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/fusion"
+	"fusecu/internal/op"
+)
+
+// FusionDecision records the Principle 4 analysis of one producer/consumer
+// pair: the intra-operator NRA classes of both operators, whether they
+// match, and the measured memory-access gain of the best fused dataflow over
+// executing the pair unfused (each operator with the whole buffer).
+type FusionDecision struct {
+	Pair fusion.Pair
+	// NRA classes of each operator's individual optimum.
+	FirstNRA, SecondNRA dataflow.NRAClass
+	// SameNRA is Principle 4's predicate.
+	SameNRA bool
+	// Fuse is the final decision: same NRA, a feasible fused dataflow, and
+	// a positive measured gain.
+	Fuse bool
+	// UnfusedMA is the pair's cost executed operator by operator.
+	UnfusedMA int64
+	// FusedMA is the best fused cost (0 when no fused dataflow fits).
+	FusedMA int64
+	// Gain = UnfusedMA − FusedMA (negative when fusion would hurt).
+	Gain int64
+	// Fused is the chosen fused dataflow when Fuse is true.
+	Fused fusion.Candidate
+	// First, Second are the intra-operator optima used for the unfused cost.
+	First, Second Result
+}
+
+// DecideFusion applies Principle 4 to a pair under a buffer of bufferSize
+// elements. The paper's rule — fuse only operators with the same NRA
+// dataflow — is evaluated against the operators' individual optima; the
+// measured gain of the matching fused pattern confirms profitability.
+func DecideFusion(pair fusion.Pair, bufferSize int64) (FusionDecision, error) {
+	return DecideFusionConstrained(pair, bufferSize, Unconstrained)
+}
+
+// ForcedFusion evaluates the best fused dataflow regardless of Principle 4 —
+// the "red arrow" constructions of Fig. 4 — so ablations can measure how
+// much mixed-NRA fusion regresses.
+func ForcedFusion(pair fusion.Pair, bufferSize int64) (FusionDecision, error) {
+	d, err := DecideFusion(pair, bufferSize)
+	if err != nil {
+		return FusionDecision{}, err
+	}
+	best, ok := fusion.Best(pair, bufferSize)
+	if !ok {
+		return d, nil
+	}
+	d.FusedMA = best.Access.Total
+	d.Gain = d.UnfusedMA - d.FusedMA
+	d.Fused = best
+	d.Fuse = true
+	return d, nil
+}
+
+// Group is one unit of a chain plan: either a single operator with its
+// intra-operator optimum, or a fused pair.
+type Group struct {
+	// Start indexes the first operator of the group in the chain; Len is 1
+	// (single) or 2 (fused pair).
+	Start, Len int
+	// MA is the group's memory access.
+	MA int64
+	// Fused holds the fused dataflow when Len == 2.
+	Fused *fusion.Candidate
+	// Intra holds the intra-operator optimum when Len == 1.
+	Intra *Result
+}
+
+// Fusedp reports whether the group is a fused pair.
+func (g Group) Fusedp() bool { return g.Len == 2 }
+
+func (g Group) String() string {
+	if g.Fusedp() {
+		return fmt.Sprintf("ops[%d..%d] fused (%s, MA=%d)", g.Start, g.Start+1, g.Fused.Dataflow.Pattern, g.MA)
+	}
+	return fmt.Sprintf("op[%d] unfused (MA=%d)", g.Start, g.MA)
+}
+
+// ChainPlan is the outcome of inter-operator optimization on a chain.
+type ChainPlan struct {
+	Chain   *op.Chain
+	Groups  []Group
+	TotalMA int64
+	// UnfusedMA is the all-unfused baseline for the same chain and buffer.
+	UnfusedMA int64
+	// Decisions records the Principle 4 analysis of every adjacent pair.
+	Decisions []FusionDecision
+}
+
+// Saving returns the fraction of the unfused traffic eliminated by fusion.
+func (p ChainPlan) Saving() float64 {
+	if p.UnfusedMA == 0 {
+		return 0
+	}
+	return 1 - float64(p.TotalMA)/float64(p.UnfusedMA)
+}
+
+// PlanChain applies Principles 1–4 to a chain: every adjacent pair is judged
+// by Principle 4, and dynamic programming chooses the disjoint set of fused
+// pairs minimizing total memory access (fused groups are pairs, matching the
+// paper's pairwise application of Principle 4 and FuseCU's two-stage CU
+// pipeline). Elementwise operators between MatMuls ride along with their
+// producer and do not block fusion, as in FuseCU's in-array softmax path.
+func PlanChain(c *op.Chain, bufferSize int64) (ChainPlan, error) {
+	return PlanChainOpts(c, bufferSize, PlanOptions{AllowFusion: true})
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fusecu/internal/op"
+)
+
+// arbitraryOp generates random operators including GEMV-degenerate shapes.
+type arbitraryOp struct {
+	MM op.MatMul
+	BS int64
+}
+
+func (arbitraryOp) Generate(r *rand.Rand, _ int) reflect.Value {
+	mm := op.MatMul{M: r.Intn(48) + 1, K: r.Intn(48) + 1, L: r.Intn(48) + 1}
+	bs := int64(r.Intn(int(mm.IdealMA()*2))) + 3
+	return reflect.ValueOf(arbitraryOp{MM: mm, BS: bs})
+}
+
+var coreQuick = &quick.Config{MaxCount: 300}
+
+// Optimize always returns a feasible dataflow at or above the ideal bound.
+func TestPropertyOptimizeSound(t *testing.T) {
+	f := func(c arbitraryOp) bool {
+		res, err := Optimize(c.MM, c.BS)
+		if err != nil {
+			return false
+		}
+		if res.Access.Footprint > c.BS {
+			return false
+		}
+		if res.Access.Total < c.MM.IdealMA() {
+			return false
+		}
+		return res.Dataflow.Validate(c.MM) == nil
+	}
+	if err := quick.Check(f, coreQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// More buffer never hurts.
+func TestPropertyOptimizeMonotoneInBuffer(t *testing.T) {
+	f := func(c arbitraryOp, extra uint16) bool {
+		r1, err := Optimize(c.MM, c.BS)
+		if err != nil {
+			return false
+		}
+		r2, err := Optimize(c.MM, c.BS+int64(extra))
+		if err != nil {
+			return false
+		}
+		return r2.Access.Total <= r1.Access.Total
+	}
+	if err := quick.Check(f, coreQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// The regime classification is monotone in buffer size.
+func TestPropertyRegimeMonotone(t *testing.T) {
+	f := func(c arbitraryOp, extra uint16) bool {
+		return Classify(c.MM, c.BS+int64(extra)) >= Classify(c.MM, c.BS)
+	}
+	if err := quick.Check(f, coreQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// Large-regime buffers always reach the ideal.
+func TestPropertyLargeRegimeIdeal(t *testing.T) {
+	f := func(m, k, l uint8) bool {
+		mm := op.MatMul{M: int(m%32) + 1, K: int(k%32) + 1, L: int(l%32) + 1}
+		res, err := Optimize(mm, mm.IdealMA()+16)
+		if err != nil {
+			return false
+		}
+		return res.Access.Total == mm.IdealMA()
+	}
+	if err := quick.Check(f, coreQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// Constrained optimization is sound and never beats the unconstrained
+// optimum.
+func TestPropertyConstrainedNeverBeatsUnconstrained(t *testing.T) {
+	f := func(c arbitraryOp, q uint8) bool {
+		constraint := Constraint{TileQuantum: int(q%8) + 1}
+		un, err := Optimize(c.MM, c.BS)
+		if err != nil {
+			return false
+		}
+		con, err := OptimizeConstrained(c.MM, c.BS, constraint)
+		if err != nil {
+			// A coarse quantum can make a tiny buffer infeasible; that is
+			// legitimate.
+			return true
+		}
+		return con.Access.Total >= un.Access.Total && con.Access.Footprint <= c.BS
+	}
+	if err := quick.Check(f, coreQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// GEMV-degenerate operators (some dimension = 1) still optimize cleanly and
+// reach the ideal whenever the whole problem fits.
+func TestPropertyGEMVDegenerate(t *testing.T) {
+	f := func(k, l uint8) bool {
+		mm := op.MatMul{M: 1, K: int(k%64) + 1, L: int(l%64) + 1}
+		res, err := Optimize(mm, mm.IdealMA()+8)
+		if err != nil {
+			return false
+		}
+		return res.Access.Total == mm.IdealMA()
+	}
+	if err := quick.Check(f, coreQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// Chain planning never exceeds the unfused baseline and covers every op.
+func TestPropertyPlanChainSound(t *testing.T) {
+	f := func(seq, dh uint8, bsRaw uint16) bool {
+		s := int(seq%48) + 2
+		d := int(dh%16) + 1
+		chain, err := op.NewChain("attn",
+			op.MatMul{M: s, K: d, L: s},
+			op.MatMul{M: s, K: s, L: d},
+		)
+		if err != nil {
+			return false
+		}
+		bs := int64(bsRaw) + 8
+		plan, err := PlanChain(chain, bs)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		for _, g := range plan.Groups {
+			covered += g.Len
+		}
+		return covered == 2 && plan.TotalMA <= plan.UnfusedMA && plan.TotalMA > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

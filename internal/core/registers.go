@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fusecu/internal/op"
+)
+
+// Register-level analysis (paper §IV-B). When the principles are applied to
+// the innermost memory level, the "buffer" is the PE array's register plane:
+// BS = N² for an N×N compute unit. The untiled-dimension dataflow
+// (Two-/Three-NRA) is optimal only when BS > Dmin²/4, which at the register
+// level rearranges to Dmin < 2N — so the widest untiled dimension an
+// operator-fused array must support is 2N. This bound is what sizes
+// FuseCU's resize interconnect: two ganged CUs (narrow or wide) cover every
+// profitable untiled dimension.
+
+// RegisterBufferSize returns the register-level "buffer size" of an N×N
+// compute unit: one accumulator/operand register per PE.
+func RegisterBufferSize(arrayDim int) int64 {
+	return int64(arrayDim) * int64(arrayDim)
+}
+
+// UntiledDimBound returns the widest untiled dimension worth supporting on
+// an N×N array: 2N, from N² > Dmin²/4 ⇔ Dmin < 2N.
+func UntiledDimBound(arrayDim int) int {
+	return 2 * arrayDim
+}
+
+// UntilingOptimalAtRegisters reports whether an untiled-dimension
+// (Two-/Three-NRA) register-level dataflow is optimal for mm on an N×N
+// array: the register capacity must exceed the regime threshold Dmin²/4.
+func UntilingOptimalAtRegisters(mm op.MatMul, arrayDim int) bool {
+	bs := RegisterBufferSize(arrayDim)
+	dmin := int64(mm.MinDim())
+	return bs > dmin*dmin/4
+}
+
+// RegisterRegime classifies the register plane of an N×N array against mm,
+// reusing the buffer-regime taxonomy at the innermost level.
+func RegisterRegime(mm op.MatMul, arrayDim int) Regime {
+	return Classify(mm, RegisterBufferSize(arrayDim))
+}
+
+// SupportedUntiledDims lists the operator dimensions whose extents fit
+// within the 2N untiled bound — the dimensions FuseCU's adaptive tile size
+// must (and need only) accommodate.
+func SupportedUntiledDims(mm op.MatMul, arrayDim int) []string {
+	bound := UntiledDimBound(arrayDim)
+	var out []string
+	if mm.M <= bound {
+		out = append(out, "M")
+	}
+	if mm.K <= bound {
+		out = append(out, "K")
+	}
+	if mm.L <= bound {
+		out = append(out, "L")
+	}
+	return out
+}

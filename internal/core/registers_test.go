@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"fusecu/internal/op"
+)
+
+func TestRegisterBufferSize(t *testing.T) {
+	if RegisterBufferSize(128) != 16384 {
+		t.Fatalf("N=128: %d", RegisterBufferSize(128))
+	}
+}
+
+func TestUntiledDimBound(t *testing.T) {
+	if UntiledDimBound(128) != 256 {
+		t.Fatalf("bound = %d, want 2N = 256", UntiledDimBound(128))
+	}
+}
+
+// The paper's §IV-B derivation: N² > Dmin²/4 ⇔ Dmin < 2N. The boundary
+// must sit exactly at Dmin = 2N.
+func TestUntilingOptimalBoundaryExactly2N(t *testing.T) {
+	const n = 128
+	below := op.MatMul{M: 4096, K: 2*n - 1, L: 4096}
+	at := op.MatMul{M: 4096, K: 2 * n, L: 4096}
+	if !UntilingOptimalAtRegisters(below, n) {
+		t.Error("Dmin = 2N−1 should admit untiling")
+	}
+	if UntilingOptimalAtRegisters(at, n) {
+		t.Error("Dmin = 2N should not admit untiling (N² = Dmin²/4)")
+	}
+}
+
+// Attention operators (dh = 64 ≤ 2N) are exactly the case FuseCU's adaptive
+// tile size serves: their smallest dimension admits register-level
+// untiling on a 128-wide CU.
+func TestAttentionAdmitsRegisterUntiling(t *testing.T) {
+	qkt := op.MatMul{M: 4096, K: 64, L: 4096}
+	if !UntilingOptimalAtRegisters(qkt, 128) {
+		t.Fatal("attention QKt should admit register-level untiling")
+	}
+	dims := SupportedUntiledDims(qkt, 128)
+	if len(dims) != 1 || dims[0] != "K" {
+		t.Fatalf("supported untiled dims = %v, want [K]", dims)
+	}
+}
+
+func TestRegisterRegimeConsistentWithClassify(t *testing.T) {
+	mm := op.MatMul{M: 512, K: 96, L: 512}
+	if RegisterRegime(mm, 128) != Classify(mm, 128*128) {
+		t.Fatal("register regime diverges from Classify at N²")
+	}
+}
+
+func TestSupportedUntiledDimsAll(t *testing.T) {
+	small := op.MatMul{M: 100, K: 100, L: 100}
+	if got := SupportedUntiledDims(small, 128); len(got) != 3 {
+		t.Fatalf("all dims of a small op should be supported: %v", got)
+	}
+	big := op.MatMul{M: 4096, K: 4096, L: 4096}
+	if got := SupportedUntiledDims(big, 128); len(got) != 0 {
+		t.Fatalf("no dims of a huge op should be supported: %v", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package cost implements the analytical memory-access model for tiled
+// matrix-multiplication dataflow — the role MAESTRO plays in the paper's
+// tool flow. Given a problem size and a (tiling, scheduling) pair it returns
+// the exact element traffic between memory and the on-chip buffer for each
+// operand, the buffer footprint, and the dataflow's NRA class.
+//
+// Model semantics (single buffer level, no double buffering, matching the
+// paper's Eq. 1–4):
+//
+//   - The three tile loops run outer→inner in the scheduled order with trip
+//     counts n_D = ceil(D/T_D).
+//   - An input tensor's tile is reused across any loop whose dimension does
+//     not index it, provided that loop is inner to every loop that does.
+//     With three loops this reduces to: the input is loaded exactly once
+//     (MA = size) when its irrelevant dimension is the innermost loop or has
+//     a single trip; otherwise the whole tensor streams once per iteration
+//     of the irrelevant loop (MA = size × n_irr).
+//   - The output C accumulates in the buffer while the K loop is innermost
+//     (or K needs a single trip): MA = size(C), counted as writes. Otherwise
+//     every C tile is visited n_K times and partial sums spill. Following the
+//     paper ("memory accesses are calculated as the product of tile sizes and
+//     iteration counts"), each visit counts as one access:
+//     MA(C) = size × n_K. The physical read-back of partials on revisits,
+//     size × (n_K − 1), is reported separately in OutputReads but does not
+//     enter MA totals — this is what keeps the paper's Eq. 1 symmetric
+//     across stationary choices.
+//
+// The exactness of these formulas — including ragged tile edges — is
+// property-tested against the internal/trace oracle, which executes the loop
+// nest tile by tile.
+package cost
+
+import (
+	"fmt"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+// Access reports the traffic of one dataflow on one operator.
+type Access struct {
+	// PerTensor is indexed by dataflow.Tensor. For inputs it is element
+	// loads; for the output it is one access per tile visit (the paper's
+	// accounting).
+	PerTensor [3]int64
+	// OutputReads is the physical partial-sum read-back on revisits. It is
+	// informational and excluded from PerTensor and Total.
+	OutputReads int64
+	// OutputWrites is the per-visit write traffic of C; equal to
+	// PerTensor[TensorC].
+	OutputWrites int64
+	// Total is the sum over PerTensor.
+	Total int64
+	// Footprint is the buffer occupancy of the three tiles.
+	Footprint int64
+	// NRA is the non-redundant-access class of the dataflow.
+	NRA dataflow.NRAClass
+}
+
+// NonRedundant reports whether tensor t moves exactly once (its traffic
+// equals its size).
+func (a Access) NonRedundant(t dataflow.Tensor, mm op.MatMul) bool {
+	return a.PerTensor[t] == t.Size(mm)
+}
+
+// Evaluate computes the exact memory traffic of df on mm. It returns an
+// error when the dataflow is malformed; buffer feasibility is the caller's
+// concern (check Access.Footprint against the buffer size, or use Feasible).
+func Evaluate(mm op.MatMul, df dataflow.Dataflow) (Access, error) {
+	if err := mm.Validate(); err != nil {
+		return Access{}, err
+	}
+	if err := df.Validate(mm); err != nil {
+		return Access{}, err
+	}
+	var a Access
+	a.Footprint = df.Tiling.Footprint()
+
+	// Inputs A and B.
+	for _, t := range [2]dataflow.Tensor{dataflow.TensorA, dataflow.TensorB} {
+		a.PerTensor[t] = inputTraffic(mm, df, t)
+	}
+
+	// Output C: paper accounting counts one access per tile visit.
+	writes, reads := outputTraffic(mm, df)
+	a.OutputWrites, a.OutputReads = writes, reads
+	a.PerTensor[dataflow.TensorC] = writes
+
+	for _, t := range dataflow.Tensors() {
+		a.Total += a.PerTensor[t]
+	}
+	a.NRA = classify(mm, a)
+	return a, nil
+}
+
+// inputTraffic returns the traffic of input tensor t (A or B) under df.
+func inputTraffic(mm op.MatMul, df dataflow.Dataflow, t dataflow.Tensor) int64 {
+	irr := irrelevantDim(t)
+	nIrr := df.Tiling.Trips(irr, mm)
+	if nIrr == 1 {
+		return t.Size(mm) // dimension untiled: its loop vanishes
+	}
+	// The resident tile of t survives across the irrelevant loop unless some
+	// loop *inner* to it actually advances t's tile. Loops with a single
+	// trip (untiled dims) never advance anything, so they are transparent.
+	irrPos := df.Order.Position(irr)
+	for p := irrPos + 1; p < len(df.Order); p++ {
+		d := df.Order[p]
+		if t.HasDim(d) && df.Tiling.Trips(d, mm) > 1 {
+			return t.Size(mm) * nIrr
+		}
+	}
+	return t.Size(mm)
+}
+
+// outputTraffic returns (writes, reads) for the output C under df.
+func outputTraffic(mm op.MatMul, df dataflow.Dataflow) (writes, reads int64) {
+	size := dataflow.TensorC.Size(mm)
+	nK := df.Tiling.Trips(dataflow.DimK, mm)
+	if nK == 1 {
+		return size, 0 // reduction completes in one tile: single write-out
+	}
+	// Partial sums spill only when a C-indexing loop that actually advances
+	// (trip count > 1) sits inside the K loop; otherwise the resident C tile
+	// accumulates across the whole reduction.
+	kPos := df.Order.Position(dataflow.DimK)
+	spill := false
+	for p := kPos + 1; p < len(df.Order); p++ {
+		d := df.Order[p]
+		if d != dataflow.DimK && df.Tiling.Trips(d, mm) > 1 {
+			spill = true
+			break
+		}
+	}
+	if !spill {
+		return size, 0
+	}
+	// Each C tile is visited nK times: written every visit, read back on
+	// every revisit.
+	return size * nK, size * (nK - 1)
+}
+
+// irrelevantDim returns the one loop dimension that does not index t.
+func irrelevantDim(t dataflow.Tensor) dataflow.Dim {
+	for _, d := range dataflow.Dims() {
+		if !t.HasDim(d) {
+			return d
+		}
+	}
+	panic("cost: tensor indexes every dim")
+}
+
+// classify counts non-redundant tensors to produce the NRA class.
+func classify(mm op.MatMul, a Access) dataflow.NRAClass {
+	n := 0
+	for _, t := range dataflow.Tensors() {
+		if a.PerTensor[t] == t.Size(mm) {
+			n++
+		}
+	}
+	return dataflow.NRAClass(n)
+}
+
+// Feasible reports whether df's tiles fit in bufferSize elements.
+func Feasible(df dataflow.Dataflow, bufferSize int64) bool {
+	return df.Tiling.Footprint() <= bufferSize
+}
+
+// MustEvaluate is Evaluate for callers holding dataflow they already
+// validated; it panics on error.
+func MustEvaluate(mm op.MatMul, df dataflow.Dataflow) Access {
+	a, err := Evaluate(mm, df)
+	if err != nil {
+		panic(fmt.Sprintf("cost: %v", err))
+	}
+	return a
+}
+
+// UnfusedChain sums the per-operator traffic of a chain executed operator by
+// operator: each intermediate is written by its producer and read back by
+// its consumer, exactly the Fig. 1(a) pattern the paper's fusion removes.
+// dfs must hold one dataflow per chain operator.
+func UnfusedChain(c *op.Chain, dfs []dataflow.Dataflow) (int64, error) {
+	if len(dfs) != c.Len() {
+		return 0, fmt.Errorf("cost: %d dataflow for chain of %d ops", len(dfs), c.Len())
+	}
+	var total int64
+	for i, mm := range c.Ops {
+		a, err := Evaluate(mm, dfs[i])
+		if err != nil {
+			return 0, fmt.Errorf("cost: chain op %d: %w", i, err)
+		}
+		total += a.Total
+	}
+	return total, nil
+}

@@ -1,0 +1,254 @@
+package cost
+
+import (
+	"testing"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+// Eq. 1: output-stationary Single-NRA dataflow has
+// MA = MKL(1/T_L + 1/T_M) + ML when the tiles divide the dims.
+func TestEvaluateMatchesPaperEq1(t *testing.T) {
+	mm := op.MatMul{M: 64, K: 32, L: 48}
+	df := dataflow.Dataflow{
+		Order:  dataflow.OrderOS,
+		Tiling: dataflow.Tiling{TM: 8, TK: 1, TL: 6},
+	}
+	a, err := Evaluate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkl := mm.MACs()
+	wantA := mkl / 6 // MK·L/T_L
+	wantB := mkl / 8 // KL·M/T_M
+	wantC := mm.SizeC()
+	if a.PerTensor[dataflow.TensorA] != wantA {
+		t.Errorf("MA(A) = %d, want %d", a.PerTensor[dataflow.TensorA], wantA)
+	}
+	if a.PerTensor[dataflow.TensorB] != wantB {
+		t.Errorf("MA(B) = %d, want %d", a.PerTensor[dataflow.TensorB], wantB)
+	}
+	if a.PerTensor[dataflow.TensorC] != wantC {
+		t.Errorf("MA(C) = %d, want %d", a.PerTensor[dataflow.TensorC], wantC)
+	}
+	if a.NRA != dataflow.SingleNRA {
+		t.Errorf("NRA = %s, want Single-NRA", a.NRA)
+	}
+	if a.Total != wantA+wantB+wantC {
+		t.Errorf("Total = %d", a.Total)
+	}
+}
+
+// Eq. 3: Two-NRA with K untiled has MA = MKL/T_M + MK + ML.
+func TestEvaluateMatchesPaperEq3(t *testing.T) {
+	mm := op.MatMul{M: 64, K: 32, L: 48}
+	df := dataflow.Dataflow{
+		Order:  dataflow.OrderIS, // M outer, K, then L inner; A stationary
+		Tiling: dataflow.Tiling{TM: 16, TK: 32, TL: 1},
+	}
+	a, err := Evaluate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.PerTensor[dataflow.TensorA], mm.SizeA(); got != want {
+		t.Errorf("MA(A) = %d, want %d (non-redundant)", got, want)
+	}
+	if got, want := a.PerTensor[dataflow.TensorB], mm.MACs()/16; got != want {
+		t.Errorf("MA(B) = %d, want MKL/T_M = %d", got, want)
+	}
+	if got, want := a.PerTensor[dataflow.TensorC], mm.SizeC(); got != want {
+		t.Errorf("MA(C) = %d, want %d", got, want)
+	}
+	if a.NRA != dataflow.TwoNRA {
+		t.Errorf("NRA = %s, want Two-NRA", a.NRA)
+	}
+}
+
+// Three-NRA: untile K and L (tensor B fully resident) → every tensor moves
+// exactly once, achieving the ideal minimum.
+func TestEvaluateThreeNRAIdeal(t *testing.T) {
+	mm := op.MatMul{M: 64, K: 32, L: 48}
+	df := dataflow.Dataflow{
+		Order:  dataflow.OrderOS,
+		Tiling: dataflow.Tiling{TM: 4, TK: 32, TL: 48},
+	}
+	a, err := Evaluate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != mm.IdealMA() {
+		t.Fatalf("Total = %d, want ideal %d", a.Total, mm.IdealMA())
+	}
+	if a.NRA != dataflow.ThreeNRA {
+		t.Fatalf("NRA = %s, want Three-NRA", a.NRA)
+	}
+}
+
+// The paper's BERT example (§III-A4): A[1024,768] × B[768,768] with
+// BS = 512K elements. Two-NRA with K untiled, T_M = 512, T_L = 1 gives
+// non-redundant A and C and MA(B) = 2KL.
+func TestPaperBERTExample(t *testing.T) {
+	mm := op.MatMul{M: 1024, K: 768, L: 768}
+	df := dataflow.Dataflow{
+		Order:  dataflow.OrderIS,
+		Tiling: dataflow.Tiling{TM: 512, TK: 768, TL: 1},
+	}
+	a, err := Evaluate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.NonRedundant(dataflow.TensorA, mm) {
+		t.Error("A should be non-redundant")
+	}
+	if !a.NonRedundant(dataflow.TensorC, mm) {
+		t.Error("C should be non-redundant")
+	}
+	if got, want := a.PerTensor[dataflow.TensorB], 2*mm.SizeB(); got != want {
+		t.Errorf("MA(B) = %d, want 2KL = %d", got, want)
+	}
+	// The footprint must respect Eq. 4: T_M·K + K·T_L + T_M·T_L ≤ BS.
+	if a.Footprint > 512*1024 {
+		t.Errorf("footprint %d exceeds 512K elements", a.Footprint)
+	}
+}
+
+func TestPartialSumSpill(t *testing.T) {
+	mm := op.MatMul{M: 8, K: 8, L: 8}
+	// K outermost with C-indexing loops inside: every C tile is visited
+	// n_K = 4 times.
+	df := dataflow.Dataflow{
+		Order:  dataflow.Order{dataflow.DimK, dataflow.DimM, dataflow.DimL},
+		Tiling: dataflow.Tiling{TM: 2, TK: 2, TL: 2},
+	}
+	a, err := Evaluate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OutputWrites != mm.SizeC()*4 {
+		t.Errorf("writes = %d, want %d", a.OutputWrites, mm.SizeC()*4)
+	}
+	if a.OutputReads != mm.SizeC()*3 {
+		t.Errorf("reads = %d, want %d", a.OutputReads, mm.SizeC()*3)
+	}
+	// Paper accounting: MA(C) counts one access per visit.
+	if a.PerTensor[dataflow.TensorC] != mm.SizeC()*4 {
+		t.Errorf("MA(C) = %d, want %d", a.PerTensor[dataflow.TensorC], mm.SizeC()*4)
+	}
+	// A is reused across the innermost L loop, so it remains non-redundant
+	// even while C spills: exactly one tensor is non-redundant here.
+	if a.NRA != dataflow.SingleNRA {
+		t.Errorf("NRA = %s, want Single-NRA", a.NRA)
+	}
+}
+
+func TestRaggedTilesExact(t *testing.T) {
+	// 7 is not divisible by 3: MA must still be exact (size-based, not
+	// tile×trips) for the non-redundant tensors.
+	mm := op.MatMul{M: 7, K: 5, L: 9}
+	df := dataflow.Dataflow{
+		Order:  dataflow.OrderOS,
+		Tiling: dataflow.Tiling{TM: 3, TK: 2, TL: 4},
+	}
+	a, err := Evaluate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nL := int64(3) // ceil(9/4)
+	nM := int64(3) // ceil(7/3)
+	if got, want := a.PerTensor[dataflow.TensorA], mm.SizeA()*nL; got != want {
+		t.Errorf("MA(A) = %d, want %d", got, want)
+	}
+	if got, want := a.PerTensor[dataflow.TensorB], mm.SizeB()*nM; got != want {
+		t.Errorf("MA(B) = %d, want %d", got, want)
+	}
+	if got, want := a.PerTensor[dataflow.TensorC], mm.SizeC(); got != want {
+		t.Errorf("MA(C) = %d, want %d", got, want)
+	}
+}
+
+func TestEvaluateRejectsInvalid(t *testing.T) {
+	mm := op.MatMul{M: 4, K: 4, L: 4}
+	if _, err := Evaluate(op.MatMul{M: 0, K: 1, L: 1}, dataflow.Dataflow{Order: dataflow.OrderOS, Tiling: dataflow.Tiling{TM: 1, TK: 1, TL: 1}}); err == nil {
+		t.Error("invalid matmul accepted")
+	}
+	if _, err := Evaluate(mm, dataflow.Dataflow{Order: dataflow.OrderOS, Tiling: dataflow.Tiling{TM: 5, TK: 1, TL: 1}}); err == nil {
+		t.Error("oversized tile accepted")
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	df := dataflow.Dataflow{Order: dataflow.OrderOS, Tiling: dataflow.Tiling{TM: 2, TK: 2, TL: 2}}
+	if !Feasible(df, 12) || Feasible(df, 11) {
+		t.Fatal("Feasible boundary wrong")
+	}
+}
+
+func TestMustEvaluatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEvaluate did not panic on invalid input")
+		}
+	}()
+	MustEvaluate(op.MatMul{}, dataflow.Dataflow{})
+}
+
+func TestUnfusedChain(t *testing.T) {
+	c, err := op.NewChain("c",
+		op.MatMul{M: 8, K: 4, L: 8},
+		op.MatMul{M: 8, K: 8, L: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs := []dataflow.Dataflow{
+		{Order: dataflow.OrderOS, Tiling: dataflow.Tiling{TM: 8, TK: 4, TL: 8}},
+		{Order: dataflow.OrderOS, Tiling: dataflow.Tiling{TM: 8, TK: 8, TL: 4}},
+	}
+	total, err := UnfusedChain(c, dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both ops fully resident → each contributes its ideal MA.
+	want := c.Ops[0].IdealMA() + c.Ops[1].IdealMA()
+	if total != want {
+		t.Fatalf("UnfusedChain = %d, want %d", total, want)
+	}
+	if _, err := UnfusedChain(c, dfs[:1]); err == nil {
+		t.Fatal("wrong dataflow count accepted")
+	}
+}
+
+// Every canonical order with its stationary tensor fully tiled and the
+// remaining dim minimal must be exactly Single-NRA (the stationary tensor is
+// the only non-redundant one) when trips of the other dims exceed 1.
+func TestSingleNRAForAllStationaries(t *testing.T) {
+	mm := op.MatMul{M: 24, K: 24, L: 24}
+	for _, o := range dataflow.AllOrders() {
+		st := o.Stationary()
+		dd := st.Dims()
+		ti := dataflow.Tiling{TM: 1, TK: 1, TL: 1}
+		ti = ti.WithTile(dd[0], 6).WithTile(dd[1], 6)
+		a, err := Evaluate(mm, dataflow.Dataflow{Order: o, Tiling: ti})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NRA != dataflow.SingleNRA {
+			t.Errorf("order %v: NRA = %s, want Single-NRA", o, a.NRA)
+		}
+		if !a.NonRedundant(st, mm) {
+			t.Errorf("order %v: stationary %s is redundant", o, st)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	mm := op.MatMul{M: 1024, K: 768, L: 768}
+	df := dataflow.Dataflow{Order: dataflow.OrderIS, Tiling: dataflow.Tiling{TM: 512, TK: 768, TL: 1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(mm, df); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package cost
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+// arbitraryCase generates a random valid (matmul, dataflow) pair, including
+// degenerate GEMV shapes (dims of 1) and untiled extremes.
+type arbitraryCase struct {
+	MM op.MatMul
+	DF dataflow.Dataflow
+}
+
+func (arbitraryCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	mm := op.MatMul{M: r.Intn(24) + 1, K: r.Intn(24) + 1, L: r.Intn(24) + 1}
+	orders := dataflow.AllOrders()
+	tile := func(ext int) int {
+		switch r.Intn(4) {
+		case 0:
+			return 1
+		case 1:
+			return ext // untiled
+		default:
+			return r.Intn(ext) + 1
+		}
+	}
+	df := dataflow.Dataflow{
+		Order:  orders[r.Intn(len(orders))],
+		Tiling: dataflow.Tiling{TM: tile(mm.M), TK: tile(mm.K), TL: tile(mm.L)},
+	}
+	return reflect.ValueOf(arbitraryCase{MM: mm, DF: df})
+}
+
+var quickCfg = &quick.Config{MaxCount: 500}
+
+// Every tensor moves at least once: MA(X) ≥ size(X).
+func TestPropertyPerTensorLowerBound(t *testing.T) {
+	f := func(c arbitraryCase) bool {
+		a, err := Evaluate(c.MM, c.DF)
+		if err != nil {
+			return false
+		}
+		for _, x := range dataflow.Tensors() {
+			if a.PerTensor[x] < x.Size(c.MM) {
+				return false
+			}
+		}
+		return a.Total >= c.MM.IdealMA()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Total traffic never exceeds the re-fetch-everything bound: each of the
+// n_M·n_K·n_L iterations touches at most the three tiles.
+func TestPropertyUpperBound(t *testing.T) {
+	f := func(c arbitraryCase) bool {
+		a, err := Evaluate(c.MM, c.DF)
+		if err != nil {
+			return false
+		}
+		ti := c.DF.Tiling
+		iters := ti.Trips(dataflow.DimM, c.MM) * ti.Trips(dataflow.DimK, c.MM) * ti.Trips(dataflow.DimL, c.MM)
+		return a.Total <= iters*ti.Footprint()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Growing any single tile dimension never increases total traffic (the
+// monotonicity the principles exploit when they maximize tiles).
+func TestPropertyMonotoneInTiles(t *testing.T) {
+	f := func(c arbitraryCase, which uint8, grow uint8) bool {
+		d := dataflow.Dims()[int(which)%3]
+		ext := d.Extent(c.MM)
+		cur := c.DF.Tiling.Tile(d)
+		bigger := cur + int(grow)%8 + 1
+		if bigger > ext {
+			bigger = ext
+		}
+		if bigger <= cur {
+			return true
+		}
+		a0, err := Evaluate(c.MM, c.DF)
+		if err != nil {
+			return false
+		}
+		df2 := c.DF
+		df2.Tiling = df2.Tiling.WithTile(d, bigger)
+		a1, err := Evaluate(c.MM, df2)
+		if err != nil {
+			return false
+		}
+		return a1.Total <= a0.Total
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Footprint is exactly the Eq. 2 sum and grows with any tile.
+func TestPropertyFootprint(t *testing.T) {
+	f := func(c arbitraryCase) bool {
+		ti := c.DF.Tiling
+		want := int64(ti.TM)*int64(ti.TK) + int64(ti.TK)*int64(ti.TL) + int64(ti.TM)*int64(ti.TL)
+		a, err := Evaluate(c.MM, c.DF)
+		if err != nil {
+			return false
+		}
+		return a.Footprint == want
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The NRA class counts exactly the tensors whose traffic equals their size.
+func TestPropertyNRAConsistency(t *testing.T) {
+	f := func(c arbitraryCase) bool {
+		a, err := Evaluate(c.MM, c.DF)
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, x := range dataflow.Tensors() {
+			if a.NonRedundant(x, c.MM) {
+				n++
+			}
+		}
+		return int(a.NRA) == n
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fully untiled dataflow is always the ideal, regardless of order.
+func TestPropertyFullyResidentIsIdeal(t *testing.T) {
+	f := func(m, k, l uint8, which uint8) bool {
+		mm := op.MatMul{M: int(m%24) + 1, K: int(k%24) + 1, L: int(l%24) + 1}
+		order := dataflow.AllOrders()[int(which)%6]
+		df := dataflow.Dataflow{Order: order, Tiling: dataflow.Tiling{TM: mm.M, TK: mm.K, TL: mm.L}}
+		a, err := Evaluate(mm, df)
+		if err != nil {
+			return false
+		}
+		return a.Total == mm.IdealMA() && a.NRA == dataflow.ThreeNRA
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

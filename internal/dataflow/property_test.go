@@ -1,0 +1,108 @@
+package dataflow
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fusecu/internal/op"
+)
+
+type arbitraryTiling struct {
+	MM op.MatMul
+	T  Tiling
+}
+
+func (arbitraryTiling) Generate(r *rand.Rand, _ int) reflect.Value {
+	mm := op.MatMul{M: r.Intn(64) + 1, K: r.Intn(64) + 1, L: r.Intn(64) + 1}
+	t := Tiling{TM: r.Intn(80) - 8, TK: r.Intn(80) - 8, TL: r.Intn(80) - 8}
+	return reflect.ValueOf(arbitraryTiling{MM: mm, T: t})
+}
+
+// Clamp always produces a valid tiling, and is idempotent.
+func TestPropertyClampValidIdempotent(t *testing.T) {
+	f := func(c arbitraryTiling) bool {
+		cl := c.T.Clamp(c.MM)
+		if cl.Validate(c.MM) != nil {
+			return false
+		}
+		return cl.Clamp(c.MM) == cl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Trips × tile always covers the extent: (trips−1)·tile < extent ≤ trips·tile.
+func TestPropertyTripsCoverExtent(t *testing.T) {
+	f := func(c arbitraryTiling) bool {
+		cl := c.T.Clamp(c.MM)
+		for _, d := range Dims() {
+			n := cl.Trips(d, c.MM)
+			tile := int64(cl.Tile(d))
+			ext := int64(d.Extent(c.MM))
+			if n*tile < ext || (n-1)*tile >= ext {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// WithTile touches exactly one dimension.
+func TestPropertyWithTileIsolated(t *testing.T) {
+	f := func(c arbitraryTiling, which uint8, v uint8) bool {
+		d := Dims()[int(which)%3]
+		cl := c.T.Clamp(c.MM)
+		nv := int(v)%d.Extent(c.MM) + 1
+		out := cl.WithTile(d, nv)
+		for _, other := range Dims() {
+			if other == d {
+				if out.Tile(other) != nv {
+					return false
+				}
+			} else if out.Tile(other) != cl.Tile(other) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every dimension belongs to exactly two tensors and is missing from one,
+// and the stationary tensor of an order never contains the innermost dim.
+func TestPropertyDimTensorPartition(t *testing.T) {
+	for _, d := range Dims() {
+		with := TensorsWithDim(d)
+		without := TensorWithoutDim(d)
+		seen := map[Tensor]bool{with[0]: true, with[1]: true, without: true}
+		if len(seen) != 3 {
+			t.Fatalf("dim %s does not partition the tensors", d)
+		}
+	}
+	for _, o := range AllOrders() {
+		if o.Stationary().HasDim(o.Innermost()) {
+			t.Fatalf("order %v: stationary contains the innermost dim", o)
+		}
+	}
+}
+
+// Footprint is symmetric under relabeling: permuting tile values with dims
+// keeps the constraint structure (pairwise products).
+func TestPropertyFootprintPairwise(t *testing.T) {
+	f := func(c arbitraryTiling) bool {
+		cl := c.T.Clamp(c.MM)
+		a, b, d := int64(cl.TM), int64(cl.TK), int64(cl.TL)
+		return cl.Footprint() == a*b+b*d+a*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

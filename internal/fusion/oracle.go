@@ -1,0 +1,161 @@
+package fusion
+
+import (
+	"fmt"
+)
+
+// TraceEvaluate executes fd's loop nest tile by tile, modelling the buffer
+// exactly like internal/trace does for intra-operator dataflow, and returns
+// the observed traffic. It is the oracle the closed-form Evaluate is tested
+// against; production code should call Evaluate.
+func TraceEvaluate(p Pair, fd FusedDataflow) (Access, error) {
+	if err := fd.Validate(p); err != nil {
+		return Access{}, err
+	}
+	switch fd.Pattern {
+	case PatternTileOSIS:
+		return traceTileOSIS(p, fd), nil
+	case PatternColumn:
+		return traceColumn(p, fd), nil
+	case PatternResident:
+		return traceResident(p), nil
+	}
+	return Access{}, fmt.Errorf("fusion: unknown pattern %v", fd.Pattern)
+}
+
+type coord struct{ a, b int }
+
+// tracker counts element loads of one streamed tensor under
+// one-resident-tile semantics.
+type tracker struct {
+	rows, cols int // full tensor shape
+	tr, tc     int // tile shape
+	resident   coord
+	loads      int64
+}
+
+func newTracker(rows, cols, tr, tc int) *tracker {
+	return &tracker{rows: rows, cols: cols, tr: tr, tc: tc, resident: coord{-1, -1}}
+}
+
+func (t *tracker) extent(idx, tile, full int) int64 {
+	lo := idx * tile
+	hi := lo + tile
+	if hi > full {
+		hi = full
+	}
+	return int64(hi - lo)
+}
+
+// touch records an access to tile (i, j), loading it when non-resident.
+func (t *tracker) touch(i, j int) {
+	c := coord{i, j}
+	if t.resident != c {
+		t.loads += t.extent(i, t.tr, t.rows) * t.extent(j, t.tc, t.cols)
+		t.resident = c
+	}
+}
+
+// outTracker counts visits of an accumulated output with spill semantics:
+// eviction writes the tile; revisiting a previously evicted tile reads the
+// partials back.
+type outTracker struct {
+	tracker
+	visited map[coord]bool
+	writes  int64
+	reads   int64
+}
+
+func newOutTracker(rows, cols, tr, tc int) *outTracker {
+	return &outTracker{
+		tracker: tracker{rows: rows, cols: cols, tr: tr, tc: tc, resident: coord{-1, -1}},
+		visited: make(map[coord]bool),
+	}
+}
+
+func (t *outTracker) touch(i, j int) {
+	c := coord{i, j}
+	if t.resident == c {
+		return
+	}
+	if t.resident.a >= 0 {
+		t.writes += t.extent(t.resident.a, t.tr, t.rows) * t.extent(t.resident.b, t.tc, t.cols)
+		t.visited[t.resident] = true
+	}
+	if t.visited[c] {
+		t.reads += t.extent(c.a, t.tr, t.rows) * t.extent(c.b, t.tc, t.cols)
+	}
+	t.resident = c
+}
+
+func (t *outTracker) flush() {
+	if t.resident.a >= 0 {
+		t.writes += t.extent(t.resident.a, t.tr, t.rows) * t.extent(t.resident.b, t.tc, t.cols)
+		t.resident = coord{-1, -1}
+	}
+}
+
+func trips(full, tile int) int { return (full + tile - 1) / tile }
+
+func traceTileOSIS(p Pair, fd FusedDataflow) Access {
+	M, K, L, N := p.M(), p.K(), p.L(), p.N()
+	a := newTracker(M, K, fd.TM, fd.TK)
+	b := newTracker(K, L, fd.TK, fd.TL)
+	d := newTracker(L, N, fd.TL, fd.TN)
+	e := newOutTracker(M, N, fd.TM, fd.TN)
+
+	for mi := 0; mi < trips(M, fd.TM); mi++ {
+		for li := 0; li < trips(L, fd.TL); li++ {
+			for ki := 0; ki < trips(K, fd.TK); ki++ {
+				a.touch(mi, ki)
+				b.touch(ki, li)
+			}
+			for ni := 0; ni < trips(N, fd.TN); ni++ {
+				d.touch(li, ni)
+				e.touch(mi, ni)
+			}
+		}
+	}
+	e.flush()
+	return access(p, fd, a.loads, b.loads, d.loads, e.writes, e.reads)
+}
+
+func traceColumn(p Pair, fd FusedDataflow) Access {
+	M, K, L, N := p.M(), p.K(), p.L(), p.N()
+	// A row-blocks and E row-blocks are resident for a whole m iteration:
+	// model them as 1-column-of-blocks tensors.
+	a := newTracker(M, K, fd.TM, K)
+	b := newTracker(K, L, K, fd.TL)
+	d := newTracker(L, N, fd.TL, N)
+	e := newOutTracker(M, N, fd.TM, N)
+
+	for mi := 0; mi < trips(M, fd.TM); mi++ {
+		a.touch(mi, 0)
+		for li := 0; li < trips(L, fd.TL); li++ {
+			b.touch(0, li)
+			d.touch(li, 0)
+			e.touch(mi, 0)
+		}
+	}
+	e.flush()
+	return access(p, fd, a.loads, b.loads, d.loads, e.writes, e.reads)
+}
+
+func traceResident(p Pair) Access {
+	return Access{
+		A:     p.First.SizeA(),
+		B:     p.First.SizeB(),
+		D:     p.Second.SizeB(),
+		E:     p.Second.SizeC(),
+		Total: p.FusedIdealMA(),
+	}
+}
+
+func access(p Pair, fd FusedDataflow, a, b, d, writes, reads int64) Access {
+	acc := Access{A: a, B: b, D: d, E: writes, EReads: reads}
+	acc.Total = acc.A + acc.B + acc.D + acc.E
+	if full, err := Evaluate(p, fd); err == nil {
+		acc.Footprint = full.Footprint
+	}
+	return acc
+}

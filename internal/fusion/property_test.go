@@ -1,0 +1,134 @@
+package fusion
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fusecu/internal/op"
+)
+
+// arbitraryPair generates random fusable pairs.
+type arbitraryPair struct {
+	P Pair
+}
+
+func (arbitraryPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	m, k, l, n := r.Intn(24)+1, r.Intn(24)+1, r.Intn(24)+1, r.Intn(24)+1
+	p, err := NewPair(
+		op.MatMul{M: m, K: k, L: l},
+		op.MatMul{M: m, K: l, L: n},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return reflect.ValueOf(arbitraryPair{P: p})
+}
+
+var fusionQuick = &quick.Config{MaxCount: 300}
+
+// Any fused dataflow moves at least the fused ideal (each non-intermediate
+// tensor once) and never less than zero per tensor.
+func TestPropertyFusedLowerBound(t *testing.T) {
+	f := func(c arbitraryPair, tm, tk, tl, tn uint8) bool {
+		p := c.P
+		fd := FusedDataflow{
+			Pattern: PatternTileOSIS,
+			TM:      int(tm)%p.M() + 1,
+			TK:      int(tk)%p.K() + 1,
+			TL:      int(tl)%p.L() + 1,
+			TN:      int(tn)%p.N() + 1,
+		}
+		a, err := Evaluate(p, fd)
+		if err != nil {
+			return false
+		}
+		return a.Total >= p.FusedIdealMA() && a.A > 0 && a.B > 0 && a.D > 0 && a.E > 0
+	}
+	if err := quick.Check(f, fusionQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// The fused ideal always beats the unfused ideal by exactly twice the
+// intermediate size.
+func TestPropertyFusedIdealGap(t *testing.T) {
+	f := func(c arbitraryPair) bool {
+		p := c.P
+		unfused := p.First.IdealMA() + p.Second.IdealMA()
+		return unfused-p.FusedIdealMA() == 2*p.IntermediateSize()
+	}
+	if err := quick.Check(f, fusionQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// Construct* candidates always respect the buffer they were built for, and
+// a larger buffer never yields a worse candidate.
+func TestPropertyConstructRespectsBufferAndMonotone(t *testing.T) {
+	f := func(c arbitraryPair, bsRaw uint16, extra uint8) bool {
+		p := c.P
+		bs := int64(bsRaw%4096) + 5
+		for _, pat := range Patterns() {
+			c1, ok1 := Construct(p, bs, pat)
+			c2, ok2 := Construct(p, bs+int64(extra), pat)
+			if ok1 {
+				if c1.Access.Footprint > bs {
+					return false
+				}
+				if !ok2 {
+					return false // more buffer lost feasibility
+				}
+				if c2.Access.Total > c1.Access.Total {
+					return false // more buffer got worse
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, fusionQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// The aligned constructions stay feasible and within a modest factor of the
+// unaligned optimum (alignment trades MA for mappability, not correctness).
+func TestPropertyAlignedConstruction(t *testing.T) {
+	f := func(c arbitraryPair, bsRaw uint16) bool {
+		p := c.P
+		bs := int64(bsRaw%8192) + 64
+		plain, ok1 := Best(p, bs)
+		aligned, ok2 := BestAligned(p, bs, 4)
+		if !ok1 {
+			return true
+		}
+		if !ok2 {
+			return false
+		}
+		if aligned.Access.Footprint > bs {
+			return false
+		}
+		return aligned.Access.Total >= plain.Access.Total
+	}
+	if err := quick.Check(f, fusionQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// Best never returns anything below the fused ideal and converges to it
+// with an unbounded buffer.
+func TestPropertyBestConverges(t *testing.T) {
+	f := func(c arbitraryPair) bool {
+		p := c.P
+		huge := p.FusedIdealMA()*4 + int64(p.M())*int64(p.L())*4 + 1024
+		best, ok := Best(p, huge)
+		if !ok {
+			return false
+		}
+		return best.Access.Total == p.FusedIdealMA()
+	}
+	if err := quick.Check(f, fusionQuick); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package hierarchy applies the principles recursively across a two-level
+// memory system: DRAM ↔ global buffer ↔ per-CU local buffer. The paper uses
+// exactly this recursion when it re-applies the buffer regimes at the
+// register level (§IV-B, BS = N²); here the same move is made explicit for
+// the buffer hierarchy of real accelerators.
+//
+// The outer level tiles the full operator into the global buffer (DRAM
+// traffic = the single-level cost model at the global capacity); each
+// resident outer tile is then a complete sub-matmul that the inner level
+// tiles into the local buffer. Outer ragged edges are handled exactly by
+// costing all eight full/partial corner shapes.
+package hierarchy
+
+import (
+	"fmt"
+
+	"fusecu/internal/core"
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+// Levels gives the two on-chip capacities in elements.
+type Levels struct {
+	// Global is the DRAM-facing buffer capacity.
+	Global int64
+	// Local is the PE-facing buffer capacity.
+	Local int64
+}
+
+// Validate requires both levels to hold at least the 1×1 tile triple and
+// the local level to be no larger than the global one.
+func (l Levels) Validate() error {
+	if l.Global < 3 || l.Local < 3 {
+		return fmt.Errorf("hierarchy: levels too small: %+v", l)
+	}
+	if l.Local > l.Global {
+		return fmt.Errorf("hierarchy: local level (%d) exceeds global (%d)", l.Local, l.Global)
+	}
+	return nil
+}
+
+// Result is a two-level dataflow decision with per-level traffic.
+type Result struct {
+	// Outer is the DRAM↔global dataflow.
+	Outer core.Result
+	// Inner is the global↔local dataflow for the full outer tile shape
+	// (corner shapes are re-optimized internally for the composed figure).
+	Inner core.Result
+	// DRAMTraffic is element movement across the DRAM boundary.
+	DRAMTraffic int64
+	// GlobalLower is the communication lower bound between global and
+	// local buffers: the single-level principle optimum at the local
+	// capacity. It assumes the two levels' schedules compose without
+	// interference — the bound multi-level mappers aim for.
+	GlobalLower int64
+	// GlobalComposed charges each outer tile's sub-matmul independently at
+	// the local level (no reuse across outer iterations) — a conservative,
+	// always-achievable upper estimate. GlobalLower ≤ GlobalComposed.
+	GlobalComposed int64
+}
+
+// Optimize applies the principles at both levels, with the outer level
+// minimizing DRAM traffic (the usual objective: DRAM accesses cost ~25×
+// a global-buffer access).
+func Optimize(mm op.MatMul, lv Levels) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := lv.Validate(); err != nil {
+		return Result{}, err
+	}
+	outer, err := core.Optimize(mm, lv.Global)
+	if err != nil {
+		return Result{}, err
+	}
+	return compose(mm, outer, lv)
+}
+
+// OptimizeEnergy chooses the outer dataflow among the principle candidate
+// set to minimize total movement energy (DRAM + composed global traffic),
+// trading a little extra DRAM traffic for much cheaper inner levels when
+// that wins.
+func OptimizeEnergy(mm op.MatMul, lv Levels) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := lv.Validate(); err != nil {
+		return Result{}, err
+	}
+	cands := core.CandidateSet(mm, lv.Global)
+	// The single-level principles pin their don't-care tile to 1, which is
+	// MA-neutral at one level but makes the composed inner sub-problems
+	// degenerate (rank-1 slices with no reuse). Hierarchical composition
+	// wants fat outer tiles: add balanced cubic candidates that trade a
+	// little DRAM traffic for well-shaped inner tiles.
+	cands = append(cands, cubicCandidates(mm, lv.Global)...)
+	var (
+		best   Result
+		bestPJ float64
+		found  bool
+	)
+	for _, cand := range cands {
+		outer := core.Result{Candidate: cand, Regime: core.Classify(mm, lv.Global)}
+		r, err := compose(mm, outer, lv)
+		if err != nil {
+			continue
+		}
+		pj := EstimateEnergy(r).TotalpJ
+		if !found || pj < bestPJ {
+			best, bestPJ, found = r, pj, true
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("hierarchy: no feasible two-level dataflow for %v under %+v", mm, lv)
+	}
+	return best, nil
+}
+
+// cubicCandidates builds outer dataflow with near-equal tile sides fitting
+// the global capacity (3T² ≤ BS), at a few scales, under every canonical
+// order.
+func cubicCandidates(mm op.MatMul, global int64) []core.Candidate {
+	var out []core.Candidate
+	base := 1
+	for int64(base+1)*int64(base+1)*3 <= global {
+		base++
+	}
+	for _, scale := range []float64{1, 0.5, 0.25} {
+		t := int(float64(base) * scale)
+		if t < 1 {
+			continue
+		}
+		ti := dataflow.Tiling{TM: t, TK: t, TL: t}.Clamp(mm)
+		for _, order := range []dataflow.Order{dataflow.OrderOS, dataflow.OrderIS, dataflow.OrderWS} {
+			df := dataflow.Dataflow{Order: order, Tiling: ti}
+			acc, err := cost.Evaluate(mm, df)
+			if err != nil || acc.Footprint > global {
+				continue
+			}
+			out = append(out, core.Candidate{
+				Dataflow: df,
+				Access:   acc,
+				Note:     fmt.Sprintf("hierarchy: balanced cubic tiles T=%d (%s)", t, order),
+			})
+		}
+	}
+	return out
+}
+
+func compose(mm op.MatMul, outer core.Result, lv Levels) (Result, error) {
+	full := tileProblem(outer, mm, false, false, false)
+	inner, err := core.Optimize(full, lv.Local)
+	if err != nil {
+		return Result{}, fmt.Errorf("hierarchy: inner level: %w", err)
+	}
+	composed, err := globalTraffic(mm, outer, lv.Local)
+	if err != nil {
+		return Result{}, err
+	}
+	lower, err := core.Optimize(mm, lv.Local)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Outer:          outer,
+		Inner:          inner,
+		DRAMTraffic:    outer.Access.Total,
+		GlobalLower:    lower.Access.Total,
+		GlobalComposed: composed,
+	}, nil
+}
+
+// tileProblem returns the sub-matmul an outer tile defines; partial flags
+// select the ragged remainder extent per dimension.
+func tileProblem(outer core.Result, mm op.MatMul, pm, pk, pl bool) op.MatMul {
+	ti := outer.Dataflow.Tiling
+	pick := func(tile, ext int, partial bool) int {
+		if tile > ext {
+			tile = ext
+		}
+		if partial {
+			return ext % tile // caller guarantees non-zero
+		}
+		return tile
+	}
+	return op.MatMul{
+		Name: mm.Name + "-tile",
+		M:    pick(ti.TM, mm.M, pm),
+		K:    pick(ti.TK, mm.K, pk),
+		L:    pick(ti.TL, mm.L, pl),
+	}
+}
+
+// globalTraffic sums the inner-level optimal traffic over every outer tile
+// execution, costing the eight full/partial corner shapes exactly.
+func globalTraffic(mm op.MatMul, outer core.Result, local int64) (int64, error) {
+	ti := outer.Dataflow.Tiling
+	type dimSplit struct {
+		fullCount int64
+		fullExt   int
+		partExt   int // 0 when the tile divides the dimension
+	}
+	split := func(tile, ext int) dimSplit {
+		if tile > ext {
+			tile = ext
+		}
+		return dimSplit{fullCount: int64(ext / tile), fullExt: tile, partExt: ext % tile}
+	}
+	dm, dk, dl := split(ti.TM, mm.M), split(ti.TK, mm.K), split(ti.TL, mm.L)
+
+	var total int64
+	for _, m := range variants(dm) {
+		for _, k := range variants(dk) {
+			for _, l := range variants(dl) {
+				count := m.count * k.count * l.count
+				if count == 0 {
+					continue
+				}
+				sub := op.MatMul{Name: mm.Name + "-tile", M: m.ext, K: k.ext, L: l.ext}
+				inner, err := core.Optimize(sub, local)
+				if err != nil {
+					return 0, fmt.Errorf("hierarchy: corner %v: %w", sub, err)
+				}
+				total += inner.Access.Total * count
+			}
+		}
+	}
+	return total, nil
+}
+
+type variant struct {
+	ext   int
+	count int64
+}
+
+func variants(d struct {
+	fullCount int64
+	fullExt   int
+	partExt   int
+}) []variant {
+	out := []variant{{ext: d.fullExt, count: d.fullCount}}
+	if d.partExt > 0 {
+		out = append(out, variant{ext: d.partExt, count: 1})
+	}
+	return out
+}
+
+// Energy estimates data-movement energy in picojoules using classic
+// per-access costs (45 nm-era scaled): DRAM accesses dominate, which is why
+// the communication lower bound matters.
+type Energy struct {
+	DRAMpJ, GlobalpJ float64
+	TotalpJ          float64
+}
+
+// Per-element access energies (picojoules, 1-byte elements).
+const (
+	DRAMAccessPJ   = 160.0
+	GlobalAccessPJ = 6.0
+)
+
+// EstimateEnergy converts a two-level result into movement energy, using
+// the composed (achievable) global traffic.
+func EstimateEnergy(r Result) Energy {
+	e := Energy{
+		DRAMpJ:   float64(r.DRAMTraffic) * DRAMAccessPJ,
+		GlobalpJ: float64(r.GlobalComposed) * GlobalAccessPJ,
+	}
+	e.TotalpJ = e.DRAMpJ + e.GlobalpJ
+	return e
+}

@@ -1,0 +1,172 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"fusecu/internal/core"
+	"fusecu/internal/op"
+)
+
+var mm = op.MatMul{Name: "proj", M: 1024, K: 768, L: 768}
+
+func TestLevelsValidate(t *testing.T) {
+	if err := (Levels{Global: 1 << 20, Local: 1 << 14}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Levels{
+		{Global: 2, Local: 2},
+		{Global: 1 << 10, Local: 1 << 12}, // local bigger than global
+		{Global: 1 << 20, Local: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid levels accepted: %+v", bad)
+		}
+	}
+}
+
+func TestOptimizeTwoLevel(t *testing.T) {
+	lv := Levels{Global: 512 * 1024, Local: 16 * 1024}
+	r, err := Optimize(mm, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DRAM traffic equals the single-level optimum at the global capacity.
+	single, err := core.Optimize(mm, lv.Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DRAMTraffic != single.Access.Total {
+		t.Fatalf("DRAM traffic %d, single-level %d", r.DRAMTraffic, single.Access.Total)
+	}
+	// The locality pyramid: the closer level moves at least as much data.
+	if r.GlobalLower < r.DRAMTraffic {
+		t.Fatalf("global lower bound %d below DRAM traffic %d", r.GlobalLower, r.DRAMTraffic)
+	}
+	if r.GlobalComposed < r.GlobalLower {
+		t.Fatalf("composed %d below the lower bound %d", r.GlobalComposed, r.GlobalLower)
+	}
+	if r.Inner.Access.Footprint > lv.Local {
+		t.Fatal("inner dataflow overflows the local buffer")
+	}
+	if r.Outer.Access.Footprint > lv.Global {
+		t.Fatal("outer dataflow overflows the global buffer")
+	}
+}
+
+func TestGlobalTrafficLowerBound(t *testing.T) {
+	lv := Levels{Global: 512 * 1024, Local: 8 * 1024}
+	r, err := Optimize(mm, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every operand must transit the local buffer at least once.
+	if r.GlobalLower < mm.IdealMA() {
+		t.Fatalf("global lower bound %d below the operator ideal %d", r.GlobalLower, mm.IdealMA())
+	}
+}
+
+func TestBiggerLocalBufferNeverHurts(t *testing.T) {
+	prev := int64(-1)
+	for _, local := range []int64{2048, 8192, 32768, 131072} {
+		r, err := Optimize(mm, Levels{Global: 512 * 1024, Local: local})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && r.GlobalLower > prev {
+			t.Fatalf("local=%d: traffic %d worse than smaller buffer's %d", local, r.GlobalLower, prev)
+		}
+		prev = r.GlobalLower
+	}
+}
+
+func TestRaggedOuterTilesExact(t *testing.T) {
+	// A shape whose optimal outer tiles will not divide the dims: the
+	// corner accounting must still cover every MAC's data exactly once per
+	// execution (sanity: traffic within [ideal, trivial-upper]).
+	odd := op.MatMul{M: 997, K: 613, L: 751} // primes
+	r, err := Optimize(odd, Levels{Global: 128 * 1024, Local: 4 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GlobalComposed < odd.IdealMA() {
+		t.Fatal("ragged accounting undercounts")
+	}
+	upper := odd.MACs() * 3 // every MAC refetching all three operands
+	if r.GlobalComposed > upper {
+		t.Fatal("ragged accounting overcounts absurdly")
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	if _, err := Optimize(op.MatMul{}, Levels{Global: 1024, Local: 512}); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	if _, err := Optimize(mm, Levels{Global: 2, Local: 2}); err == nil {
+		t.Fatal("invalid levels accepted")
+	}
+}
+
+func TestEstimateEnergyAccounting(t *testing.T) {
+	r, err := Optimize(mm, Levels{Global: 512 * 1024, Local: 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := EstimateEnergy(r)
+	if e.TotalpJ != e.DRAMpJ+e.GlobalpJ {
+		t.Fatal("energy does not add up")
+	}
+	if e.TotalpJ <= 0 {
+		t.Fatal("no energy estimated")
+	}
+}
+
+// OptimizeEnergy may trade DRAM traffic for inner-level traffic but must
+// never produce more total energy than the DRAM-greedy choice.
+func TestOptimizeEnergyNeverWorse(t *testing.T) {
+	lv := Levels{Global: 512 * 1024, Local: 16 * 1024}
+	greedy, err := Optimize(mm, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := OptimizeEnergy(mm, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EstimateEnergy(tuned).TotalpJ > EstimateEnergy(greedy).TotalpJ+1e-6 {
+		t.Fatalf("energy-tuned outer (%f pJ) worse than greedy (%f pJ)",
+			EstimateEnergy(tuned).TotalpJ, EstimateEnergy(greedy).TotalpJ)
+	}
+}
+
+func BenchmarkHierarchyOptimize(b *testing.B) {
+	lv := Levels{Global: 512 * 1024, Local: 16 * 1024}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(mm, lv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// For the BERT projection the single-level principles produce column-like
+// outer tiles whose composed inner traffic is pathological; the cubic
+// candidates must win by a wide margin and land near the lower bound.
+func TestOptimizeEnergyFindsCubicTiles(t *testing.T) {
+	lv := Levels{Global: 512 * 1024, Local: 16 * 1024}
+	greedy, err := Optimize(mm, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := OptimizeEnergy(mm, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, u := EstimateEnergy(greedy).TotalpJ, EstimateEnergy(tuned).TotalpJ
+	if u*2 > g {
+		t.Fatalf("energy tuning too weak: %.0f vs %.0f pJ", u, g)
+	}
+	// Composed traffic should approach the independent-level lower bound.
+	if tuned.GlobalComposed > tuned.GlobalLower*2 {
+		t.Fatalf("tuned composed %d far above lower bound %d", tuned.GlobalComposed, tuned.GlobalLower)
+	}
+}

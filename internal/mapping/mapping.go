@@ -1,0 +1,276 @@
+// Package mapping models the assignment of dataflow onto PE arrays (paper
+// §IV-A): which tile dimensions map across PEs (the stationary tile), which
+// dimension streams across time (the moving tile), and the spatial
+// utilization that results. It provides both intra-operator mappings (one
+// stationary per pass) and the two fused mappings FuseCU introduces — tile
+// fusion and column fusion — including the pipelined split of the array into
+// producer and consumer halves.
+package mapping
+
+import (
+	"fmt"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/fusion"
+	"fusecu/internal/op"
+)
+
+// ArrayShape is a logical PE array of Rows×Cols processing elements.
+type ArrayShape struct {
+	Rows, Cols int
+}
+
+// PEs returns the PE count of the shape.
+func (s ArrayShape) PEs() int { return s.Rows * s.Cols }
+
+// Validate rejects non-positive shapes.
+func (s ArrayShape) Validate() error {
+	if s.Rows <= 0 || s.Cols <= 0 {
+		return fmt.Errorf("mapping: invalid array shape %dx%d", s.Rows, s.Cols)
+	}
+	return nil
+}
+
+func (s ArrayShape) String() string { return fmt.Sprintf("%dx%d", s.Rows, s.Cols) }
+
+// spatialUtil is the fraction of PEs doing useful work when a d1×d2 iteration
+// space is folded onto the array: full passes are fully occupied, edge
+// passes only partially.
+func spatialUtil(d1, d2 int, s ArrayShape) float64 {
+	p1 := (d1 + s.Rows - 1) / s.Rows
+	p2 := (d2 + s.Cols - 1) / s.Cols
+	return float64(d1) * float64(d2) / (float64(p1) * float64(s.Rows) * float64(p2) * float64(s.Cols))
+}
+
+// IntraMapping is an intra-operator PE assignment: the stationary tensor's
+// two dimensions map across the array (in either orientation) and the third
+// dimension streams across time.
+type IntraMapping struct {
+	Stationary dataflow.StationaryKind
+	Shape      ArrayShape
+	// Transposed indicates the stationary tile maps (d2, d1) instead of
+	// (d1, d2) onto (rows, cols).
+	Transposed bool
+	// Utilization is the spatial PE occupancy in [0, 1].
+	Utilization float64
+	// Cycles is the streaming cycle count: passes × temporal extent.
+	Cycles int64
+}
+
+// MapIntra maps mm with the given stationary onto shape, picking the better
+// orientation.
+func MapIntra(mm op.MatMul, st dataflow.StationaryKind, shape ArrayShape) (IntraMapping, error) {
+	if err := mm.Validate(); err != nil {
+		return IntraMapping{}, err
+	}
+	if err := shape.Validate(); err != nil {
+		return IntraMapping{}, err
+	}
+	tensor := st.KindTensor()
+	dd := tensor.Dims()
+	d1, d2 := dd[0].Extent(mm), dd[1].Extent(mm)
+	temporal := int64(temporalDim(tensor).Extent(mm))
+
+	m := IntraMapping{Stationary: st, Shape: shape}
+	u0 := spatialUtil(d1, d2, shape)
+	u1 := spatialUtil(d2, d1, shape)
+	if u1 > u0 {
+		m.Transposed = true
+		d1, d2 = d2, d1
+		m.Utilization = u1
+	} else {
+		m.Utilization = u0
+	}
+	passes := int64((d1+shape.Rows-1)/shape.Rows) * int64((d2+shape.Cols-1)/shape.Cols)
+	m.Cycles = passes * temporal
+	return m, nil
+}
+
+// BestIntra maps mm over every allowed stationary and shape and returns the
+// highest-utilization mapping.
+func BestIntra(mm op.MatMul, stationaries []dataflow.StationaryKind, shapes []ArrayShape) (IntraMapping, error) {
+	if len(stationaries) == 0 || len(shapes) == 0 {
+		return IntraMapping{}, fmt.Errorf("mapping: empty stationary or shape set")
+	}
+	var best IntraMapping
+	found := false
+	for _, st := range stationaries {
+		for _, sh := range shapes {
+			m, err := MapIntra(mm, st, sh)
+			if err != nil {
+				return IntraMapping{}, err
+			}
+			if !found || m.Utilization > best.Utilization {
+				best, found = m, true
+			}
+		}
+	}
+	return best, nil
+}
+
+// temporalDim returns the dimension not indexing the stationary tensor — the
+// moving-tile dimension.
+func temporalDim(t dataflow.Tensor) dataflow.Dim {
+	for _, d := range dataflow.Dims() {
+		if !t.HasDim(d) {
+			return d
+		}
+	}
+	panic("mapping: tensor indexes every dim")
+}
+
+// FusedKind selects between the two fused mappings of Fig. 5.
+type FusedKind uint8
+
+// Tile fusion holds the tile-like intermediate stationary on the PEs
+// (OS producer phase, then IS consumer phase); column fusion splits the PEs
+// into an IS producer half and an OS consumer half with column-like
+// intermediate tiles streaming between them.
+const (
+	TileFusion FusedKind = iota
+	ColumnFusion
+)
+
+func (k FusedKind) String() string {
+	switch k {
+	case TileFusion:
+		return "tile fusion"
+	case ColumnFusion:
+		return "column fusion"
+	}
+	return fmt.Sprintf("FusedKind(%d)", uint8(k))
+}
+
+// KindForPattern returns the mapping that serves a fused dataflow pattern:
+// tile-like intermediates map as stationary tiles, column-like intermediates
+// stream between array halves (paper §IV-A).
+func KindForPattern(p fusion.Pattern) FusedKind {
+	if p == fusion.PatternColumn {
+		return ColumnFusion
+	}
+	return TileFusion
+}
+
+// FusedMapping is a fused-pair PE assignment.
+type FusedMapping struct {
+	Kind  FusedKind
+	Shape ArrayShape
+	// Utilization is aggregate useful-MAC occupancy across the whole array
+	// over the fused execution.
+	Utilization float64
+	// Cycles is the fused execution time in array steps.
+	Cycles int64
+}
+
+// MapFused maps a fused pair onto shape with the given mapping kind.
+//
+// Tile fusion: the C tile (M×L iteration space) is stationary; each resident
+// tile first accumulates over K (producer OS phase) and is then consumed
+// over N (consumer IS phase). Cycles = passes(M,L) × (K + N).
+//
+// Column fusion: the array splits into two halves of Rows×(Cols/2): the
+// producer half holds A row-blocks (M×K space, IS), the consumer half holds
+// E row-blocks (M×N space, OS); C columns stream across. The pipeline's
+// cycle count is set by the slower half.
+func MapFused(p fusion.Pair, kind FusedKind, shape ArrayShape) (FusedMapping, error) {
+	if err := shape.Validate(); err != nil {
+		return FusedMapping{}, err
+	}
+	M, K, L, N := p.M(), p.K(), p.L(), p.N()
+	totalMACs := float64(p.First.MACs() + p.Second.MACs())
+
+	switch kind {
+	case TileFusion:
+		passes := int64((M+shape.Rows-1)/shape.Rows) * int64((L+shape.Cols-1)/shape.Cols)
+		cycles := passes * int64(K+N)
+		util := totalMACs / (float64(cycles) * float64(shape.PEs()))
+		return FusedMapping{Kind: kind, Shape: shape, Utilization: util, Cycles: cycles}, nil
+	case ColumnFusion:
+		if shape.Cols < 2 {
+			return FusedMapping{}, fmt.Errorf("mapping: column fusion needs at least 2 columns, have %v", shape)
+		}
+		half := ArrayShape{Rows: shape.Rows, Cols: shape.Cols / 2}
+		// Producer half: A (M×K) spatial, L temporal.
+		pPasses := int64((M+half.Rows-1)/half.Rows) * int64((K+half.Cols-1)/half.Cols)
+		pCycles := pPasses * int64(L)
+		// Consumer half: E (M×N) spatial, L temporal.
+		cPasses := int64((M+half.Rows-1)/half.Rows) * int64((N+half.Cols-1)/half.Cols)
+		cCycles := cPasses * int64(L)
+		cycles := pCycles
+		if cCycles > cycles {
+			cycles = cCycles
+		}
+		util := totalMACs / (float64(cycles) * float64(shape.PEs()))
+		return FusedMapping{Kind: kind, Shape: shape, Utilization: util, Cycles: cycles}, nil
+	}
+	return FusedMapping{}, fmt.Errorf("mapping: unknown fused kind %v", kind)
+}
+
+// MapFusedDataflow maps a concrete fused dataflow (pattern + tile sizes)
+// onto shape. Unlike MapFused, which assumes the intermediate's full extents
+// are available as the stationary tile, this honours the dataflow's buffer
+// tiles: a column-like intermediate (T_L = 1) mapped as a stationary tile
+// occupies a single PE column and utilization collapses — exactly the
+// low-utilization case §IV-A gives for mapping column-like tiles as
+// stationary, and the reason column fusion exists.
+func MapFusedDataflow(p fusion.Pair, fd fusion.FusedDataflow, shape ArrayShape) (FusedMapping, error) {
+	if err := fd.Validate(p); err != nil {
+		return FusedMapping{}, err
+	}
+	if fd.Pattern == fusion.PatternColumn {
+		return MapFused(p, ColumnFusion, shape)
+	}
+	if err := shape.Validate(); err != nil {
+		return FusedMapping{}, err
+	}
+	M, K, L, N := p.M(), p.K(), p.L(), p.N()
+	tm, tl := minInt(fd.TM, M), minInt(fd.TL, L)
+	cycles := tiledPasses(M, tm, shape.Rows) * tiledPasses(L, tl, shape.Cols) * int64(K+N)
+	totalMACs := float64(p.First.MACs() + p.Second.MACs())
+	util := totalMACs / (float64(cycles) * float64(shape.PEs()))
+	return FusedMapping{Kind: TileFusion, Shape: shape, Utilization: util, Cycles: cycles}, nil
+}
+
+// tiledPasses counts the array passes needed along one dimension when a
+// D-long extent is processed in buffer tiles of size t, each folded onto an
+// array side of size s — exact, including the ragged last tile.
+func tiledPasses(d, t, s int) int64 {
+	full := d / t
+	passes := int64(full) * int64((t+s-1)/s)
+	if rem := d % t; rem > 0 {
+		passes += int64((rem + s - 1) / s)
+	}
+	return passes
+}
+
+// BestFused tries both fused mappings over the allowed shapes and returns
+// the highest-utilization one.
+func BestFused(p fusion.Pair, shapes []ArrayShape) (FusedMapping, error) {
+	if len(shapes) == 0 {
+		return FusedMapping{}, fmt.Errorf("mapping: empty shape set")
+	}
+	var best FusedMapping
+	found := false
+	for _, kind := range []FusedKind{TileFusion, ColumnFusion} {
+		for _, sh := range shapes {
+			m, err := MapFused(p, kind, sh)
+			if err != nil {
+				continue
+			}
+			if !found || m.Utilization > best.Utilization {
+				best, found = m, true
+			}
+		}
+	}
+	if !found {
+		return FusedMapping{}, fmt.Errorf("mapping: no feasible fused mapping")
+	}
+	return best, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,250 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/fusion"
+	"fusecu/internal/op"
+)
+
+var shape128 = ArrayShape{Rows: 128, Cols: 128}
+
+func TestArrayShape(t *testing.T) {
+	if shape128.PEs() != 16384 {
+		t.Fatalf("PEs = %d", shape128.PEs())
+	}
+	if err := (ArrayShape{Rows: 0, Cols: 4}).Validate(); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+	if shape128.String() != "128x128" {
+		t.Fatalf("String = %q", shape128.String())
+	}
+}
+
+func TestMapIntraPerfectFit(t *testing.T) {
+	mm := op.MatMul{M: 256, K: 128, L: 512}
+	// OS: spatial dims (M, L) = (256, 512), both multiples of 128.
+	m, err := MapIntra(mm, dataflow.OS, shape128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Utilization != 1.0 {
+		t.Fatalf("utilization = %f, want 1.0", m.Utilization)
+	}
+	// passes = 2×4, temporal = K = 128.
+	if m.Cycles != 8*128 {
+		t.Fatalf("cycles = %d", m.Cycles)
+	}
+}
+
+func TestMapIntraSmallDimHalvesUtilization(t *testing.T) {
+	// Attention QKt with WS: spatial dims (K=64, L=1024) → half the rows
+	// idle. This is exactly why TPUv4i underutilizes on attention.
+	mm := op.MatMul{M: 1024, K: 64, L: 1024}
+	m, err := MapIntra(mm, dataflow.WS, shape128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Utilization-0.5) > 1e-9 {
+		t.Fatalf("utilization = %f, want 0.5", m.Utilization)
+	}
+	// OS on the same op is perfectly square.
+	m2, _ := MapIntra(mm, dataflow.OS, shape128)
+	if m2.Utilization != 1.0 {
+		t.Fatalf("OS utilization = %f", m2.Utilization)
+	}
+}
+
+func TestMapIntraTransposeOrientation(t *testing.T) {
+	// Stationary dims (64, 256) on a 256×64 array: only the transposed
+	// orientation fills it.
+	mm := op.MatMul{M: 64, K: 4, L: 256} // OS spatial dims (M, L) = (64, 256)
+	narrow := ArrayShape{Rows: 256, Cols: 64}
+	m, err := MapIntra(mm, dataflow.OS, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Transposed || m.Utilization != 1.0 {
+		t.Fatalf("mapping = %+v", m)
+	}
+}
+
+func TestMapIntraRejectsInvalid(t *testing.T) {
+	if _, err := MapIntra(op.MatMul{}, dataflow.OS, shape128); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	if _, err := MapIntra(op.MatMul{M: 4, K: 4, L: 4}, dataflow.OS, ArrayShape{}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}
+
+func TestBestIntraPrefersFlexibleStationary(t *testing.T) {
+	mm := op.MatMul{M: 1024, K: 64, L: 1024}
+	wsOnly, err := BestIntra(mm, []dataflow.StationaryKind{dataflow.WS}, []ArrayShape{shape128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := BestIntra(mm, []dataflow.StationaryKind{dataflow.WS, dataflow.OS, dataflow.IS}, []ArrayShape{shape128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Utilization <= wsOnly.Utilization {
+		t.Fatalf("flexible %f should beat WS-only %f", all.Utilization, wsOnly.Utilization)
+	}
+}
+
+func TestBestIntraPrefersMatchingShape(t *testing.T) {
+	// K=64: WS spatial (64, L); a 64×256 array fits it perfectly.
+	mm := op.MatMul{M: 1024, K: 64, L: 1024}
+	shapes := []ArrayShape{shape128, {Rows: 64, Cols: 256}}
+	m, err := BestIntra(mm, []dataflow.StationaryKind{dataflow.WS}, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shape != (ArrayShape{Rows: 64, Cols: 256}) {
+		t.Fatalf("shape = %v", m.Shape)
+	}
+	if m.Utilization != 1.0 {
+		t.Fatalf("utilization = %f", m.Utilization)
+	}
+}
+
+func TestBestIntraEmptySets(t *testing.T) {
+	mm := op.MatMul{M: 4, K: 4, L: 4}
+	if _, err := BestIntra(mm, nil, []ArrayShape{shape128}); err == nil {
+		t.Fatal("empty stationaries accepted")
+	}
+	if _, err := BestIntra(mm, []dataflow.StationaryKind{dataflow.OS}, nil); err == nil {
+		t.Fatal("empty shapes accepted")
+	}
+}
+
+func attnPair(t *testing.T, seq, dh int) fusion.Pair {
+	t.Helper()
+	p, err := fusion.NewPair(
+		op.MatMul{Name: "QKt", M: seq, K: dh, L: seq},
+		op.MatMul{Name: "SV", M: seq, K: seq, L: dh},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMapFusedTilePerfectFit(t *testing.T) {
+	p := attnPair(t, 512, 64)
+	m, err := MapFused(p, TileFusion, shape128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C is 512×512 (4×4 passes), K+N = 128 steps per pass; every step does
+	// a full 128×128 of useful MACs.
+	if m.Cycles != 16*128 {
+		t.Fatalf("cycles = %d", m.Cycles)
+	}
+	if math.Abs(m.Utilization-1.0) > 1e-9 {
+		t.Fatalf("utilization = %f", m.Utilization)
+	}
+}
+
+func TestMapFusedColumnBalancedHalves(t *testing.T) {
+	// dh = 64 = half the columns: both halves (M×K and M×N on 128×64)
+	// are perfectly filled.
+	p := attnPair(t, 512, 64)
+	m, err := MapFused(p, ColumnFusion, shape128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each half: passes = (512/128)×(64/64) = 4, temporal = L = 512.
+	if m.Cycles != 4*512 {
+		t.Fatalf("cycles = %d", m.Cycles)
+	}
+	if math.Abs(m.Utilization-1.0) > 1e-9 {
+		t.Fatalf("utilization = %f", m.Utilization)
+	}
+}
+
+func TestMapFusedColumnNeedsTwoColumns(t *testing.T) {
+	p := attnPair(t, 64, 8)
+	if _, err := MapFused(p, ColumnFusion, ArrayShape{Rows: 16, Cols: 1}); err == nil {
+		t.Fatal("1-column array accepted for column fusion")
+	}
+}
+
+func TestKindForPattern(t *testing.T) {
+	if KindForPattern(fusion.PatternColumn) != ColumnFusion {
+		t.Fatal("column pattern should map to column fusion")
+	}
+	if KindForPattern(fusion.PatternTileOSIS) != TileFusion {
+		t.Fatal("tile pattern should map to tile fusion")
+	}
+	if KindForPattern(fusion.PatternResident) != TileFusion {
+		t.Fatal("resident pattern should map to tile fusion")
+	}
+}
+
+func TestBestFusedPicksBetterKind(t *testing.T) {
+	p := attnPair(t, 512, 64)
+	m, err := BestFused(p, []ArrayShape{shape128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Utilization <= 0 || m.Utilization > 1+1e-9 {
+		t.Fatalf("utilization = %f", m.Utilization)
+	}
+	if _, err := BestFused(p, nil); err == nil {
+		t.Fatal("empty shapes accepted")
+	}
+}
+
+// Utilization must always be in (0, 1] for any mapping.
+func TestUtilizationBounds(t *testing.T) {
+	shapes := []ArrayShape{{8, 8}, {16, 4}, {128, 128}, {256, 64}}
+	ops := []op.MatMul{
+		{M: 3, K: 5, L: 7},
+		{M: 100, K: 1, L: 100},
+		{M: 1024, K: 1024, L: 1024},
+	}
+	for _, mm := range ops {
+		for _, sh := range shapes {
+			for _, st := range []dataflow.StationaryKind{dataflow.OS, dataflow.WS, dataflow.IS} {
+				m, err := MapIntra(mm, st, sh)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Utilization <= 0 || m.Utilization > 1+1e-9 {
+					t.Errorf("%v %s on %v: utilization %f", mm, st, sh, m.Utilization)
+				}
+				if m.Cycles <= 0 {
+					t.Errorf("%v %s on %v: cycles %d", mm, st, sh, m.Cycles)
+				}
+			}
+		}
+	}
+}
+
+func TestFusedUtilizationBounds(t *testing.T) {
+	pairs := []fusion.Pair{attnPair(t, 64, 8), attnPair(t, 1024, 128), attnPair(t, 100, 28)}
+	shapes := []ArrayShape{{8, 8}, {128, 128}, {64, 256}}
+	for _, p := range pairs {
+		for _, sh := range shapes {
+			for _, kind := range []FusedKind{TileFusion, ColumnFusion} {
+				m, err := MapFused(p, kind, sh)
+				if err != nil {
+					continue
+				}
+				if m.Utilization <= 0 || m.Utilization > 1+1e-9 {
+					t.Errorf("%v %v on %v: utilization %f", p, kind, sh, m.Utilization)
+				}
+			}
+		}
+	}
+}
+
+func TestFusedKindStringer(t *testing.T) {
+	if TileFusion.String() == "" || ColumnFusion.String() == "" {
+		t.Fatal("empty fused kind strings")
+	}
+}

@@ -1,0 +1,193 @@
+// Package model builds the paper's evaluation workloads: the seven
+// attention-based transformer models of Table II, expressed as weighted
+// chains of matrix multiplications (projections, per-head attention pairs,
+// and feed-forward pairs). Memory access and cycle counts depend only on
+// tensor shapes, so the shape-accurate operator graph stands in for the
+// pretrained checkpoints the paper runs.
+package model
+
+import (
+	"fmt"
+
+	"fusecu/internal/op"
+)
+
+// Config holds a transformer's layer hyper-parameters (Table II) plus the
+// evaluation batch size.
+type Config struct {
+	Name   string
+	Heads  int
+	SeqLen int
+	Hidden int
+	Batch  int
+	// FFNDim is the feed-forward inner dimension; 0 means 4×Hidden.
+	FFNDim int
+}
+
+// Validate reports configuration errors, including a hidden size not
+// divisible by the head count.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("model: empty name")
+	}
+	if c.Heads <= 0 || c.SeqLen <= 0 || c.Hidden <= 0 || c.Batch <= 0 {
+		return fmt.Errorf("model: %s has non-positive parameter: %+v", c.Name, c)
+	}
+	if c.Hidden%c.Heads != 0 {
+		return fmt.Errorf("model: %s hidden %d not divisible by %d heads", c.Name, c.Hidden, c.Heads)
+	}
+	if c.FFNDim < 0 {
+		return fmt.Errorf("model: %s negative FFN dim", c.Name)
+	}
+	return nil
+}
+
+// HeadDim returns Hidden / Heads.
+func (c Config) HeadDim() int { return c.Hidden / c.Heads }
+
+// FFN returns the effective feed-forward inner dimension.
+func (c Config) FFN() int {
+	if c.FFNDim > 0 {
+		return c.FFNDim
+	}
+	return 4 * c.Hidden
+}
+
+// WeightedChain is a chain plus its instance count within one layer (e.g.
+// the attention pair runs batch × heads times).
+type WeightedChain struct {
+	Chain *op.Chain
+	Count int64
+}
+
+// MACs returns the chain's total multiply-accumulates across instances.
+func (w WeightedChain) MACs() int64 { return w.Chain.MACs() * w.Count }
+
+// Workload is one transformer layer's operator graph.
+type Workload struct {
+	Name   string
+	Config Config
+	Chains []WeightedChain
+}
+
+// TotalMACs sums multiply-accumulates over all chains and instances.
+func (w *Workload) TotalMACs() int64 {
+	var t int64
+	for _, c := range w.Chains {
+		t += c.MACs()
+	}
+	return t
+}
+
+// Build constructs the layer workload:
+//
+//   - four projection MMs (Q, K, V, output), each (B·S) × H × H;
+//   - batch×heads attention pairs QKᵀ (S × dh × S) → softmax → SV
+//     (S × S × dh), the chains operator fusion targets;
+//   - one feed-forward pair (B·S) × H × F → activation → (B·S) × F × H.
+func (c Config) Build() (*Workload, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	bs := c.Batch * c.SeqLen
+	dh := c.HeadDim()
+	w := &Workload{Name: c.Name, Config: c}
+
+	for _, name := range []string{"proj-q", "proj-k", "proj-v", "proj-out"} {
+		ch, err := opChain(name, bs, c.Hidden, c.Hidden)
+		if err != nil {
+			return nil, err
+		}
+		w.Chains = append(w.Chains, WeightedChain{Chain: ch, Count: 1})
+	}
+
+	attn, err := attnChain(c.SeqLen, dh, c.SeqLen)
+	if err != nil {
+		return nil, err
+	}
+	w.Chains = append(w.Chains, WeightedChain{Chain: attn, Count: int64(c.Batch) * int64(c.Heads)})
+
+	ffn, err := ffnChain(bs, c.Hidden, c.FFN())
+	if err != nil {
+		return nil, err
+	}
+	w.Chains = append(w.Chains, WeightedChain{Chain: ffn, Count: 1})
+
+	return w, nil
+}
+
+// opChain builds a single-operator chain for a projection.
+func opChain(name string, m, k, l int) (*op.Chain, error) {
+	return op.NewChain(name, op.MatMul{Name: name, M: m, K: k, L: l})
+}
+
+// attnChain builds the QKᵀ → softmax → SV pair for one head: q query rows
+// against kv cached keys/values of width dh.
+func attnChain(q, dh, kv int) (*op.Chain, error) {
+	attn, err := op.NewChain("attention",
+		op.MatMul{Name: "QKt", M: q, K: dh, L: kv},
+		op.MatMul{Name: "SV", M: q, K: kv, L: dh},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := attn.WithElementwise(0, "softmax"); err != nil {
+		return nil, err
+	}
+	return attn, nil
+}
+
+// ffnChain builds the fc1 → activation → fc2 pair.
+func ffnChain(m, hidden, ffnDim int) (*op.Chain, error) {
+	ffn, err := op.NewChain("ffn",
+		op.MatMul{Name: "fc1", M: m, K: hidden, L: ffnDim},
+		op.MatMul{Name: "fc2", M: m, K: ffnDim, L: hidden},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ffn.WithElementwise(0, "activation"); err != nil {
+		return nil, err
+	}
+	return ffn, nil
+}
+
+// evaluationBatch is the batch size used throughout the paper's evaluation.
+const evaluationBatch = 16
+
+// TableII returns the seven evaluation models with the paper's batch size
+// of 16. LLaMA2 uses its published FFN dimension (11008) rather than the
+// 4×Hidden default.
+func TableII() []Config {
+	return []Config{
+		{Name: "BERT", Heads: 12, SeqLen: 1024, Hidden: 768, Batch: evaluationBatch},
+		{Name: "GPT-2", Heads: 12, SeqLen: 2048, Hidden: 768, Batch: evaluationBatch},
+		{Name: "Blenderbot", Heads: 16, SeqLen: 256, Hidden: 1024, Batch: evaluationBatch},
+		{Name: "XLM", Heads: 16, SeqLen: 1024, Hidden: 2048, Batch: evaluationBatch},
+		{Name: "DeBERTa-v2", Heads: 24, SeqLen: 1024, Hidden: 1536, Batch: evaluationBatch},
+		{Name: "LLaMA2", Heads: 32, SeqLen: 4096, Hidden: 4096, Batch: evaluationBatch, FFNDim: 11008},
+		{Name: "ALBERT", Heads: 64, SeqLen: 1024, Hidden: 4096, Batch: evaluationBatch},
+	}
+}
+
+// ByName returns the Table II config with the given name.
+func ByName(name string) (Config, error) {
+	for _, c := range TableII() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("model: unknown model %q", name)
+}
+
+// LLaMA2WithSeq returns the LLaMA2 configuration at a specific sequence
+// length, the knob Fig. 11 sweeps from 256 to 16K.
+func LLaMA2WithSeq(seq int) Config {
+	return Config{Name: fmt.Sprintf("LLaMA2-seq%d", seq), Heads: 32, SeqLen: seq,
+		Hidden: 4096, Batch: evaluationBatch, FFNDim: 11008}
+}
+
+// Fig11SeqLengths returns the sequence lengths of the Fig. 11 sweep.
+func Fig11SeqLengths() []int {
+	return []int{256, 512, 1024, 2048, 4096, 8192, 16384}
+}

@@ -1,0 +1,212 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	want := map[string][3]int{ // heads, seq, hidden
+		"BERT":       {12, 1024, 768},
+		"GPT-2":      {12, 2048, 768},
+		"Blenderbot": {16, 256, 1024},
+		"XLM":        {16, 1024, 2048},
+		"DeBERTa-v2": {24, 1024, 1536},
+		"LLaMA2":     {32, 4096, 4096},
+		"ALBERT":     {64, 1024, 4096},
+	}
+	models := TableII()
+	if len(models) != 7 {
+		t.Fatalf("TableII has %d models, want 7", len(models))
+	}
+	for _, c := range models {
+		p, ok := want[c.Name]
+		if !ok {
+			t.Errorf("unexpected model %q", c.Name)
+			continue
+		}
+		if c.Heads != p[0] || c.SeqLen != p[1] || c.Hidden != p[2] {
+			t.Errorf("%s = %d/%d/%d, want %d/%d/%d", c.Name, c.Heads, c.SeqLen, c.Hidden, p[0], p[1], p[2])
+		}
+		if c.Batch != 16 {
+			t.Errorf("%s batch = %d, want 16", c.Name, c.Batch)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Name: "x", Heads: 0, SeqLen: 1, Hidden: 1, Batch: 1},
+		{Name: "x", Heads: 3, SeqLen: 8, Hidden: 16, Batch: 1}, // 16 % 3 != 0
+		{Name: "x", Heads: 2, SeqLen: 8, Hidden: 16, Batch: 1, FFNDim: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestHeadDimAndFFN(t *testing.T) {
+	c := Config{Name: "x", Heads: 12, SeqLen: 128, Hidden: 768, Batch: 1}
+	if c.HeadDim() != 64 {
+		t.Fatalf("HeadDim = %d", c.HeadDim())
+	}
+	if c.FFN() != 4*768 {
+		t.Fatalf("FFN = %d", c.FFN())
+	}
+	c.FFNDim = 11008
+	if c.FFN() != 11008 {
+		t.Fatalf("FFN override = %d", c.FFN())
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	c, err := ByName("BERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 projections + attention + FFN.
+	if len(w.Chains) != 6 {
+		t.Fatalf("chains = %d, want 6", len(w.Chains))
+	}
+	var attn, ffn *WeightedChain
+	projs := 0
+	for i := range w.Chains {
+		switch w.Chains[i].Chain.Name {
+		case "attention":
+			attn = &w.Chains[i]
+		case "ffn":
+			ffn = &w.Chains[i]
+		default:
+			projs++
+			if w.Chains[i].Chain.Len() != 1 {
+				t.Errorf("projection chain has %d ops", w.Chains[i].Chain.Len())
+			}
+			mm := w.Chains[i].Chain.Ops[0]
+			if mm.M != 16*1024 || mm.K != 768 || mm.L != 768 {
+				t.Errorf("projection dims = %v", mm)
+			}
+		}
+	}
+	if projs != 4 {
+		t.Fatalf("projections = %d, want 4", projs)
+	}
+	if attn == nil || ffn == nil {
+		t.Fatal("missing attention or ffn chain")
+	}
+	if attn.Count != 16*12 {
+		t.Fatalf("attention count = %d, want 192", attn.Count)
+	}
+	qkt := attn.Chain.Ops[0]
+	if qkt.M != 1024 || qkt.K != 64 || qkt.L != 1024 {
+		t.Fatalf("QKt dims = %v", qkt)
+	}
+	sv := attn.Chain.Ops[1]
+	if sv.M != 1024 || sv.K != 1024 || sv.L != 64 {
+		t.Fatalf("SV dims = %v", sv)
+	}
+	if attn.Chain.Elementwise[0].Name != "softmax" {
+		t.Fatal("missing softmax")
+	}
+	fc1 := ffn.Chain.Ops[0]
+	if fc1.M != 16*1024 || fc1.K != 768 || fc1.L != 4*768 {
+		t.Fatalf("fc1 dims = %v", fc1)
+	}
+}
+
+func TestBuildValidatesChains(t *testing.T) {
+	for _, c := range TableII() {
+		w, err := c.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		for _, wc := range w.Chains {
+			if err := wc.Chain.Validate(); err != nil {
+				t.Errorf("%s chain %s: %v", c.Name, wc.Chain.Name, err)
+			}
+			if wc.Count < 1 {
+				t.Errorf("%s chain %s count %d", c.Name, wc.Chain.Name, wc.Count)
+			}
+		}
+		if w.TotalMACs() <= 0 {
+			t.Errorf("%s: no MACs", c.Name)
+		}
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := (Config{}).Build(); err == nil {
+		t.Fatal("invalid config built")
+	}
+}
+
+func TestTotalMACsGrowsWithHidden(t *testing.T) {
+	small, _ := Config{Name: "s", Heads: 8, SeqLen: 512, Hidden: 512, Batch: 16}.Build()
+	big, _ := Config{Name: "b", Heads: 8, SeqLen: 512, Hidden: 1024, Batch: 16}.Build()
+	if small.TotalMACs() >= big.TotalMACs() {
+		t.Fatal("MACs do not grow with hidden size")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestLLaMA2WithSeq(t *testing.T) {
+	c := LLaMA2WithSeq(8192)
+	if c.SeqLen != 8192 || c.Hidden != 4096 || c.Heads != 32 || c.FFNDim != 11008 {
+		t.Fatalf("config = %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalMACs() <= 0 {
+		t.Fatal("no MACs")
+	}
+}
+
+func TestFig11SeqLengthsSpan(t *testing.T) {
+	seqs := Fig11SeqLengths()
+	if seqs[0] != 256 || seqs[len(seqs)-1] != 16384 {
+		t.Fatalf("sweep = %v", seqs)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != 2*seqs[i-1] {
+			t.Fatalf("sweep not doubling: %v", seqs)
+		}
+	}
+}
+
+// Attention dominates FFN traffic growth as sequence length rises; verify
+// the quadratic term is present in the workload (it drives Fig. 11).
+func TestAttentionMACsQuadraticInSeq(t *testing.T) {
+	w1, _ := LLaMA2WithSeq(1024).Build()
+	w2, _ := LLaMA2WithSeq(2048).Build()
+	attnMACs := func(w *Workload) int64 {
+		for _, wc := range w.Chains {
+			if wc.Chain.Name == "attention" {
+				return wc.MACs()
+			}
+		}
+		t.Fatal("no attention chain")
+		return 0
+	}
+	r := float64(attnMACs(w2)) / float64(attnMACs(w1))
+	if r < 3.9 || r > 4.1 {
+		t.Fatalf("attention MACs ratio = %f, want ~4 (quadratic)", r)
+	}
+}

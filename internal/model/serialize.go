@@ -1,0 +1,85 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalConfigs serializes model configurations to indented JSON, the
+// interchange format the CLI tools accept.
+func MarshalConfigs(cfgs []Config) ([]byte, error) {
+	return json.MarshalIndent(cfgs, "", "  ")
+}
+
+// UnmarshalConfigs parses and validates model configurations.
+func UnmarshalConfigs(data []byte) ([]Config, error) {
+	var cfgs []Config
+	if err := json.Unmarshal(data, &cfgs); err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	for i, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("model: config %d: %w", i, err)
+		}
+	}
+	return cfgs, nil
+}
+
+// DecodePhase returns the autoregressive-generation variant of a model: a
+// single new token per step (SeqLen 1 against a kvLen-long cache). The
+// attention operators degenerate to vector-matrix products whose smallest
+// dimension is 1 — the extreme of the paper's tiny-dimension analysis,
+// where Dmin²/4 = 0 and every buffer is "large" relative to Dmin.
+func (c Config) DecodePhase(kvLen int) DecodeConfig {
+	return DecodeConfig{Base: c, KVLen: kvLen}
+}
+
+// DecodeConfig is a decode-phase (generation) workload description.
+type DecodeConfig struct {
+	Base  Config
+	KVLen int
+}
+
+// Validate checks the base configuration and the cache length.
+func (d DecodeConfig) Validate() error {
+	if err := d.Base.Validate(); err != nil {
+		return err
+	}
+	if d.KVLen <= 0 {
+		return fmt.Errorf("model: decode phase needs a positive KV length, got %d", d.KVLen)
+	}
+	return nil
+}
+
+// Build constructs the one-token decode step: projections with M = batch,
+// per-head attention QKᵀ (1 × dh × kv) → SV (1 × kv × dh), and the FFN
+// pair with M = batch.
+func (d DecodeConfig) Build() (*Workload, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	c := d.Base
+	dh := c.HeadDim()
+	w := &Workload{Name: c.Name + "-decode", Config: c}
+
+	for _, name := range []string{"proj-q", "proj-k", "proj-v", "proj-out"} {
+		ch, err := opChain(name, c.Batch, c.Hidden, c.Hidden)
+		if err != nil {
+			return nil, err
+		}
+		w.Chains = append(w.Chains, WeightedChain{Chain: ch, Count: 1})
+	}
+
+	attn, err := attnChain(1, dh, d.KVLen)
+	if err != nil {
+		return nil, err
+	}
+	w.Chains = append(w.Chains, WeightedChain{Chain: attn, Count: int64(c.Batch) * int64(c.Heads)})
+
+	ffn, err := ffnChain(c.Batch, c.Hidden, c.FFN())
+	if err != nil {
+		return nil, err
+	}
+	w.Chains = append(w.Chains, WeightedChain{Chain: ffn, Count: 1})
+	return w, nil
+}

@@ -1,0 +1,107 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	data, err := MarshalConfigs(TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalConfigs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 7 {
+		t.Fatalf("round trip lost models: %d", len(back))
+	}
+	for i, c := range TableII() {
+		if back[i] != c {
+			t.Errorf("model %d changed: %+v vs %+v", i, back[i], c)
+		}
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := UnmarshalConfigs([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	bad := `[{"Name":"x","Heads":3,"SeqLen":8,"Hidden":16,"Batch":1}]` // 16 % 3 != 0
+	if _, err := UnmarshalConfigs([]byte(bad)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := UnmarshalConfigs([]byte(bad)); err != nil && !strings.Contains(err.Error(), "config 0") {
+		t.Fatal("error does not identify the bad config")
+	}
+}
+
+func TestDecodePhaseBuild(t *testing.T) {
+	cfg, err := ByName("LLaMA2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := cfg.DecodePhase(4096)
+	if err := dec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := dec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(w.Name, "-decode") {
+		t.Fatalf("workload name %q", w.Name)
+	}
+	var sawAttn, sawProj bool
+	for _, wc := range w.Chains {
+		switch wc.Chain.Name {
+		case "attention":
+			sawAttn = true
+			qkt := wc.Chain.Ops[0]
+			// One query row against the 4096-long KV cache.
+			if qkt.M != 1 || qkt.K != 128 || qkt.L != 4096 {
+				t.Fatalf("decode QKt = %v", qkt)
+			}
+			if qkt.MinDim() != 1 {
+				t.Fatal("decode attention should be GEMV-shaped")
+			}
+		case "proj-q":
+			sawProj = true
+			if wc.Chain.Ops[0].M != cfg.Batch {
+				t.Fatalf("decode projection M = %d, want batch %d", wc.Chain.Ops[0].M, cfg.Batch)
+			}
+		}
+	}
+	if !sawAttn || !sawProj {
+		t.Fatal("decode workload incomplete")
+	}
+}
+
+func TestDecodePhaseValidate(t *testing.T) {
+	cfg, _ := ByName("BERT")
+	if err := cfg.DecodePhase(0).Validate(); err == nil {
+		t.Fatal("zero KV length accepted")
+	}
+	if _, err := (DecodeConfig{Base: Config{}, KVLen: 128}).Build(); err == nil {
+		t.Fatal("invalid base accepted")
+	}
+}
+
+// GEMV-shaped decode attention has Dmin = 1: every buffer is "large"
+// relative to Dmin²; the regime machinery must not misbehave.
+func TestDecodeAttentionDegenerateRegime(t *testing.T) {
+	cfg, _ := ByName("BERT")
+	w, err := cfg.DecodePhase(1024).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wc := range w.Chains {
+		if wc.Chain.Name != "attention" {
+			continue
+		}
+		if wc.Chain.Ops[0].MinDim() != 1 || wc.Chain.Ops[1].MinDim() != 1 {
+			t.Fatal("decode attention min dims should be 1")
+		}
+	}
+}

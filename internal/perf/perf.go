@@ -1,0 +1,93 @@
+// Package perf provides the roofline performance model used for Fig. 10/11:
+// execution time is the maximum of compute time (MACs over utilized PEs) and
+// memory time (traffic over on-chip bandwidth), assuming perfect overlap of
+// compute and data movement — the standard assumption for double-buffered
+// spatial accelerators.
+package perf
+
+import "fmt"
+
+// Spec is the compute/bandwidth envelope of a platform.
+type Spec struct {
+	// TotalPEs is the whole-chip MAC count per cycle at full utilization
+	// (128×128×4 = 65536 for the TPUv4i configuration).
+	TotalPEs int
+	// BandwidthPerCycle is the memory↔buffer bandwidth in elements per
+	// cycle (1 TB/s at ~1 GHz with 1-byte elements ≈ 1024).
+	BandwidthPerCycle int
+}
+
+// Validate rejects non-positive envelopes.
+func (s Spec) Validate() error {
+	if s.TotalPEs <= 0 || s.BandwidthPerCycle <= 0 {
+		return fmt.Errorf("perf: invalid spec %+v", s)
+	}
+	return nil
+}
+
+// Roofline is the outcome of the model for one unit of work.
+type Roofline struct {
+	// ComputeCycles is MACs / (TotalPEs × spatial utilization).
+	ComputeCycles int64
+	// MemoryCycles is traffic / bandwidth.
+	MemoryCycles int64
+	// Cycles is the bound: max of the two.
+	Cycles int64
+	// ComputeBound reports which side binds.
+	ComputeBound bool
+	// Utilization is achieved MACs / (Cycles × TotalPEs) — the "performance
+	// normalized to peak FLOPs" metric of Fig. 10's line chart.
+	Utilization float64
+}
+
+// Estimate applies the roofline to a unit of work with the given spatial
+// mapping utilization (0 < spatialUtil ≤ 1).
+func Estimate(macs, traffic int64, spatialUtil float64, s Spec) (Roofline, error) {
+	if err := s.Validate(); err != nil {
+		return Roofline{}, err
+	}
+	if macs < 0 || traffic < 0 {
+		return Roofline{}, fmt.Errorf("perf: negative work (macs=%d, traffic=%d)", macs, traffic)
+	}
+	if spatialUtil <= 0 || spatialUtil > 1 {
+		return Roofline{}, fmt.Errorf("perf: spatial utilization %f outside (0,1]", spatialUtil)
+	}
+	r := Roofline{}
+	effective := float64(s.TotalPEs) * spatialUtil
+	r.ComputeCycles = ceilDiv(macs, int64(effective))
+	r.MemoryCycles = ceilDiv(traffic, int64(s.BandwidthPerCycle))
+	if r.ComputeCycles >= r.MemoryCycles {
+		r.Cycles = r.ComputeCycles
+		r.ComputeBound = true
+	} else {
+		r.Cycles = r.MemoryCycles
+	}
+	if r.Cycles > 0 {
+		r.Utilization = float64(macs) / (float64(r.Cycles) * float64(s.TotalPEs))
+	}
+	return r, nil
+}
+
+// Combine sums rooflines of sequential work units.
+func Combine(parts ...Roofline) Roofline {
+	var out Roofline
+	var macsWeighted float64
+	for _, p := range parts {
+		out.ComputeCycles += p.ComputeCycles
+		out.MemoryCycles += p.MemoryCycles
+		out.Cycles += p.Cycles
+		macsWeighted += p.Utilization * float64(p.Cycles)
+	}
+	if out.Cycles > 0 {
+		out.Utilization = macsWeighted / float64(out.Cycles)
+	}
+	out.ComputeBound = out.ComputeCycles >= out.MemoryCycles
+	return out
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+var spec = Spec{TotalPEs: 65536, BandwidthPerCycle: 1024}
+
+func TestSpecValidate(t *testing.T) {
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Spec{TotalPEs: 0, BandwidthPerCycle: 1}).Validate(); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestEstimateComputeBound(t *testing.T) {
+	// 65536e3 MACs at full utilization = 1000 cycles; tiny traffic.
+	r, err := Estimate(65536_000, 1024, 1.0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ComputeBound || r.Cycles != 1000 {
+		t.Fatalf("roofline = %+v", r)
+	}
+	if math.Abs(r.Utilization-1.0) > 1e-9 {
+		t.Fatalf("utilization = %f", r.Utilization)
+	}
+}
+
+func TestEstimateMemoryBound(t *testing.T) {
+	// Little compute, lots of traffic.
+	r, err := Estimate(65536, 1024*5000, 1.0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ComputeBound {
+		t.Fatal("should be memory bound")
+	}
+	if r.Cycles != 5000 {
+		t.Fatalf("cycles = %d", r.Cycles)
+	}
+	if r.Utilization >= 0.01 {
+		t.Fatalf("utilization = %f, should be tiny", r.Utilization)
+	}
+}
+
+func TestEstimateLowSpatialUtilHurts(t *testing.T) {
+	full, _ := Estimate(65536_000, 0, 1.0, spec)
+	half, _ := Estimate(65536_000, 0, 0.5, spec)
+	if half.Cycles != 2*full.Cycles {
+		t.Fatalf("half utilization cycles = %d, want %d", half.Cycles, 2*full.Cycles)
+	}
+	if math.Abs(half.Utilization-0.5) > 1e-6 {
+		t.Fatalf("achieved utilization = %f", half.Utilization)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(1, 1, 0, spec); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := Estimate(1, 1, 1.5, spec); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+	if _, err := Estimate(-1, 1, 1, spec); err == nil {
+		t.Error("negative MACs accepted")
+	}
+	if _, err := Estimate(1, 1, 1, Spec{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestEstimateRoundsUp(t *testing.T) {
+	r, err := Estimate(1, 1, 1.0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ComputeCycles != 1 || r.MemoryCycles != 1 || r.Cycles != 1 {
+		t.Fatalf("roofline = %+v", r)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a, _ := Estimate(65536_000, 0, 1.0, spec)     // 1000 cycles, util 1.0
+	b, _ := Estimate(65536, 1024*1000, 1.0, spec) // 1000 cycles, util ~0.000001
+	c := Combine(a, b)
+	if c.Cycles != a.Cycles+b.Cycles {
+		t.Fatalf("combined cycles = %d", c.Cycles)
+	}
+	if c.Utilization <= 0.4 || c.Utilization >= 0.6 {
+		t.Fatalf("combined utilization = %f, want ≈ 0.5", c.Utilization)
+	}
+}
+
+func TestCombineEmpty(t *testing.T) {
+	c := Combine()
+	if c.Cycles != 0 || c.Utilization != 0 {
+		t.Fatalf("empty combine = %+v", c)
+	}
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Table", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-longer", 42)
+	s := tb.String()
+	for _, want := range []string{"My Table", "name", "value", "alpha", "1.500", "beta-longer", "42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("xxxxxxx", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// header, separator, one row
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), lines)
+	}
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("unaligned rows: %q", lines)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("with,comma", `with"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, "a,b\n") {
+		t.Fatalf("missing header: %q", csv)
+	}
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"with""quote"`) {
+		t.Fatalf("quote cell not escaped: %q", csv)
+	}
+}
+
+func TestFigureSeries(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	s1 := f.AddSeries("one")
+	s2 := f.AddSeries("two")
+	s1.Add(1, 10)
+	s1.Add(2, 20)
+	s2.Add(1, 0.5)
+	if s1.Len() != 2 || s2.Len() != 1 {
+		t.Fatal("series lengths wrong")
+	}
+	out := f.String()
+	for _, want := range []string{"fig", "one", "two", "10.000", "0.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRaggedSeries(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	a := f.AddSeries("a")
+	b := f.AddSeries("b")
+	a.Add(1, 1)
+	a.Add(2, 2)
+	b.Add(1, 3)
+	// Must not panic and must render both rows.
+	out := f.String()
+	if !strings.Contains(out, "2.000") || !strings.Contains(out, "3.000") {
+		t.Fatalf("ragged figure mis-rendered:\n%s", out)
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	f := NewFigure("empty", "x", "y")
+	if out := f.String(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty figure: %q", out)
+	}
+}

@@ -1,0 +1,157 @@
+package rtl
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"fusecu/internal/dataflow"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{N: 0, DataWidth: 8, AccWidth: 32},
+		{N: 4, DataWidth: 0, AccWidth: 32},
+		{N: 4, DataWidth: 32, AccWidth: 8}, // accumulator narrower than data
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+// The mode encodings in the RTL must match the simulator's stationary
+// kinds, or a configuration word built for one would misdrive the other.
+func TestModeEncodingsMatchSimulator(t *testing.T) {
+	if ModeOS != uint8(dataflow.OS) || ModeWS != uint8(dataflow.WS) || ModeIS != uint8(dataflow.IS) {
+		t.Fatalf("encodings diverged: OS=%d WS=%d IS=%d", ModeOS, ModeWS, ModeIS)
+	}
+}
+
+func countWord(src, w string) int {
+	return len(regexp.MustCompile(`\b`+w+`\b`).FindAllString(src, -1))
+}
+
+func balanced(t *testing.T, src, open, close string) {
+	t.Helper()
+	if o, c := countWord(src, open), countWord(src, close); o != c {
+		t.Fatalf("%s/%s unbalanced: %d vs %d", open, close, o, c)
+	}
+}
+
+func TestEmitXSPEStructure(t *testing.T) {
+	src, err := EmitXSPE(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(src, "module ") != 1 || strings.Count(src, "endmodule") != 1 {
+		t.Fatal("XS PE should be exactly one module")
+	}
+	balanced(t, src, "begin", "end")
+	for _, port := range []string{"xs_mode", "fuse_sel", "in_west", "in_north", "psum_in",
+		"out_east", "out_south", "psum_out", "load_stationary", "clear_acc"} {
+		if !strings.Contains(src, port) {
+			t.Errorf("XS PE missing port %q", port)
+		}
+	}
+	// The Fig. 6 structure: a stationary register, an accumulator, and the
+	// fuse MUX reading the accumulator back as an operand.
+	for _, want := range []string{"stationary_q", "acc_q", "fuse_sel ? acc_q"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("XS PE missing %q", want)
+		}
+	}
+}
+
+func TestEmitCUStructure(t *testing.T) {
+	c := Config{N: 4, DataWidth: 8, AccWidth: 32}
+	src, err := EmitCU(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "parameter N      = 4") {
+		t.Fatal("CU parameter not substituted")
+	}
+	if !strings.Contains(src, "generate") || !strings.Contains(src, "endgenerate") {
+		t.Fatal("CU should use generate loops")
+	}
+	if !strings.Contains(src, "xs_pe #(") {
+		t.Fatal("CU does not instantiate the XS PE")
+	}
+	balanced(t, src, "generate", "endgenerate")
+}
+
+func TestEmitFabricStructure(t *testing.T) {
+	src, err := EmitFabric(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "compute_unit #(") {
+		t.Fatal("fabric does not instantiate compute units")
+	}
+	// The resize/fusion MUXes: conditional edge-port sources.
+	for _, want := range []string{"fu_mode == 2'd3", "fu_mode == 2'd1", "fu_mode == 2'd2"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("fabric missing interconnect mode %q", want)
+		}
+	}
+}
+
+// Structural lint over the full design: every identifier used in an
+// instantiation port connection is declared somewhere as a port, wire, reg
+// or genvar in the emitting module's text.
+func TestEmitFullDesignIdentifiersDeclared(t *testing.T) {
+	src, err := Emit(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(src, "module ") != 3 || strings.Count(src, "endmodule") != 3 {
+		t.Fatalf("expected 3 modules: %d/%d", strings.Count(src, "module "), strings.Count(src, "endmodule"))
+	}
+	declRe := regexp.MustCompile(`(?m)^\s*(?:input|output|inout)?\s*(?:wire|reg|genvar)\s*(?:\[[^\]]+\])?\s*([a-zA-Z_][a-zA-Z0-9_]*)`)
+	paramRe := regexp.MustCompile(`parameter\s+([a-zA-Z_][a-zA-Z0-9_]*)`)
+	declared := map[string]bool{}
+	for _, m := range declRe.FindAllStringSubmatch(src, -1) {
+		declared[m[1]] = true
+	}
+	for _, m := range paramRe.FindAllStringSubmatch(src, -1) {
+		declared[m[1]] = true
+	}
+	portRe := regexp.MustCompile(`\.\w+\(([a-zA-Z_][a-zA-Z0-9_]*)`)
+	for _, m := range portRe.FindAllStringSubmatch(src, -1) {
+		if !declared[m[1]] {
+			t.Errorf("port connection uses undeclared identifier %q", m[1])
+		}
+	}
+}
+
+func TestEmitDeterministic(t *testing.T) {
+	a, err := Emit(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Emit(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("emission not deterministic")
+	}
+}
+
+func TestEmitParameterization(t *testing.T) {
+	big, err := Emit(Config{N: 128, DataWidth: 8, AccWidth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(big, "N=128") || !strings.Contains(big, "parameter N      = 128") {
+		t.Fatal("N not threaded through")
+	}
+	if _, err := Emit(Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

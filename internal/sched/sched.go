@@ -1,0 +1,160 @@
+// Package sched is a discrete-event list scheduler for the four-CU fabric:
+// chain instances become tasks with a cycle cost and a CU-width demand
+// (tile fusion occupies one CU, column fusion a producer/consumer pair,
+// ganged executions two or four). It produces a placement timeline and a
+// makespan, the instance-level counterpart to internal/perf's aggregate
+// roofline — useful for checking that the roofline's perfect-packing
+// assumption is not hiding scheduling cliffs.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task is one schedulable unit of work.
+type Task struct {
+	Name string
+	// Cycles the task occupies its CUs.
+	Cycles int64
+	// CUs is the number of compute units the task needs simultaneously
+	// (1, 2 or 4 on the FuseCU fabric).
+	CUs int
+}
+
+// Validate rejects degenerate tasks.
+func (t Task) Validate() error {
+	if t.Cycles < 0 {
+		return fmt.Errorf("sched: task %q has negative cycles", t.Name)
+	}
+	if t.CUs < 1 {
+		return fmt.Errorf("sched: task %q needs %d CUs", t.Name, t.CUs)
+	}
+	return nil
+}
+
+// Placement records where one task ran.
+type Placement struct {
+	Task  Task
+	Start int64
+	// CUIDs lists the compute units the task occupied.
+	CUIDs []int
+}
+
+// End returns the finish time.
+func (p Placement) End() int64 { return p.Start + p.Task.Cycles }
+
+// Timeline is the outcome of scheduling.
+type Timeline struct {
+	Makespan int64
+	// PerCU is each compute unit's busy-cycle total.
+	PerCU []int64
+	// Placements in execution order.
+	Placements []Placement
+}
+
+// Utilization returns busy cycles over makespan × CUs.
+func (t Timeline) Utilization() float64 {
+	if t.Makespan == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range t.PerCU {
+		busy += b
+	}
+	return float64(busy) / (float64(t.Makespan) * float64(len(t.PerCU)))
+}
+
+// Policy orders the task list before greedy placement.
+type Policy uint8
+
+// FIFO keeps submission order; LPT (longest processing time first) is the
+// classic 4/3-approximation ordering.
+const (
+	FIFO Policy = iota
+	LPT
+)
+
+// ListSchedule greedily places tasks onto cus compute units: each task
+// takes the k CUs that become free earliest and starts when the latest of
+// them frees up. Multi-CU tasks gang adjacent-by-availability units,
+// mirroring the Fig. 7 interconnect (any pair of CUs can be connected).
+func ListSchedule(tasks []Task, cus int, policy Policy) (Timeline, error) {
+	if cus < 1 {
+		return Timeline{}, fmt.Errorf("sched: %d compute units", cus)
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return Timeline{}, err
+		}
+		if t.CUs > cus {
+			return Timeline{}, fmt.Errorf("sched: task %q needs %d CUs, fabric has %d", t.Name, t.CUs, cus)
+		}
+	}
+	order := make([]Task, len(tasks))
+	copy(order, tasks)
+	if policy == LPT {
+		sort.SliceStable(order, func(i, j int) bool {
+			// Wider tasks first among equals: they are hardest to place.
+			if order[i].Cycles != order[j].Cycles {
+				return order[i].Cycles > order[j].Cycles
+			}
+			return order[i].CUs > order[j].CUs
+		})
+	}
+
+	free := make([]int64, cus)
+	tl := Timeline{PerCU: make([]int64, cus)}
+	type cuState struct {
+		id   int
+		free int64
+	}
+	for _, t := range order {
+		states := make([]cuState, cus)
+		for i, fr := range free {
+			states[i] = cuState{id: i, free: fr}
+		}
+		sort.Slice(states, func(i, j int) bool {
+			if states[i].free != states[j].free {
+				return states[i].free < states[j].free
+			}
+			return states[i].id < states[j].id
+		})
+		chosen := states[:t.CUs]
+		start := int64(0)
+		for _, c := range chosen {
+			if c.free > start {
+				start = c.free
+			}
+		}
+		ids := make([]int, 0, t.CUs)
+		for _, c := range chosen {
+			ids = append(ids, c.id)
+			free[c.id] = start + t.Cycles
+			tl.PerCU[c.id] += t.Cycles
+		}
+		sort.Ints(ids)
+		tl.Placements = append(tl.Placements, Placement{Task: t, Start: start, CUIDs: ids})
+		if end := start + t.Cycles; end > tl.Makespan {
+			tl.Makespan = end
+		}
+	}
+	return tl, nil
+}
+
+// LowerBound returns the trivial makespan floor: max(total work / CUs,
+// longest task).
+func LowerBound(tasks []Task, cus int) int64 {
+	var total, longest int64
+	for _, t := range tasks {
+		total += t.Cycles * int64(t.CUs)
+		if t.Cycles > longest {
+			longest = t.Cycles
+		}
+	}
+	floor := (total + int64(cus) - 1) / int64(cus)
+	if longest > floor {
+		return longest
+	}
+	return floor
+}

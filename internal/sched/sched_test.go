@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestListScheduleSingleTask(t *testing.T) {
+	tl, err := ListSchedule([]Task{{Name: "a", Cycles: 100, CUs: 1}}, 4, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan != 100 || len(tl.Placements) != 1 || tl.Placements[0].Start != 0 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+}
+
+func TestListSchedulePerfectPacking(t *testing.T) {
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{Name: "t", Cycles: 50, CUs: 1}
+	}
+	tl, err := ListSchedule(tasks, 4, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan != 100 {
+		t.Fatalf("makespan = %d, want 100", tl.Makespan)
+	}
+	if u := tl.Utilization(); u != 1.0 {
+		t.Fatalf("utilization = %f", u)
+	}
+}
+
+func TestListScheduleMultiCUTask(t *testing.T) {
+	tasks := []Task{
+		{Name: "wide", Cycles: 60, CUs: 4},
+		{Name: "narrow", Cycles: 30, CUs: 1},
+	}
+	tl, err := ListSchedule(tasks, 4, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan != 90 {
+		t.Fatalf("makespan = %d, want 90 (wide then narrow)", tl.Makespan)
+	}
+	if len(tl.Placements[0].CUIDs) != 4 {
+		t.Fatalf("wide task CUs = %v", tl.Placements[0].CUIDs)
+	}
+}
+
+func TestNoOverlappingPlacements(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var tasks []Task
+	for i := 0; i < 60; i++ {
+		tasks = append(tasks, Task{
+			Name:   "t",
+			Cycles: int64(rng.Intn(200) + 1),
+			CUs:    []int{1, 1, 1, 2, 4}[rng.Intn(5)],
+		})
+	}
+	tl, err := ListSchedule(tasks, 4, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct per-CU intervals and check disjointness.
+	type interval struct{ s, e int64 }
+	perCU := map[int][]interval{}
+	for _, p := range tl.Placements {
+		for _, id := range p.CUIDs {
+			perCU[id] = append(perCU[id], interval{p.Start, p.End()})
+		}
+	}
+	for id, ivs := range perCU {
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				if a.s < b.e && b.s < a.e {
+					t.Fatalf("CU %d double-booked: [%d,%d) and [%d,%d)", id, a.s, a.e, b.s, b.e)
+				}
+			}
+		}
+	}
+}
+
+// Graham's bound: LPT list scheduling stays within 2× of the trivial lower
+// bound (it is actually 4/3 for unit-width tasks; ganged tasks loosen it).
+func TestLPTWithinGrahamBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var tasks []Task
+		for i := 0; i < rng.Intn(50)+5; i++ {
+			tasks = append(tasks, Task{
+				Name:   "t",
+				Cycles: int64(rng.Intn(500) + 1),
+				CUs:    []int{1, 1, 2, 4}[rng.Intn(4)],
+			})
+		}
+		tl, err := ListSchedule(tasks, 4, LPT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LowerBound(tasks, 4)
+		if tl.Makespan < lb {
+			t.Fatalf("makespan %d below lower bound %d — impossible", tl.Makespan, lb)
+		}
+		if tl.Makespan > 2*lb {
+			t.Fatalf("makespan %d exceeds 2× lower bound %d", tl.Makespan, lb)
+		}
+	}
+}
+
+func TestLPTNeverWorseThanFIFOOnSortedAdversary(t *testing.T) {
+	// Ascending sizes: FIFO leaves the longest task for last.
+	var tasks []Task
+	for i := 1; i <= 16; i++ {
+		tasks = append(tasks, Task{Name: "t", Cycles: int64(i * 10), CUs: 1})
+	}
+	fifo, _ := ListSchedule(tasks, 4, FIFO)
+	lpt, _ := ListSchedule(tasks, 4, LPT)
+	if lpt.Makespan > fifo.Makespan {
+		t.Fatalf("LPT %d worse than FIFO %d", lpt.Makespan, fifo.Makespan)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := ListSchedule([]Task{{Cycles: 1, CUs: 8}}, 4, FIFO); err == nil {
+		t.Fatal("oversized CU demand accepted")
+	}
+	if _, err := ListSchedule([]Task{{Cycles: -1, CUs: 1}}, 4, FIFO); err == nil {
+		t.Fatal("negative cycles accepted")
+	}
+	if _, err := ListSchedule([]Task{{Cycles: 1, CUs: 0}}, 4, FIFO); err == nil {
+		t.Fatal("zero CUs accepted")
+	}
+	if _, err := ListSchedule(nil, 0, FIFO); err == nil {
+		t.Fatal("zero fabric accepted")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	tasks := []Task{
+		{Cycles: 100, CUs: 1},
+		{Cycles: 10, CUs: 4},
+	}
+	// work = 100 + 40 = 140 → ceil(140/4) = 35; longest = 100.
+	if lb := LowerBound(tasks, 4); lb != 100 {
+		t.Fatalf("LowerBound = %d, want 100", lb)
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	tl, err := ListSchedule(nil, 4, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Utilization() != 0 || tl.Makespan != 0 {
+		t.Fatal("empty schedule should be zero")
+	}
+}

@@ -1,0 +1,136 @@
+package search
+
+import (
+	"fmt"
+
+	"fusecu/internal/fusion"
+	"fusecu/internal/op"
+)
+
+// ChainResult is the outcome of search-based inter-operator optimization —
+// the full DAT role: fusion grouping plus per-group dataflow, found by
+// search rather than by the principles.
+type ChainResult struct {
+	// FusedPairs lists the starting indices of the fused pairs chosen.
+	FusedPairs []int
+	// TotalMA is the chain's searched memory access.
+	TotalMA int64
+	// Evaluations counts cost-model invocations across all searches.
+	Evaluations int64
+}
+
+// OptimizeChain searches a chain's inter-operator space: every operator's
+// intra dataflow via Optimize, every adjacent pair's fused dataflow via a
+// lattice search over the three Fig. 4 patterns, and the fusion grouping
+// via dynamic programming over the searched costs.
+func OptimizeChain(c *op.Chain, bufferSize int64, opts GeneticOptions) (ChainResult, error) {
+	if err := c.Validate(); err != nil {
+		return ChainResult{}, err
+	}
+	n := c.Len()
+	var res ChainResult
+
+	intra := make([]int64, n)
+	for i, mm := range c.Ops {
+		r, err := Optimize(mm, bufferSize, opts)
+		if err != nil {
+			return ChainResult{}, fmt.Errorf("search: chain op %d: %w", i, err)
+		}
+		intra[i] = r.Access.Total
+		res.Evaluations += r.Evaluations
+	}
+
+	fusedMA := make([]int64, max(0, n-1))
+	fusedOK := make([]bool, max(0, n-1))
+	for i := 0; i+1 < n; i++ {
+		pair, err := fusion.NewPair(c.Ops[i], c.Ops[i+1])
+		if err != nil {
+			return ChainResult{}, fmt.Errorf("search: chain link %d: %w", i, err)
+		}
+		ma, evals, ok := SearchFused(pair, bufferSize)
+		res.Evaluations += evals
+		fusedMA[i], fusedOK[i] = ma, ok
+	}
+
+	// DP over prefixes, mirroring the principle planner but on searched
+	// costs.
+	const inf = int64(1) << 62
+	best := make([]int64, n+1)
+	choice := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		best[i] = inf
+		if v := best[i-1] + intra[i-1]; v < best[i] {
+			best[i], choice[i] = v, 1
+		}
+		if i >= 2 && fusedOK[i-2] {
+			if v := best[i-2] + fusedMA[i-2]; v < best[i] {
+				best[i], choice[i] = v, 2
+			}
+		}
+	}
+	res.TotalMA = best[n]
+	for i := n; i > 0; {
+		if choice[i] == 2 {
+			res.FusedPairs = append(res.FusedPairs, i-2)
+			i -= 2
+			continue
+		}
+		i--
+	}
+	// Reverse into chain order.
+	for l, r := 0, len(res.FusedPairs)-1; l < r; l, r = l+1, r-1 {
+		res.FusedPairs[l], res.FusedPairs[r] = res.FusedPairs[r], res.FusedPairs[l]
+	}
+	return res, nil
+}
+
+// SearchFused searches the fused-dataflow space of one pair over the
+// TileGrid lattice for every pattern, returning the best feasible MA, the
+// evaluation count, and whether anything fit.
+func SearchFused(p fusion.Pair, bufferSize int64) (int64, int64, bool) {
+	var (
+		best  int64
+		found bool
+		evals int64
+	)
+	consider := func(fd fusion.FusedDataflow) {
+		a, err := fusion.Evaluate(p, fd)
+		evals++
+		if err != nil || a.Footprint > bufferSize {
+			return
+		}
+		if !found || a.Total < best {
+			found, best = true, a.Total
+		}
+	}
+	for _, tm := range TileGrid(p.M()) {
+		for _, tl := range TileGrid(p.L()) {
+			consider(fusion.FusedDataflow{Pattern: fusion.PatternTileOSIS, TM: tm, TK: 1, TL: tl, TN: 1})
+		}
+		for _, tl := range TileGrid(p.L()) {
+			consider(fusion.FusedDataflow{Pattern: fusion.PatternColumn, TM: tm, TK: p.K(), TL: tl, TN: p.N()})
+		}
+	}
+	consider(fusion.FusedDataflow{Pattern: fusion.PatternResident, TM: p.M(), TK: 1, TL: p.L(), TN: p.N()})
+	return best, evals, found
+}
+
+// UnfusedChainMA is the searched all-unfused baseline.
+func UnfusedChainMA(c *op.Chain, bufferSize int64, opts GeneticOptions) (int64, error) {
+	var total int64
+	for i, mm := range c.Ops {
+		r, err := Optimize(mm, bufferSize, opts)
+		if err != nil {
+			return 0, fmt.Errorf("search: chain op %d: %w", i, err)
+		}
+		total += r.Access.Total
+	}
+	return total, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package search
+
+import (
+	"testing"
+
+	"fusecu/internal/core"
+	"fusecu/internal/fusion"
+	"fusecu/internal/op"
+)
+
+func attnChain(t *testing.T, seq, dh int) *op.Chain {
+	t.Helper()
+	c, err := op.NewChain("attn",
+		op.MatMul{Name: "QKt", M: seq, K: dh, L: seq},
+		op.MatMul{Name: "SV", M: seq, K: seq, L: dh},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOptimizeChainFusesAttention(t *testing.T) {
+	c := attnChain(t, 256, 32)
+	bs := int64(32 * 1024)
+	r, err := OptimizeChain(c, bs, GeneticOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FusedPairs) != 1 || r.FusedPairs[0] != 0 {
+		t.Fatalf("fused pairs = %v", r.FusedPairs)
+	}
+	unfused, err := UnfusedChainMA(c, bs, GeneticOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalMA >= unfused {
+		t.Fatalf("search fusion did not help: %d vs %d", r.TotalMA, unfused)
+	}
+	if r.Evaluations <= 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+// The search-based chain optimizer can never beat the principle planner —
+// the principles construct the optimum the search gropes toward — and must
+// land close to it on attention chains.
+func TestChainSearchNeverBeatsPrinciples(t *testing.T) {
+	cases := []struct {
+		seq, dh int
+		bs      int64
+	}{
+		{256, 32, 16 * 1024},
+		{256, 32, 64 * 1024},
+		{512, 64, 64 * 1024},
+		{512, 64, 512 * 1024},
+	}
+	for _, tc := range cases {
+		c := attnChain(t, tc.seq, tc.dh)
+		plan, err := core.PlanChain(c, tc.bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := OptimizeChain(c, tc.bs, GeneticOptions{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TotalMA < plan.TotalMA {
+			t.Errorf("seq=%d bs=%d: search %d beat principles %d", tc.seq, tc.bs, r.TotalMA, plan.TotalMA)
+		}
+		if r.TotalMA > plan.TotalMA*6/5 {
+			t.Errorf("seq=%d bs=%d: search %d far from principles %d", tc.seq, tc.bs, r.TotalMA, plan.TotalMA)
+		}
+	}
+}
+
+func TestOptimizeChainSingleOp(t *testing.T) {
+	c, _ := op.NewChain("one", op.MatMul{M: 64, K: 64, L: 64})
+	r, err := OptimizeChain(c, 4096, GeneticOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FusedPairs) != 0 {
+		t.Fatal("single op cannot fuse")
+	}
+}
+
+func TestOptimizeChainInvalid(t *testing.T) {
+	bad := &op.Chain{Name: "bad", Ops: []op.MatMul{{M: 2, K: 2, L: 2}, {M: 3, K: 2, L: 2}}, Elementwise: make([]op.Elementwise, 1)}
+	if _, err := OptimizeChain(bad, 1024, GeneticOptions{}); err == nil {
+		t.Fatal("invalid chain accepted")
+	}
+}
+
+func TestSearchFusedRespectsBuffer(t *testing.T) {
+	pair, err := fusion.NewPair(
+		op.MatMul{M: 128, K: 32, L: 128},
+		op.MatMul{M: 128, K: 128, L: 32},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, evals, ok := SearchFused(pair, 8*1024)
+	if !ok {
+		t.Fatal("no fused dataflow found")
+	}
+	if ma < pair.FusedIdealMA() {
+		t.Fatalf("searched MA %d below the fused ideal %d", ma, pair.FusedIdealMA())
+	}
+	if evals <= 0 {
+		t.Fatal("no evaluations counted")
+	}
+	// The smallest fused footprint is five 1×1 tiles; below that nothing
+	// fits.
+	if _, _, ok := SearchFused(pair, 4); ok {
+		t.Fatal("4-element buffer accepted a fused dataflow")
+	}
+	if _, _, ok := SearchFused(pair, 5); !ok {
+		t.Fatal("5-element buffer should fit the minimal tile-fusion dataflow")
+	}
+}
+
+// With a huge buffer the searched fused chain reaches the fused ideal, like
+// the principles do.
+func TestChainSearchReachesFusedIdealLargeBuffer(t *testing.T) {
+	c := attnChain(t, 128, 32)
+	r, err := OptimizeChain(c, 1<<20, GeneticOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, _ := fusion.NewPair(c.Ops[0], c.Ops[1])
+	if r.TotalMA != pair.FusedIdealMA() {
+		t.Fatalf("TotalMA = %d, want fused ideal %d", r.TotalMA, pair.FusedIdealMA())
+	}
+}
+
+func BenchmarkOptimizeChain(b *testing.B) {
+	c, err := op.NewChain("attn",
+		op.MatMul{Name: "QKt", M: 1024, K: 64, L: 1024},
+		op.MatMul{Name: "SV", M: 1024, K: 1024, L: 64},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeChain(c, 512*1024, GeneticOptions{Seed: int64(i + 1), Population: 32, Generations: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package search implements the search-based dataflow optimizer the
+// principles are validated against, playing the role DAT plays in the paper
+// (Fig. 9). Two engines are provided over the identical tiling/scheduling
+// space used by internal/core:
+//
+//   - Exhaustive enumerates every loop order and every integer tiling —
+//     the ground-truth optimum, tractable for small operators and used by the
+//     test suite to prove the principle optimizer's optimality.
+//   - Genetic is a DAT-style genetic algorithm for spaces where exhaustive
+//     enumeration is intractable. Like DAT's GA it does not guarantee the
+//     global optimum, which is exactly the behaviour Fig. 9 exercises.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+// Result is the outcome of a search.
+type Result struct {
+	Dataflow dataflow.Dataflow
+	Access   cost.Access
+	// Evaluations counts cost-model invocations, the search-cost metric the
+	// paper contrasts with one-shot principle optimization.
+	Evaluations int64
+	Method      string
+}
+
+// Exhaustive enumerates all 6 loop orders × all integer tilings and returns
+// the global optimum. Cost grows with M·K·L; use only for operators whose
+// dimension product is modest (tests, calibration).
+func Exhaustive(mm op.MatMul, bufferSize int64) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
+	}
+	var (
+		best  Result
+		found bool
+	)
+	for _, o := range dataflow.AllOrders() {
+		for tm := 1; tm <= mm.M; tm++ {
+			for tk := 1; tk <= mm.K; tk++ {
+				for tl := 1; tl <= mm.L; tl++ {
+					df := dataflow.Dataflow{Order: o, Tiling: dataflow.Tiling{TM: tm, TK: tk, TL: tl}}
+					if df.Tiling.Footprint() > bufferSize {
+						continue
+					}
+					a := cost.MustEvaluate(mm, df)
+					best.Evaluations++
+					if !found || a.Total < best.Access.Total {
+						found = true
+						best.Dataflow, best.Access = df, a
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d", mm, bufferSize)
+	}
+	best.Method = "exhaustive"
+	return best, nil
+}
+
+// TileGrid returns the candidate tile values for one dimension extent used
+// by the coarse engines: 1, the extent itself, all powers of two below it,
+// and all divisors up to a density cap. This matches the pragmatic grids
+// search-based mappers explore.
+func TileGrid(extent int) []int {
+	set := map[int]bool{1: true, extent: true}
+	for p := 2; p < extent; p *= 2 {
+		set[p] = true
+	}
+	for d := 2; d*d <= extent; d++ {
+		if extent%d == 0 {
+			set[d] = true
+			set[extent/d] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ExhaustiveCoarse enumerates all loop orders over the TileGrid lattice —
+// the tractable projection of the full space that DSE frameworks typically
+// explore for large operators.
+func ExhaustiveCoarse(mm op.MatMul, bufferSize int64) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
+	}
+	gm, gk, gl := TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L)
+	var (
+		best  Result
+		found bool
+	)
+	for _, o := range dataflow.AllOrders() {
+		for _, tm := range gm {
+			for _, tk := range gk {
+				for _, tl := range gl {
+					df := dataflow.Dataflow{Order: o, Tiling: dataflow.Tiling{TM: tm, TK: tk, TL: tl}}
+					if df.Tiling.Footprint() > bufferSize {
+						continue
+					}
+					a := cost.MustEvaluate(mm, df)
+					best.Evaluations++
+					if !found || a.Total < best.Access.Total {
+						found = true
+						best.Dataflow, best.Access = df, a
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d", mm, bufferSize)
+	}
+	best.Method = "exhaustive-coarse"
+	return best, nil
+}
+
+// GeneticOptions tunes the genetic engine. The zero value selects the
+// defaults used throughout the benchmarks.
+type GeneticOptions struct {
+	Population  int   // default 64
+	Generations int   // default 60
+	Seed        int64 // default 1
+	// Elitism keeps the best individuals unchanged each generation.
+	Elitism int // default 4
+}
+
+func (o GeneticOptions) withDefaults() GeneticOptions {
+	if o.Population <= 0 {
+		o.Population = 64
+	}
+	if o.Generations <= 0 {
+		o.Generations = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Elitism <= 0 {
+		o.Elitism = 4
+	}
+	if o.Elitism > o.Population/2 {
+		o.Elitism = o.Population / 2
+	}
+	return o
+}
+
+type genome struct {
+	order      int // index into dataflow.AllOrders()
+	tm, tk, tl int
+}
+
+// Genetic runs a DAT-style genetic algorithm over loop orders and integer
+// tilings. It is deterministic for a fixed seed. Like DAT it may return a
+// locally rather than globally optimal dataflow.
+func Genetic(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
+	}
+	if bufferSize < 3 {
+		return Result{}, fmt.Errorf("search: buffer %d cannot hold 1×1 tiles", bufferSize)
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	orders := dataflow.AllOrders()
+
+	var evals int64
+	fitness := func(g genome) int64 {
+		df := dataflow.Dataflow{
+			Order:  orders[g.order],
+			Tiling: dataflow.Tiling{TM: g.tm, TK: g.tk, TL: g.tl}.Clamp(mm),
+		}
+		evals++
+		a := cost.MustEvaluate(mm, df)
+		if a.Footprint > bufferSize {
+			// Penalize infeasible individuals proportionally to overflow so
+			// repair pressure points back into the feasible region.
+			return a.Total + (a.Footprint-bufferSize)*1024
+		}
+		return a.Total
+	}
+
+	randTile := func(ext int) int { return rng.Intn(ext) + 1 }
+	repair := func(g genome) genome {
+		g.tm, g.tk, g.tl = clampT(g.tm, mm.M), clampT(g.tk, mm.K), clampT(g.tl, mm.L)
+		for i := 0; i < 64; i++ {
+			ti := dataflow.Tiling{TM: g.tm, TK: g.tk, TL: g.tl}
+			if ti.Footprint() <= bufferSize {
+				break
+			}
+			// Shrink the largest tile.
+			switch {
+			case g.tm >= g.tk && g.tm >= g.tl && g.tm > 1:
+				g.tm = g.tm/2 + g.tm%2
+			case g.tk >= g.tl && g.tk > 1:
+				g.tk = g.tk/2 + g.tk%2
+			case g.tl > 1:
+				g.tl = g.tl/2 + g.tl%2
+			default:
+				return g
+			}
+		}
+		return g
+	}
+
+	pop := make([]genome, opts.Population)
+	for i := range pop {
+		pop[i] = repair(genome{
+			order: rng.Intn(len(orders)),
+			tm:    randTile(mm.M),
+			tk:    randTile(mm.K),
+			tl:    randTile(mm.L),
+		})
+	}
+
+	type scored struct {
+		g genome
+		f int64
+	}
+	score := func() []scored {
+		s := make([]scored, len(pop))
+		for i, g := range pop {
+			s[i] = scored{g, fitness(g)}
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i].f < s[j].f })
+		return s
+	}
+
+	mutate := func(g genome) genome {
+		switch rng.Intn(5) {
+		case 0:
+			g.order = rng.Intn(len(orders))
+		case 1:
+			g.tm = mutateTile(rng, g.tm, mm.M)
+		case 2:
+			g.tk = mutateTile(rng, g.tk, mm.K)
+		case 3:
+			g.tl = mutateTile(rng, g.tl, mm.L)
+		case 4:
+			// Jump to an untiled extreme, the move that discovers the
+			// Two-/Three-NRA basins.
+			switch rng.Intn(3) {
+			case 0:
+				g.tm = mm.M
+			case 1:
+				g.tk = mm.K
+			case 2:
+				g.tl = mm.L
+			}
+		}
+		return repair(g)
+	}
+	crossover := func(a, b genome) genome {
+		c := a
+		if rng.Intn(2) == 0 {
+			c.order = b.order
+		}
+		if rng.Intn(2) == 0 {
+			c.tm = b.tm
+		}
+		if rng.Intn(2) == 0 {
+			c.tk = b.tk
+		}
+		if rng.Intn(2) == 0 {
+			c.tl = b.tl
+		}
+		return repair(c)
+	}
+	tournament := func(s []scored) genome {
+		best := s[rng.Intn(len(s))]
+		for i := 0; i < 2; i++ {
+			if c := s[rng.Intn(len(s))]; c.f < best.f {
+				best = c
+			}
+		}
+		return best.g
+	}
+
+	var bestG genome
+	var bestF int64 = -1
+	for gen := 0; gen < opts.Generations; gen++ {
+		s := score()
+		if bestF < 0 || s[0].f < bestF {
+			bestF, bestG = s[0].f, s[0].g
+		}
+		next := make([]genome, 0, opts.Population)
+		for i := 0; i < opts.Elitism && i < len(s); i++ {
+			next = append(next, s[i].g)
+		}
+		for len(next) < opts.Population {
+			child := crossover(tournament(s), tournament(s))
+			if rng.Intn(100) < 40 {
+				child = mutate(child)
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	s := score()
+	if s[0].f < bestF {
+		bestF, bestG = s[0].f, s[0].g
+	}
+
+	df := dataflow.Dataflow{
+		Order:  orders[bestG.order],
+		Tiling: dataflow.Tiling{TM: bestG.tm, TK: bestG.tk, TL: bestG.tl}.Clamp(mm),
+	}
+	a := cost.MustEvaluate(mm, df)
+	if a.Footprint > bufferSize {
+		return Result{}, fmt.Errorf("search: genetic search found no feasible dataflow for %v in buffer %d", mm, bufferSize)
+	}
+	return Result{Dataflow: df, Access: a, Evaluations: evals, Method: "genetic"}, nil
+}
+
+// Optimize picks the engine by space size: exact enumeration over the coarse
+// lattice when it is small enough, otherwise the genetic algorithm. This is
+// the entry point the Fig. 9 harness uses as "DAT".
+func Optimize(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error) {
+	lattice := int64(len(TileGrid(mm.M))) * int64(len(TileGrid(mm.K))) * int64(len(TileGrid(mm.L))) * 6
+	if lattice <= 200_000 {
+		r, err := ExhaustiveCoarse(mm, bufferSize)
+		if err != nil {
+			return Result{}, err
+		}
+		// The coarse lattice can miss boundary tile values such as
+		// (BS−K)/(K+1); polish with the GA seeded from scratch and keep the
+		// better of the two, mirroring DAT's MIP+GA hybrid.
+		g, gerr := Genetic(mm, bufferSize, opts)
+		if gerr == nil && g.Access.Total < r.Access.Total {
+			g.Evaluations += r.Evaluations
+			g.Method = "coarse+genetic"
+			return g, nil
+		}
+		r.Evaluations += g.Evaluations
+		return r, nil
+	}
+	return Genetic(mm, bufferSize, opts)
+}
+
+func clampT(v, hi int) int {
+	if v < 1 {
+		return 1
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func mutateTile(rng *rand.Rand, v, ext int) int {
+	switch rng.Intn(4) {
+	case 0:
+		v *= 2
+	case 1:
+		v = v/2 + v%2
+	case 2:
+		v += rng.Intn(5) - 2
+	default:
+		v = rng.Intn(ext) + 1
+	}
+	return clampT(v, ext)
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"fusecu/internal/tensor"
+)
+
+// ScaleAccumulatorRows multiplies each accumulator row by the given factor —
+// the per-row rescale the softmax unit applies to the consumer CU's
+// accumulators when a new running maximum arrives in streamed attention.
+func (cu *CU) ScaleAccumulatorRows(factors []float64) error {
+	if len(factors) > cu.Rows {
+		return fmt.Errorf("sim: %d row factors for %d rows", len(factors), cu.Rows)
+	}
+	for i, f := range factors {
+		for j := range cu.acc[i] {
+			cu.acc[i][j] *= f
+		}
+	}
+	cu.cycles++
+	return nil
+}
+
+// FusedAttention executes O = softmax(Q·Kᵀ·scale)·V with exact online
+// (streaming) softmax renormalization — the FlashAttention-style recurrence
+// running on the column-fusion datapath: the producer CU holds a Q row-block
+// and emits score columns; the softmax unit exponentiates them against a
+// running row maximum, rescaling the consumer CU's accumulators whenever the
+// maximum grows; the consumer accumulates the weighted V rows. The S matrix
+// never exists in memory, yet the result matches the full softmax exactly.
+//
+// Shapes: q is M×dh, kT is dh×L, v is L×dh; dh must fit one CU (≤ N).
+func (f *Fabric) FusedAttention(q, kT, v *tensor.Matrix, scale float64) (*tensor.Matrix, error) {
+	if q.Cols != kT.Rows || kT.Cols != v.Rows || q.Cols != v.Cols {
+		return nil, fmt.Errorf("sim: attention shape mismatch Q %d×%d, Kᵀ %d×%d, V %d×%d",
+			q.Rows, q.Cols, kT.Rows, kT.Cols, v.Rows, v.Cols)
+	}
+	prod, cons := f.cus[0], f.cus[2]
+	if q.Cols > prod.Cols {
+		return nil, fmt.Errorf("sim: head dim %d exceeds CU width %d", q.Cols, prod.Cols)
+	}
+	M, L, dh := q.Rows, kT.Cols, q.Cols
+	out := tensor.New(M, dh)
+
+	for m0 := 0; m0 < M; m0 += prod.Rows {
+		m1 := minInt(m0+prod.Rows, M)
+		rows := m1 - m0
+		pBefore, cBefore := prod.Cycles(), cons.Cycles()
+		if err := prod.LoadStationary(q.Sub(m0, m1, 0, dh)); err != nil {
+			return nil, err
+		}
+		f.traffic.A += int64(rows) * int64(dh)
+		cons.ResetAccumulators()
+
+		runMax := make([]float64, rows)
+		denom := make([]float64, rows)
+		for i := range runMax {
+			runMax[i] = math.Inf(-1)
+		}
+
+		// Stream K columns through the producer, one at a time, exactly as
+		// column fusion moves the intermediate.
+		for l := 0; l < L; l++ {
+			sCol, err := prod.PassRight(kT.Sub(0, dh, l, l+1), false)
+			if err != nil {
+				return nil, err
+			}
+			f.traffic.B += int64(dh)
+
+			// Softmax unit: exponentiate against the running maximum and
+			// rescale consumer accumulators where the maximum moved.
+			factors := make([]float64, rows)
+			weights := tensor.New(rows, 1)
+			for i := 0; i < rows; i++ {
+				s := sCol.At(i, 0) * scale
+				if s > runMax[i] {
+					alpha := math.Exp(runMax[i] - s)
+					if math.IsInf(runMax[i], -1) {
+						alpha = 0
+					}
+					factors[i] = alpha
+					denom[i] *= alpha
+					runMax[i] = s
+				} else {
+					factors[i] = 1
+				}
+				w := math.Exp(s - runMax[i])
+				weights.Set(i, 0, w)
+				denom[i] += w
+			}
+			if err := cons.ScaleAccumulatorRows(factors); err != nil {
+				return nil, err
+			}
+			// Consumer: acc[i,:] += w_i · V[l,:].
+			if err := cons.PassAccumulate(weights, v.Sub(l, l+1, 0, dh)); err != nil {
+				return nil, err
+			}
+			f.traffic.D += int64(dh)
+		}
+
+		tile, err := cons.Accumulators(rows, dh)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < dh; j++ {
+				out.Set(m0+i, j, tile.At(i, j)/denom[i])
+			}
+		}
+		f.traffic.Out += int64(rows) * int64(dh)
+
+		pd, cd := prod.Cycles()-pBefore, cons.Cycles()-cBefore
+		f.pipelineCycles += maxInt64(pd, cd) + 1
+	}
+	return out, nil
+}

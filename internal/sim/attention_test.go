@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fusecu/internal/tensor"
+)
+
+// attentionReference computes softmax(Q·Kᵀ·scale)·V with the full
+// (non-streamed) softmax.
+func attentionReference(t *testing.T, q, kT, v *tensor.Matrix, scale float64) *tensor.Matrix {
+	t.Helper()
+	s, err := tensor.MatMul(q, kT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Data {
+		s.Data[i] *= scale
+	}
+	p := tensor.Softmax(s)
+	o, err := tensor.MatMul(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestFusedAttentionMatchesFullSoftmax(t *testing.T) {
+	f, _ := NewFabric(4)
+	q := tensor.New(10, 4).Seq(1)
+	kT := tensor.New(4, 12).Seq(2)
+	v := tensor.New(12, 4).Seq(3)
+	got, err := f.FusedAttention(q, kT, v, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := attentionReference(t, q, kT, v, 0.5)
+	if !tensor.Equal(got, want, 1e-9) {
+		t.Fatalf("online softmax diverges by %v", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestFusedAttentionRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f, _ := NewFabric(5)
+	for i := 0; i < 20; i++ {
+		m := rng.Intn(12) + 1
+		dh := rng.Intn(5) + 1
+		l := rng.Intn(14) + 1
+		q := tensor.New(m, dh).Seq(i)
+		kT := tensor.New(dh, l).Seq(i + 1)
+		v := tensor.New(l, dh).Seq(i + 2)
+		scale := 1 / math.Sqrt(float64(dh))
+		got, err := f.FusedAttention(q, kT, v, scale)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want := attentionReference(t, q, kT, v, scale)
+		if !tensor.Equal(got, want, 1e-9) {
+			t.Fatalf("case %d (m=%d dh=%d l=%d): diverges by %v", i, m, dh, l, tensor.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+// The S matrix never crosses the memory boundary: attention traffic is just
+// Q, Kᵀ, V and O — per row-block for the streams.
+func TestFusedAttentionTraffic(t *testing.T) {
+	const n = 4
+	f, _ := NewFabric(n)
+	M, dh, L := 10, 4, 12
+	q := tensor.New(M, dh).Seq(1)
+	kT := tensor.New(dh, L).Seq(2)
+	v := tensor.New(L, dh).Seq(3)
+	if _, err := f.FusedAttention(q, kT, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	nM := int64((M + n - 1) / n)
+	got := f.Traffic()
+	if got.A != int64(M*dh) {
+		t.Fatalf("Q traffic = %d, want %d", got.A, M*dh)
+	}
+	if got.B != int64(dh*L)*nM {
+		t.Fatalf("Kᵀ traffic = %d, want %d", got.B, int64(dh*L)*nM)
+	}
+	if got.D != int64(L*dh)*nM {
+		t.Fatalf("V traffic = %d, want %d", got.D, int64(L*dh)*nM)
+	}
+	if got.Out != int64(M*dh) {
+		t.Fatalf("O traffic = %d, want %d", got.Out, M*dh)
+	}
+}
+
+func TestFusedAttentionErrors(t *testing.T) {
+	f, _ := NewFabric(4)
+	if _, err := f.FusedAttention(tensor.New(4, 3), tensor.New(4, 4), tensor.New(4, 3), 1); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	// Head dim wider than the CU.
+	if _, err := f.FusedAttention(tensor.New(4, 6), tensor.New(6, 4), tensor.New(4, 6), 1); err == nil {
+		t.Fatal("oversized head dim accepted")
+	}
+}
+
+func TestScaleAccumulatorRows(t *testing.T) {
+	cu, _ := NewCU(2, 2)
+	cu.acc[0][0], cu.acc[0][1] = 2, 4
+	cu.acc[1][0], cu.acc[1][1] = 6, 8
+	if err := cu.ScaleAccumulatorRows([]float64{0.5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if cu.acc[0][0] != 1 || cu.acc[0][1] != 2 || cu.acc[1][0] != 12 || cu.acc[1][1] != 16 {
+		t.Fatalf("acc = %v", cu.acc)
+	}
+	if err := cu.ScaleAccumulatorRows(make([]float64, 5)); err == nil {
+		t.Fatal("oversized factor vector accepted")
+	}
+}
+
+func TestFusedAttentionPipelineOverlap(t *testing.T) {
+	f, _ := NewFabric(4)
+	q := tensor.New(8, 4).Seq(1)
+	kT := tensor.New(4, 16).Seq(2)
+	v := tensor.New(16, 4).Seq(3)
+	if _, err := f.FusedAttention(q, kT, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.Cycles() >= f.BusyCycles() {
+		t.Fatalf("no producer/consumer overlap: pipeline %d busy %d", f.Cycles(), f.BusyCycles())
+	}
+}

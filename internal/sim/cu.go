@@ -1,0 +1,328 @@
+// Package sim is a functional, cycle-stepped simulator of the FuseCU
+// compute fabric — the stand-in for the paper's Chisel RTL. It models a
+// compute unit (CU) as a systolic PE array executing skewed wavefronts with
+// explicit per-cycle neighbour-to-neighbour propagation, supports the XS
+// (flexible-stationary) passes of Fig. 6, the two fused executions of
+// Fig. 5 (tile fusion: an OS produce phase followed by an IS consume phase
+// reusing the accumulators as the stationary operand; column fusion: an IS
+// producer CU streaming intermediate columns straight into an OS consumer
+// CU over the Fig. 7 interconnect), and the square/narrow/wide CU gangings.
+//
+// Every moving value carries its (stream, reduction) indices, and each PE
+// asserts that the operands meeting in it belong together — a misaligned
+// skew or a mis-wired mapping trips the assertion instead of silently
+// producing wrong data. Results are validated bit-for-bit against
+// internal/tensor's reference matmul in the tests.
+package sim
+
+import (
+	"fmt"
+
+	"fusecu/internal/tensor"
+)
+
+// token is a value on a systolic wire with its provenance tags. s is the
+// stream index (the output row/column being produced), r the reduction
+// index. A token with valid == false is a bubble.
+type token struct {
+	val   float64
+	s, r  int
+	valid bool
+}
+
+// CU is one compute unit: a Rows×Cols PE array with per-PE stationary and
+// accumulator registers, as in Fig. 6's XS PE.
+type CU struct {
+	Rows, Cols int
+	// stat is the stationary register plane (weight for WS passes, input
+	// for IS passes).
+	stat [][]float64
+	// acc is the accumulator plane (output-stationary passes and the
+	// consumer side of the fused executions).
+	acc [][]float64
+	// cycles counts every simulated array cycle across passes.
+	cycles int64
+}
+
+// NewCU builds a zeroed compute unit.
+func NewCU(rows, cols int) (*CU, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sim: invalid CU shape %d×%d", rows, cols)
+	}
+	cu := &CU{Rows: rows, Cols: cols}
+	cu.stat = plane(rows, cols)
+	cu.acc = plane(rows, cols)
+	return cu, nil
+}
+
+func plane(r, c int) [][]float64 {
+	p := make([][]float64, r)
+	backing := make([]float64, r*c)
+	for i := range p {
+		p[i], backing = backing[:c:c], backing[c:]
+	}
+	return p
+}
+
+// Cycles returns the cumulative simulated cycle count.
+func (cu *CU) Cycles() int64 { return cu.cycles }
+
+// ResetAccumulators zeroes the accumulator plane (the start of a new
+// output-stationary tile).
+func (cu *CU) ResetAccumulators() {
+	for i := range cu.acc {
+		for j := range cu.acc[i] {
+			cu.acc[i][j] = 0
+		}
+	}
+}
+
+// LoadStationary writes m into the stationary plane, zero-padding the rest.
+// It costs Rows cycles (one row shifted in per cycle), as in a systolic
+// weight load.
+func (cu *CU) LoadStationary(m *tensor.Matrix) error {
+	if m.Rows > cu.Rows || m.Cols > cu.Cols {
+		return fmt.Errorf("sim: stationary %d×%d exceeds CU %d×%d", m.Rows, m.Cols, cu.Rows, cu.Cols)
+	}
+	for i := 0; i < cu.Rows; i++ {
+		for j := 0; j < cu.Cols; j++ {
+			if i < m.Rows && j < m.Cols {
+				cu.stat[i][j] = m.At(i, j)
+			} else {
+				cu.stat[i][j] = 0
+			}
+		}
+	}
+	cu.cycles += int64(cu.Rows)
+	return nil
+}
+
+// Accumulators returns the top-left rows×cols corner of the accumulator
+// plane. Draining costs rows cycles (one row per cycle through the column
+// datapath).
+func (cu *CU) Accumulators(rows, cols int) (*tensor.Matrix, error) {
+	if rows > cu.Rows || cols > cu.Cols || rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sim: drain %d×%d exceeds CU %d×%d", rows, cols, cu.Rows, cu.Cols)
+	}
+	out := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			out.Set(i, j, cu.acc[i][j])
+		}
+	}
+	cu.cycles += int64(rows)
+	return out, nil
+}
+
+// PassDown performs a weight-stationary pass: out = stream × stationary,
+// with stream M×R entering the west edge (skewed) and partial sums flowing
+// north→south. stream's column count must not exceed the CU rows holding
+// the stationary operand.
+//
+// Wavefront timing: stream value (m, r) enters row r at cycle m+r and moves
+// east; the partial sum for output (m, c) enters column c at cycle m+c and
+// moves south, meeting stream row r at cycle m+r+c. Output (m, c) emerges
+// from the south edge at cycle m+Rows+c.
+func (cu *CU) PassDown(stream *tensor.Matrix) (*tensor.Matrix, error) {
+	if stream.Cols > cu.Rows {
+		return nil, fmt.Errorf("sim: stream has %d columns but CU has %d rows", stream.Cols, cu.Rows)
+	}
+	M := stream.Rows
+	out := tensor.New(M, cu.Cols)
+
+	h := tokenPlane(cu.Rows, cu.Cols) // eastward stream values
+	v := tokenPlane(cu.Rows, cu.Cols) // southward partial sums
+
+	total := M + cu.Rows + cu.Cols + 2
+	for t := 0; t < total; t++ {
+		// Collect south-edge outputs produced last cycle.
+		for c := 0; c < cu.Cols; c++ {
+			if p := v[cu.Rows-1][c]; p.valid {
+				out.Set(p.s, c, p.val)
+			}
+		}
+		nh := tokenPlane(cu.Rows, cu.Cols)
+		nv := tokenPlane(cu.Rows, cu.Cols)
+		for r := cu.Rows - 1; r >= 0; r-- {
+			for c := cu.Cols - 1; c >= 0; c-- {
+				var a token
+				if c == 0 {
+					m := t - r
+					if m >= 0 && m < M {
+						a = token{val: at(stream, m, r), s: m, r: r, valid: true}
+					}
+				} else {
+					a = h[r][c-1]
+				}
+				var p token
+				if r == 0 {
+					m := t - c
+					if m >= 0 && m < M {
+						p = token{val: 0, s: m, valid: true}
+					}
+				} else {
+					p = v[r-1][c]
+				}
+				if a.valid && p.valid && a.s != p.s {
+					return nil, fmt.Errorf("sim: PassDown skew broken at PE(%d,%d) cycle %d: stream m=%d psum m=%d", r, c, t, a.s, p.s)
+				}
+				if p.valid {
+					if a.valid {
+						p.val += a.val * cu.stat[r][c]
+					}
+					nv[r][c] = p
+				}
+				nh[r][c] = a
+			}
+		}
+		h, v = nh, nv
+	}
+	cu.cycles += int64(total)
+	return out, nil
+}
+
+// PassRight performs a left-stationary pass: out = S × stream, where S is
+// either the stationary plane (an input-stationary operator pass) or the
+// accumulator plane (the consume phase of tile fusion, via the Fig. 6 MUX
+// path that feeds the accumulated result back as an input operand). stream
+// is Cols×N, entering the north edge; partial sums flow west→east.
+//
+// Wavefront timing: stream value (l, n) enters column l at cycle n+l and
+// moves south; the partial sum for output (r, n) enters row r at cycle n+r
+// and moves east, meeting column l at cycle n+r+l. Output (r, n) emerges
+// from the east edge at cycle n+r+Cols.
+func (cu *CU) PassRight(stream *tensor.Matrix, fromAccumulators bool) (*tensor.Matrix, error) {
+	plane := cu.stat
+	if fromAccumulators {
+		plane = cu.acc
+	}
+	if stream.Rows > cu.Cols {
+		return nil, fmt.Errorf("sim: stream has %d rows but CU has %d columns", stream.Rows, cu.Cols)
+	}
+	N := stream.Cols
+	out := tensor.New(cu.Rows, N)
+
+	v := tokenPlane(cu.Rows, cu.Cols) // southward stream values
+	h := tokenPlane(cu.Rows, cu.Cols) // eastward partial sums
+
+	total := N + cu.Rows + cu.Cols + 2
+	for t := 0; t < total; t++ {
+		for r := 0; r < cu.Rows; r++ {
+			if p := h[r][cu.Cols-1]; p.valid {
+				out.Set(r, p.s, p.val)
+			}
+		}
+		nv := tokenPlane(cu.Rows, cu.Cols)
+		nh := tokenPlane(cu.Rows, cu.Cols)
+		for r := cu.Rows - 1; r >= 0; r-- {
+			for c := cu.Cols - 1; c >= 0; c-- {
+				var d token
+				if r == 0 {
+					n := t - c
+					if n >= 0 && n < N {
+						d = token{val: at(stream, c, n), s: n, r: c, valid: true}
+					}
+				} else {
+					d = v[r-1][c]
+				}
+				var p token
+				if c == 0 {
+					n := t - r
+					if n >= 0 && n < N {
+						p = token{val: 0, s: n, valid: true}
+					}
+				} else {
+					p = h[r][c-1]
+				}
+				if d.valid && p.valid && d.s != p.s {
+					return nil, fmt.Errorf("sim: PassRight skew broken at PE(%d,%d) cycle %d: stream n=%d psum n=%d", r, c, t, d.s, p.s)
+				}
+				if p.valid {
+					if d.valid {
+						p.val += d.val * plane[r][c]
+					}
+					nh[r][c] = p
+				}
+				nv[r][c] = d
+			}
+		}
+		v, h = nv, nh
+	}
+	cu.cycles += int64(total)
+	return out, nil
+}
+
+// PassAccumulate performs an output-stationary pass: acc[i][j] +=
+// Σ_k a[i][k]·b[k][j], with a's columns streaming from the west and b's
+// rows from the north. a is M×K (M ≤ Rows), b is K×N (N ≤ Cols).
+//
+// Wavefront timing: a(i,k) enters row i at cycle k+i, b(k,j) enters column
+// j at cycle k+j; they meet at PE(i,j) at cycle k+i+j.
+func (cu *CU) PassAccumulate(a, b *tensor.Matrix) error {
+	if a.Rows > cu.Rows || b.Cols > cu.Cols {
+		return fmt.Errorf("sim: OS operands %d×%d · %d×%d exceed CU %d×%d", a.Rows, a.Cols, b.Rows, b.Cols, cu.Rows, cu.Cols)
+	}
+	if a.Cols != b.Rows {
+		return fmt.Errorf("sim: OS reduction mismatch %d vs %d", a.Cols, b.Rows)
+	}
+	K := a.Cols
+
+	h := tokenPlane(cu.Rows, cu.Cols)
+	v := tokenPlane(cu.Rows, cu.Cols)
+
+	total := K + cu.Rows + cu.Cols + 2
+	for t := 0; t < total; t++ {
+		nh := tokenPlane(cu.Rows, cu.Cols)
+		nv := tokenPlane(cu.Rows, cu.Cols)
+		for r := cu.Rows - 1; r >= 0; r-- {
+			for c := cu.Cols - 1; c >= 0; c-- {
+				var av token
+				if c == 0 {
+					k := t - r
+					if k >= 0 && k < K && r < a.Rows {
+						av = token{val: at(a, r, k), s: r, r: k, valid: true}
+					}
+				} else {
+					av = h[r][c-1]
+				}
+				var bv token
+				if r == 0 {
+					k := t - c
+					if k >= 0 && k < K && c < b.Cols {
+						bv = token{val: at(b, k, c), s: c, r: k, valid: true}
+					}
+				} else {
+					bv = v[r-1][c]
+				}
+				if av.valid && bv.valid {
+					if av.r != bv.r {
+						return fmt.Errorf("sim: OS skew broken at PE(%d,%d) cycle %d: a k=%d b k=%d", r, c, t, av.r, bv.r)
+					}
+					cu.acc[r][c] += av.val * bv.val
+				}
+				nh[r][c] = av
+				nv[r][c] = bv
+			}
+		}
+		h, v = nh, nv
+	}
+	cu.cycles += int64(total)
+	return nil
+}
+
+func tokenPlane(r, c int) [][]token {
+	p := make([][]token, r)
+	backing := make([]token, r*c)
+	for i := range p {
+		p[i], backing = backing[:c:c], backing[c:]
+	}
+	return p
+}
+
+// at reads (i, j) clamping out-of-range stationary padding to zero.
+func at(m *tensor.Matrix, i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		return 0
+	}
+	return m.At(i, j)
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/tensor"
+)
+
+// ColumnFusedGanged executes E = (A×B)×D with column fusion, ganging two
+// CUs into a wide (N×2N) producer when the untiled reduction K exceeds one
+// CU's width — the Fig. 7(e) wide column fusion that realizes the §IV-B
+// bound: untiled dimensions up to 2N. For K ≤ N it falls back to the plain
+// two-CU column fusion.
+func (f *Fabric) ColumnFusedGanged(a, b, d *tensor.Matrix, elem func(float64) float64) (*tensor.Matrix, error) {
+	if a.Cols != b.Rows || b.Cols != d.Rows {
+		return nil, fmt.Errorf("sim: fused shape mismatch (%d×%d)(%d×%d)(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, d.Rows, d.Cols)
+	}
+	if a.Cols <= f.N {
+		return f.ColumnFused(a, b, d, elem)
+	}
+	if a.Cols > 2*f.N {
+		return nil, fmt.Errorf("sim: K=%d exceeds the 2N=%d untiled bound (§IV-B)", a.Cols, 2*f.N)
+	}
+	// Wide producer from CUs 0+1, consumer from CUs 2+3 ganged square.
+	prod, err := f.GangedCU(f.N, 2*f.N)
+	if err != nil {
+		return nil, err
+	}
+	cons, err := f.GangedCU(f.N, f.N)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(a.Rows, d.Cols)
+	for m0 := 0; m0 < a.Rows; m0 += prod.Rows {
+		m1 := minInt(m0+prod.Rows, a.Rows)
+		pBefore, cBefore := prod.Cycles(), cons.Cycles()
+		if err := prod.LoadStationary(a.Sub(m0, m1, 0, a.Cols)); err != nil {
+			return nil, err
+		}
+		cBlock, err := prod.PassRight(b, false)
+		if err != nil {
+			return nil, err
+		}
+		cBlock = cBlock.Sub(0, m1-m0, 0, b.Cols)
+		if elem != nil {
+			for i := range cBlock.Data {
+				cBlock.Data[i] = elem(cBlock.Data[i])
+			}
+		}
+		for n0 := 0; n0 < d.Cols; n0 += cons.Cols {
+			n1 := minInt(n0+cons.Cols, d.Cols)
+			cons.ResetAccumulators()
+			if err := cons.PassAccumulate(cBlock, d.Sub(0, d.Rows, n0, n1)); err != nil {
+				return nil, err
+			}
+			tile, err := cons.Accumulators(m1-m0, n1-n0)
+			if err != nil {
+				return nil, err
+			}
+			out.SetSub(m0, n0, tile)
+		}
+		pd, cd := prod.Cycles()-pBefore, cons.Cycles()-cBefore
+		f.pipelineCycles += maxInt64(pd, cd) + 1
+	}
+	// The ganged producer occupied two physical CUs; account its busy time
+	// on them so BusyCycles stays meaningful.
+	f.cus[0].cycles += prod.Cycles()
+	f.cus[1].cycles += prod.Cycles()
+	f.cus[2].cycles += cons.Cycles()
+	f.cus[3].cycles += cons.Cycles()
+	return out, nil
+}
+
+// ParallelMatMul executes C = A×B with the requested stationary, splitting
+// A's rows across all four CUs — the unfused multi-CU dispatch every
+// platform uses for large operators. The fabric's pipelined cycle count
+// grows by the slowest partition only.
+func (f *Fabric) ParallelMatMul(a, b *tensor.Matrix, st dataflow.StationaryKind) (*tensor.Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("sim: matmul shape mismatch %d×%d by %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := tensor.New(a.Rows, b.Cols)
+	// Partition rows as evenly as possible.
+	per := (a.Rows + len(f.cus) - 1) / len(f.cus)
+	var slowest int64
+	for i, cu := range f.cus {
+		r0 := i * per
+		if r0 >= a.Rows {
+			break
+		}
+		r1 := minInt(r0+per, a.Rows)
+		before := cu.Cycles()
+		part, err := f.matMulOn(cu, a.Sub(r0, r1, 0, a.Cols), b, st)
+		if err != nil {
+			return nil, err
+		}
+		out.SetSub(r0, 0, part)
+		if d := cu.Cycles() - before; d > slowest {
+			slowest = d
+		}
+	}
+	f.pipelineCycles += slowest
+	return out, nil
+}
+
+// matMulOn runs a single-CU matmul with the chosen stationary on cu.
+func (f *Fabric) matMulOn(cu *CU, a, b *tensor.Matrix, st dataflow.StationaryKind) (*tensor.Matrix, error) {
+	switch st {
+	case dataflow.WS:
+		return f.matMulWS(cu, a, b)
+	case dataflow.IS:
+		return f.matMulIS(cu, a, b)
+	case dataflow.OS:
+		return f.matMulOS(cu, a, b)
+	}
+	return nil, fmt.Errorf("sim: unknown stationary %v", st)
+}

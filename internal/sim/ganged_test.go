@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/tensor"
+)
+
+func TestColumnFusedGangedWideReduction(t *testing.T) {
+	f, _ := NewFabric(4)
+	// K = 7 > N = 4 but ≤ 2N = 8: needs the wide producer ganging.
+	a := tensor.New(10, 7).Seq(1)
+	b := tensor.New(7, 9).Seq(2)
+	d := tensor.New(9, 6).Seq(3)
+	got, err := f.ColumnFusedGanged(a, b, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fusedReference(a, b, d, nil)
+	if !tensor.Equal(got, want, 1e-6) {
+		t.Fatalf("ganged column fusion diverges by %v", tensor.MaxAbsDiff(got, want))
+	}
+	if f.Cycles() <= 0 || f.BusyCycles() <= f.Cycles() {
+		t.Fatalf("cycle accounting wrong: pipeline %d busy %d", f.Cycles(), f.BusyCycles())
+	}
+}
+
+func TestColumnFusedGangedFallsBackForNarrowK(t *testing.T) {
+	f, _ := NewFabric(8)
+	a := tensor.New(10, 5).Seq(1) // K = 5 ≤ N = 8
+	b := tensor.New(5, 9).Seq(2)
+	d := tensor.New(9, 6).Seq(3)
+	got, err := f.ColumnFusedGanged(a, b, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, fusedReference(a, b, d, nil), 1e-6) {
+		t.Fatal("fallback path diverges")
+	}
+}
+
+func TestColumnFusedGangedRejectsBeyond2N(t *testing.T) {
+	f, _ := NewFabric(4)
+	a := tensor.New(4, 9).Seq(1) // K = 9 > 2N = 8
+	b := tensor.New(9, 4).Seq(2)
+	d := tensor.New(4, 4).Seq(3)
+	if _, err := f.ColumnFusedGanged(a, b, d, nil); err == nil {
+		t.Fatal("K beyond the 2N bound accepted")
+	}
+}
+
+func TestColumnFusedGangedWithElementwise(t *testing.T) {
+	f, _ := NewFabric(4)
+	a := tensor.New(6, 6).Seq(4)
+	b := tensor.New(6, 8).Seq(5)
+	d := tensor.New(8, 5).Seq(6)
+	halve := func(v float64) float64 { return v / 2 }
+	got, err := f.ColumnFusedGanged(a, b, d, halve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, fusedReference(a, b, d, halve), 1e-6) {
+		t.Fatal("ganged fusion with elementwise diverges")
+	}
+}
+
+func TestParallelMatMulMatchesReference(t *testing.T) {
+	f, _ := NewFabric(4)
+	a := tensor.New(18, 6).Seq(1) // rows split unevenly across 4 CUs
+	b := tensor.New(6, 7).Seq(2)
+	want, _ := tensor.MatMul(a, b)
+	for _, st := range []dataflow.StationaryKind{dataflow.WS, dataflow.IS, dataflow.OS} {
+		got, err := f.ParallelMatMul(a, b, st)
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if !tensor.Equal(got, want, 1e-6) {
+			t.Fatalf("%v parallel diverges by %v", st, tensor.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestParallelMatMulOverlapsCUs(t *testing.T) {
+	f, _ := NewFabric(4)
+	a := tensor.New(32, 8).Seq(1)
+	b := tensor.New(8, 8).Seq(2)
+	if _, err := f.ParallelMatMul(a, b, dataflow.OS); err != nil {
+		t.Fatal(err)
+	}
+	// Four partitions run concurrently: pipelined time must be well below
+	// the summed busy time.
+	if f.Cycles()*2 > f.BusyCycles() {
+		t.Fatalf("no parallel speedup: pipeline %d busy %d", f.Cycles(), f.BusyCycles())
+	}
+}
+
+func TestParallelMatMulFewRows(t *testing.T) {
+	f, _ := NewFabric(4)
+	a := tensor.New(2, 3).Seq(1) // fewer rows than CUs
+	b := tensor.New(3, 5).Seq(2)
+	got, err := f.ParallelMatMul(a, b, dataflow.WS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tensor.MatMul(a, b)
+	if !tensor.Equal(got, want, 1e-6) {
+		t.Fatal("few-row parallel diverges")
+	}
+}
+
+func TestParallelMatMulErrors(t *testing.T) {
+	f, _ := NewFabric(4)
+	if _, err := f.ParallelMatMul(tensor.New(2, 3), tensor.New(4, 2), dataflow.WS); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// Cross-layer accounting: the simulator's OS cycle count decomposes exactly
+// into passes × (K + fill/drain) plus accumulator drains, tying the
+// RTL-level model to the mapping layer's pass arithmetic.
+func TestSimCyclesMatchPassArithmetic(t *testing.T) {
+	const n = 4
+	f, _ := NewFabric(n)
+	a := tensor.New(10, 6).Seq(1) // M=10, K=6
+	b := tensor.New(6, 9).Seq(2)  // L=9
+	cu := f.CU(0)
+	before := cu.Cycles()
+	if _, err := f.MatMul(a, b, dataflow.OS); err != nil {
+		t.Fatal(err)
+	}
+	got := cu.Cycles() - before
+	mPasses := (10 + n - 1) / n // 3
+	lPasses := (9 + n - 1) / n  // 3
+	passes := int64(mPasses * lPasses)
+	perPass := int64(6 + n + n + 2) // K + rows + cols + 2 wavefront slack
+	drains := int64(10 * lPasses)   // Σ tile rows per L column
+	want := passes*perPass + drains
+	if got != want {
+		t.Fatalf("sim cycles = %d, pass arithmetic predicts %d", got, want)
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/fusion"
+	"fusecu/internal/op"
+	"fusecu/internal/tensor"
+)
+
+// The deepest cross-layer check in the repository: the fabric's *observed*
+// memory traffic (counted at the DMA boundary while executing real element
+// data) must equal the analytical cost model's prediction for the
+// register-level dataflow the driver implements.
+
+// matMulOS streams A row-blocks and B column-blocks per C tile and drains
+// each tile once: that is the OS dataflow with T_M = T_L = N, T_K = K.
+func TestTrafficOSMatchesCostModel(t *testing.T) {
+	const n = 4
+	f, _ := NewFabric(n)
+	a := tensor.New(10, 6).Seq(1)
+	b := tensor.New(6, 9).Seq(2)
+	if _, err := f.MatMul(a, b, dataflow.OS); err != nil {
+		t.Fatal(err)
+	}
+	mm := op.MatMul{M: 10, K: 6, L: 9}
+	df := dataflow.Dataflow{
+		Order:  dataflow.OrderOS,
+		Tiling: dataflow.Tiling{TM: n, TK: mm.K, TL: n},
+	}
+	want, err := cost.Evaluate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Traffic()
+	if got.A != want.PerTensor[dataflow.TensorA] ||
+		got.B != want.PerTensor[dataflow.TensorB] ||
+		got.Out != want.PerTensor[dataflow.TensorC] {
+		t.Fatalf("OS traffic %+v, cost model %v", got, want.PerTensor)
+	}
+}
+
+// matMulWS holds B tiles stationary, re-streams all of A per L block and
+// spills C partials per K block: WS order with T_M = M streamed row-wise
+// (no M residency ⇒ the equivalent buffer tiling uses T_M = 1).
+func TestTrafficWSMatchesCostModel(t *testing.T) {
+	const n = 4
+	f, _ := NewFabric(n)
+	a := tensor.New(10, 6).Seq(1)
+	b := tensor.New(6, 9).Seq(2)
+	if _, err := f.MatMul(a, b, dataflow.WS); err != nil {
+		t.Fatal(err)
+	}
+	mm := op.MatMul{M: 10, K: 6, L: 9}
+	df := dataflow.Dataflow{
+		Order:  dataflow.Order{dataflow.DimK, dataflow.DimL, dataflow.DimM},
+		Tiling: dataflow.Tiling{TM: 1, TK: n, TL: n},
+	}
+	want, err := cost.Evaluate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Traffic()
+	if got.A != want.PerTensor[dataflow.TensorA] ||
+		got.B != want.PerTensor[dataflow.TensorB] ||
+		got.Out != want.PerTensor[dataflow.TensorC] {
+		t.Fatalf("WS traffic %+v, cost model %v", got, want.PerTensor)
+	}
+}
+
+// matMulIS holds A tiles stationary and re-streams B rows per M block: IS
+// order with T_L = 1 streaming.
+func TestTrafficISMatchesCostModel(t *testing.T) {
+	const n = 4
+	f, _ := NewFabric(n)
+	a := tensor.New(10, 6).Seq(1)
+	b := tensor.New(6, 9).Seq(2)
+	if _, err := f.MatMul(a, b, dataflow.IS); err != nil {
+		t.Fatal(err)
+	}
+	mm := op.MatMul{M: 10, K: 6, L: 9}
+	df := dataflow.Dataflow{
+		Order:  dataflow.OrderIS,
+		Tiling: dataflow.Tiling{TM: n, TK: n, TL: 1},
+	}
+	want, err := cost.Evaluate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Traffic()
+	if got.A != want.PerTensor[dataflow.TensorA] ||
+		got.B != want.PerTensor[dataflow.TensorB] ||
+		got.Out != want.PerTensor[dataflow.TensorC] {
+		t.Fatalf("IS traffic %+v, cost model %v", got, want.PerTensor)
+	}
+}
+
+// Tile fusion's observed traffic follows the exact per-loop formulas of the
+// driver: the A row-block streams once per m iteration (stream buffer), B
+// and D re-stream per m iteration, and E partials spill once per l tile.
+func TestTrafficTileFusedExactFormulas(t *testing.T) {
+	const n = 4
+	f, _ := NewFabric(n)
+	M, K, L, N := 10, 3, 9, 7
+	a := tensor.New(M, K).Seq(1)
+	b := tensor.New(K, L).Seq(2)
+	d := tensor.New(L, N).Seq(3)
+	if _, err := f.TileFused(a, b, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	nM := int64((M + n - 1) / n)
+	nL := int64((L + n - 1) / n)
+	got := f.Traffic()
+	if got.A != int64(M*K) {
+		t.Fatalf("A = %d, want %d", got.A, M*K)
+	}
+	if got.B != int64(K*L)*nM {
+		t.Fatalf("B = %d, want %d", got.B, int64(K*L)*nM)
+	}
+	if got.D != int64(L*N)*nM {
+		t.Fatalf("D = %d, want %d", got.D, int64(L*N)*nM)
+	}
+	if got.Out != int64(M*N)*nL {
+		t.Fatalf("Out = %d, want %d", got.Out, int64(M*N)*nL)
+	}
+}
+
+// Column fusion's observed traffic equals the analytical column pattern.
+func TestTrafficColumnFusedMatchesFusionModel(t *testing.T) {
+	const n = 4
+	f, _ := NewFabric(n)
+	a := tensor.New(10, 3).Seq(1)
+	b := tensor.New(3, 9).Seq(2)
+	d := tensor.New(9, 7).Seq(3)
+	if _, err := f.ColumnFused(a, b, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	pair, err := fusion.NewPair(
+		op.MatMul{M: 10, K: 3, L: 9},
+		op.MatMul{M: 10, K: 9, L: 7},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := fusion.FusedDataflow{Pattern: fusion.PatternColumn, TM: n, TK: 3, TL: 1, TN: 7}
+	want, err := fusion.Evaluate(pair, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Traffic()
+	if got.A != want.A || got.B != want.B || got.D != want.D || got.Out != want.E {
+		t.Fatalf("column-fused traffic %+v, fusion model %+v", got, want)
+	}
+}
+
+// Fusion's raison d'être, observed on real execution: the fused run moves
+// strictly less data than the producer and consumer run separately, and the
+// intermediate contributes nothing.
+func TestTrafficFusionSavesIntermediate(t *testing.T) {
+	const n = 4
+	a := tensor.New(12, 4).Seq(1)
+	b := tensor.New(4, 12).Seq(2)
+	d := tensor.New(12, 4).Seq(3)
+
+	unfused, _ := NewFabric(n)
+	c, err := unfused.MatMul(a, b, dataflow.OS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unfused.MatMul(c, d, dataflow.OS); err != nil {
+		t.Fatal(err)
+	}
+
+	fused, _ := NewFabric(n)
+	if _, err := fused.TileFused(a, b, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if fused.Traffic().Total() >= unfused.Traffic().Total() {
+		t.Fatalf("fused %d did not beat unfused %d", fused.Traffic().Total(), unfused.Traffic().Total())
+	}
+}
+
+func TestResetTraffic(t *testing.T) {
+	f, _ := NewFabric(4)
+	a := tensor.New(4, 4).Seq(1)
+	b := tensor.New(4, 4).Seq(2)
+	if _, err := f.MatMul(a, b, dataflow.OS); err != nil {
+		t.Fatal(err)
+	}
+	if f.Traffic().Total() == 0 {
+		t.Fatal("no traffic counted")
+	}
+	f.ResetTraffic()
+	if f.Traffic().Total() != 0 {
+		t.Fatal("reset did not clear traffic")
+	}
+}

@@ -1,0 +1,233 @@
+// Package tensor provides dense matrices and reference linear algebra used as
+// the correctness oracle for the mapping and simulation layers. The dataflow
+// optimizer itself is purely analytical and never touches element data; this
+// package exists so that every mapping FuseCU claims to support can be
+// executed end-to-end and checked bit-for-bit against a naive reference.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values. float64 is used for
+// the reference oracle even though the modelled hardware is int8: the
+// simulator and the reference must only agree with each other.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equally sized rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("tensor: empty row data")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("tensor: ragged row %d: got %d cols, want %d", i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set stores v at (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+// Add accumulates v into (i, j).
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range %d×%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Size returns the number of elements.
+func (m *Matrix) Size() int { return m.Rows * m.Cols }
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// Sub returns a copy of the submatrix rows [r0,r1) × cols [c0,c1).
+func (m *Matrix) Sub(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || c0 < 0 || r1 > m.Rows || c1 > m.Cols || r0 >= r1 || c0 >= c1 {
+		panic(fmt.Sprintf("tensor: invalid sub [%d:%d,%d:%d] of %d×%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	s := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(s.Data[(i-r0)*s.Cols:(i-r0+1)*s.Cols], m.Data[i*m.Cols+c0:i*m.Cols+c1])
+	}
+	return s
+}
+
+// SetSub writes block b into m with its top-left corner at (r0, c0).
+func (m *Matrix) SetSub(r0, c0 int, b *Matrix) {
+	if r0+b.Rows > m.Rows || c0+b.Cols > m.Cols || r0 < 0 || c0 < 0 {
+		panic(fmt.Sprintf("tensor: SetSub %d×%d at (%d,%d) overflows %d×%d", b.Rows, b.Cols, r0, c0, m.Rows, m.Cols))
+	}
+	for i := 0; i < b.Rows; i++ {
+		copy(m.Data[(r0+i)*m.Cols+c0:(r0+i)*m.Cols+c0+b.Cols], b.Data[i*b.Cols:(i+1)*b.Cols])
+	}
+}
+
+// MatMul returns A×B using the naive triple loop. It is the reference against
+// which every hardware mapping in this repository is validated.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("tensor: matmul shape mismatch %d×%d by %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.Data[i*a.Cols+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				c.Data[i*c.Cols+j] += av * b.Data[k*b.Cols+j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Softmax returns a row-wise softmax of m, the elementwise operator sitting
+// between QKᵀ and SV in attention workloads.
+func Softmax(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		maxV := math.Inf(-1)
+		for j := 0; j < m.Cols; j++ {
+			if v := m.At(i, j); v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for j := 0; j < m.Cols; j++ {
+			e := math.Exp(m.At(i, j) - maxV)
+			out.Set(i, j, e)
+			sum += e
+		}
+		for j := 0; j < m.Cols; j++ {
+			out.Set(i, j, out.At(i, j)/sum)
+		}
+	}
+	return out
+}
+
+// Equal reports whether a and b have the same shape and elements within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest |a-b| over all elements; it panics on shape
+// mismatch because callers use it only after Equal-style shape checks.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	max := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Seq fills m with a deterministic, position-dependent pattern so that
+// mapping bugs (transposed tiles, swapped indices) change the result. The
+// values stay small to avoid float drift in long accumulations.
+func (m *Matrix) Seq(seed int) *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			m.Data[i*m.Cols+j] = float64((i*31+j*17+seed*13)%23) - 11
+		}
+	}
+	return m
+}
+
+// String renders small matrices for debugging; large matrices render as a
+// shape summary.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%d×%d)", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%7.2f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,307 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("New(3,4) = %d×%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][2]int{{0, 3}, {3, 0}, {-1, 2}, {2, -5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", shape[0], shape[1])
+				}
+			}()
+			New(shape[0], shape[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("unexpected contents: %v", m.Data)
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("FromRows(nil) should fail")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged FromRows should fail")
+	}
+}
+
+func TestAtSetAdd(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 0, 5)
+	m.Add(1, 0, 2.5)
+	if got := m.At(1, 0); got != 7.5 {
+		t.Fatalf("At(1,0) = %v, want 7.5", got)
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(2, 2).Seq(1)
+	c := m.Clone()
+	c.Set(0, 0, 999)
+	if m.At(0, 0) == 999 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !Equal(c, want, 0) {
+		t.Fatalf("MatMul = %v, want %v", c.Data, want.Data)
+	}
+}
+
+func TestMatMulShapeMismatch(t *testing.T) {
+	if _, err := MatMul(New(2, 3), New(4, 2)); err == nil {
+		t.Fatal("shape mismatch not reported")
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := New(5, 5).Seq(3)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	c, err := MatMul(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, c, 1e-12) {
+		t.Fatal("A×I != A")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := New(3, 5).Seq(2)
+	tt := m.Transpose()
+	if tt.Rows != 5 || tt.Cols != 3 {
+		t.Fatalf("transpose shape %d×%d", tt.Rows, tt.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != tt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(r, c uint8) bool {
+		rows, cols := int(r%16)+1, int(c%16)+1
+		m := New(rows, cols).Seq(int(r) + int(c))
+		return Equal(m, m.Transpose().Transpose(), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// (AB)ᵀ = BᵀAᵀ is a strong algebraic property of the MatMul reference.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(m, k, l uint8) bool {
+		M, K, L := int(m%8)+1, int(k%8)+1, int(l%8)+1
+		a := New(M, K).Seq(1)
+		b := New(K, L).Seq(2)
+		ab, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		btat, err := MatMul(b.Transpose(), a.Transpose())
+		if err != nil {
+			return false
+		}
+		return Equal(ab.Transpose(), btat, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A(B+C) = AB + AC via distributivity over manually summed matrices.
+func TestMatMulDistributive(t *testing.T) {
+	M, K, L := 6, 7, 5
+	a := New(M, K).Seq(1)
+	b := New(K, L).Seq(2)
+	c := New(K, L).Seq(3)
+	bc := New(K, L)
+	for i := range bc.Data {
+		bc.Data[i] = b.Data[i] + c.Data[i]
+	}
+	left, _ := MatMul(a, bc)
+	ab, _ := MatMul(a, b)
+	ac, _ := MatMul(a, c)
+	sum := New(M, L)
+	for i := range sum.Data {
+		sum.Data[i] = ab.Data[i] + ac.Data[i]
+	}
+	if !Equal(left, sum, 1e-9) {
+		t.Fatal("distributivity violated")
+	}
+}
+
+func TestSubSetSubRoundTrip(t *testing.T) {
+	m := New(8, 9).Seq(4)
+	s := m.Sub(2, 5, 3, 7)
+	if s.Rows != 3 || s.Cols != 4 {
+		t.Fatalf("Sub shape %d×%d", s.Rows, s.Cols)
+	}
+	for i := 0; i < s.Rows; i++ {
+		for j := 0; j < s.Cols; j++ {
+			if s.At(i, j) != m.At(i+2, j+3) {
+				t.Fatalf("Sub content mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	n := New(8, 9)
+	n.SetSub(2, 3, s)
+	for i := 0; i < s.Rows; i++ {
+		for j := 0; j < s.Cols; j++ {
+			if n.At(i+2, j+3) != s.At(i, j) {
+				t.Fatalf("SetSub content mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSubPanicsOnBadRange(t *testing.T) {
+	m := New(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid Sub did not panic")
+		}
+	}()
+	m.Sub(0, 5, 0, 2)
+}
+
+func TestRowCol(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.Row(1)
+	if r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	c := m.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col(2) = %v", c)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	m := New(4, 6).Seq(7)
+	s := Softmax(m)
+	for i := 0; i < s.Rows; i++ {
+		sum := 0.0
+		for j := 0; j < s.Cols; j++ {
+			v := s.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v out of [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxMonotone(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}})
+	s := Softmax(m)
+	if !(s.At(0, 0) < s.At(0, 1) && s.At(0, 1) < s.At(0, 2)) {
+		t.Fatal("softmax does not preserve order")
+	}
+}
+
+func TestEqualAndMaxAbsDiff(t *testing.T) {
+	a := New(2, 2).Seq(1)
+	b := a.Clone()
+	b.Add(1, 1, 0.5)
+	if Equal(a, b, 0.4) {
+		t.Fatal("Equal ignored 0.5 difference with tol 0.4")
+	}
+	if !Equal(a, b, 0.6) {
+		t.Fatal("Equal rejected 0.5 difference with tol 0.6")
+	}
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.5", d)
+	}
+	if Equal(a, New(2, 3), 1) {
+		t.Fatal("Equal accepted shape mismatch")
+	}
+}
+
+func TestFillAndSize(t *testing.T) {
+	m := New(3, 3)
+	m.Fill(2)
+	if m.Size() != 9 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	for _, v := range m.Data {
+		if v != 2 {
+			t.Fatal("Fill missed an element")
+		}
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	small := New(2, 2)
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty String for small matrix")
+	}
+	big := New(100, 100)
+	if s := big.String(); s != "Matrix(100×100)" {
+		t.Fatalf("big String = %q", s)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	x := New(128, 128).Seq(1)
+	y := New(128, 128).Seq(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package trace implements an exact tile-trace simulator for tiled matmul
+// loop nests. It walks the scheduled loop nest iteration by iteration,
+// modelling a buffer that holds the current tile of each operand, and counts
+// every element that crosses the memory↔buffer boundary. It is deliberately
+// slow and obviously correct: its purpose is to be the oracle that the
+// closed-form analytical model in internal/cost is property-tested against.
+package trace
+
+import (
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+// Counts is the element traffic observed by the simulator.
+type Counts struct {
+	// Loads counts elements fetched from memory per tensor (for C these are
+	// partial-sum read-backs).
+	Loads [3]int64
+	// Writes counts elements of C written back to memory.
+	Writes int64
+}
+
+// PerTensor returns tensor t's traffic under the paper's accounting
+// (matching cost.Access.PerTensor): input loads for A and B, one access per
+// tile visit — i.e. the writes — for C. The physical partial-sum read-backs
+// stay visible in Loads[TensorC].
+func (c Counts) PerTensor(t dataflow.Tensor) int64 {
+	if t == dataflow.TensorC {
+		return c.Writes
+	}
+	return c.Loads[t]
+}
+
+// Total returns the combined traffic of all tensors under the paper's
+// accounting.
+func (c Counts) Total() int64 {
+	return c.Loads[dataflow.TensorA] + c.Loads[dataflow.TensorB] + c.Writes
+}
+
+type tileCoord struct{ a, b int }
+
+// Simulate executes the tile loop nest of df on mm and returns the observed
+// traffic. The buffer is modelled as holding exactly one tile per operand;
+// an operand tile is (re)loaded whenever the iteration's tile coordinate
+// differs from the resident one. Output tiles accumulate while resident; on
+// eviction they are written back, and on any later revisit the partial sums
+// are read in again.
+func Simulate(mm op.MatMul, df dataflow.Dataflow) (Counts, error) {
+	if err := mm.Validate(); err != nil {
+		return Counts{}, err
+	}
+	if err := df.Validate(mm); err != nil {
+		return Counts{}, err
+	}
+
+	var counts Counts
+
+	trips := func(d dataflow.Dim) int {
+		return int(df.Tiling.Trips(d, mm))
+	}
+	extent := func(d dataflow.Dim, idx int) int64 {
+		ext, tile := d.Extent(mm), df.Tiling.Tile(d)
+		lo := idx * tile
+		hi := lo + tile
+		if hi > ext {
+			hi = ext
+		}
+		return int64(hi - lo)
+	}
+
+	// Resident tile per tensor; -1 marks "nothing resident yet".
+	resident := map[dataflow.Tensor]tileCoord{
+		dataflow.TensorA: {-1, -1},
+		dataflow.TensorB: {-1, -1},
+		dataflow.TensorC: {-1, -1},
+	}
+	// visited records C tiles that were evicted with partial sums.
+	visited := make(map[tileCoord]bool)
+
+	tileElems := func(t dataflow.Tensor, c tileCoord) int64 {
+		dd := t.Dims()
+		return extent(dd[0], c.a) * extent(dd[1], c.b)
+	}
+	coordOf := func(t dataflow.Tensor, idx [3]int) tileCoord {
+		dd := t.Dims()
+		return tileCoord{idx[dd[0]], idx[dd[1]]}
+	}
+
+	n0, n1, n2 := trips(df.Order[0]), trips(df.Order[1]), trips(df.Order[2])
+	var idx [3]int // tile coordinate per dimension, indexed by dataflow.Dim
+	for i0 := 0; i0 < n0; i0++ {
+		idx[df.Order[0]] = i0
+		for i1 := 0; i1 < n1; i1++ {
+			idx[df.Order[1]] = i1
+			for i2 := 0; i2 < n2; i2++ {
+				idx[df.Order[2]] = i2
+
+				for _, t := range [2]dataflow.Tensor{dataflow.TensorA, dataflow.TensorB} {
+					want := coordOf(t, idx)
+					if resident[t] != want {
+						counts.Loads[t] += tileElems(t, want)
+						resident[t] = want
+					}
+				}
+
+				wantC := coordOf(dataflow.TensorC, idx)
+				if resident[dataflow.TensorC] != wantC {
+					if cur := resident[dataflow.TensorC]; cur.a >= 0 {
+						counts.Writes += tileElems(dataflow.TensorC, cur)
+						visited[cur] = true
+					}
+					if visited[wantC] {
+						counts.Loads[dataflow.TensorC] += tileElems(dataflow.TensorC, wantC)
+					}
+					resident[dataflow.TensorC] = wantC
+				}
+			}
+		}
+	}
+	// Flush the last output tile.
+	if cur := resident[dataflow.TensorC]; cur.a >= 0 {
+		counts.Writes += tileElems(dataflow.TensorC, cur)
+	}
+	return counts, nil
+}

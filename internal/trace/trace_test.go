@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+func TestSimulateOSFullyResident(t *testing.T) {
+	mm := op.MatMul{M: 4, K: 4, L: 4}
+	df := dataflow.Dataflow{Order: dataflow.OrderOS, Tiling: dataflow.Tiling{TM: 4, TK: 4, TL: 4}}
+	c, err := Simulate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != mm.IdealMA() {
+		t.Fatalf("Total = %d, want ideal %d", c.Total(), mm.IdealMA())
+	}
+	if c.Writes != mm.SizeC() {
+		t.Fatalf("Writes = %d, want %d", c.Writes, mm.SizeC())
+	}
+	if c.Loads[dataflow.TensorC] != 0 {
+		t.Fatalf("C read-backs = %d, want 0", c.Loads[dataflow.TensorC])
+	}
+}
+
+func TestSimulatePartialSumReadback(t *testing.T) {
+	mm := op.MatMul{M: 4, K: 4, L: 4}
+	// K outermost, C loops inside → C tiles revisited n_K = 2 times.
+	df := dataflow.Dataflow{
+		Order:  dataflow.Order{dataflow.DimK, dataflow.DimM, dataflow.DimL},
+		Tiling: dataflow.Tiling{TM: 2, TK: 2, TL: 2},
+	}
+	c, err := Simulate(mm, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Writes != 2*mm.SizeC() {
+		t.Fatalf("Writes = %d, want %d", c.Writes, 2*mm.SizeC())
+	}
+	if c.Loads[dataflow.TensorC] != mm.SizeC() {
+		t.Fatalf("C read-backs = %d, want %d", c.Loads[dataflow.TensorC], mm.SizeC())
+	}
+}
+
+func TestSimulateRejectsInvalid(t *testing.T) {
+	if _, err := Simulate(op.MatMul{M: 0, K: 1, L: 1}, dataflow.Dataflow{}); err == nil {
+		t.Fatal("invalid matmul accepted")
+	}
+	mm := op.MatMul{M: 2, K: 2, L: 2}
+	bad := dataflow.Dataflow{Order: dataflow.OrderOS, Tiling: dataflow.Tiling{TM: 3, TK: 1, TL: 1}}
+	if _, err := Simulate(mm, bad); err == nil {
+		t.Fatal("oversized tile accepted")
+	}
+}
+
+// The central property: the closed-form analytical model agrees exactly with
+// the executed tile trace for every dataflow, including ragged tilings and
+// every loop permutation.
+func TestAnalyticalModelMatchesTraceExhaustiveSmall(t *testing.T) {
+	mm := op.MatMul{M: 5, K: 4, L: 6}
+	for _, o := range dataflow.AllOrders() {
+		for tm := 1; tm <= mm.M; tm++ {
+			for tk := 1; tk <= mm.K; tk++ {
+				for tl := 1; tl <= mm.L; tl++ {
+					df := dataflow.Dataflow{Order: o, Tiling: dataflow.Tiling{TM: tm, TK: tk, TL: tl}}
+					compare(t, mm, df)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyticalModelMatchesTraceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250705))
+	orders := dataflow.AllOrders()
+	for i := 0; i < 400; i++ {
+		mm := op.MatMul{
+			M: rng.Intn(17) + 1,
+			K: rng.Intn(17) + 1,
+			L: rng.Intn(17) + 1,
+		}
+		df := dataflow.Dataflow{
+			Order: orders[rng.Intn(len(orders))],
+			Tiling: dataflow.Tiling{
+				TM: rng.Intn(mm.M) + 1,
+				TK: rng.Intn(mm.K) + 1,
+				TL: rng.Intn(mm.L) + 1,
+			},
+		}
+		compare(t, mm, df)
+	}
+}
+
+func compare(t *testing.T, mm op.MatMul, df dataflow.Dataflow) {
+	t.Helper()
+	got, err := Simulate(mm, df)
+	if err != nil {
+		t.Fatalf("%v %v: %v", mm, df, err)
+	}
+	want, err := cost.Evaluate(mm, df)
+	if err != nil {
+		t.Fatalf("%v %v: %v", mm, df, err)
+	}
+	for _, x := range dataflow.Tensors() {
+		if got.PerTensor(x) != want.PerTensor[x] {
+			t.Fatalf("%v %v tensor %s: trace %d, analytical %d",
+				mm, df, x, got.PerTensor(x), want.PerTensor[x])
+		}
+	}
+	if got.Writes != want.OutputWrites {
+		t.Fatalf("%v %v: trace writes %d, analytical %d", mm, df, got.Writes, want.OutputWrites)
+	}
+	if got.Loads[dataflow.TensorC] != want.OutputReads {
+		t.Fatalf("%v %v: trace C reads %d, analytical %d",
+			mm, df, got.Loads[dataflow.TensorC], want.OutputReads)
+	}
+	if got.Total() != want.Total {
+		t.Fatalf("%v %v: trace total %d, analytical %d", mm, df, got.Total(), want.Total)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	mm := op.MatMul{M: 64, K: 64, L: 64}
+	df := dataflow.Dataflow{Order: dataflow.OrderOS, Tiling: dataflow.Tiling{TM: 8, TK: 8, TL: 8}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(mm, df); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
