@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build vet fusecu-vet test test-race test-checks bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## fusecu-vet runs the repo's own invariant analyzers (internal/analysis).
+fusecu-vet:
+	$(GO) run ./cmd/fusecu-vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+## test-checks builds with the fusecuchecks tag so internal/invariant
+## assertions (checked multiplies, MA lower-bound checks) panic on violation.
+test-checks:
+	$(GO) test -tags=fusecuchecks ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+## check is the full CI gate.
+check: build vet fusecu-vet test test-race test-checks

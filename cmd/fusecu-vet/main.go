@@ -1,0 +1,78 @@
+// Command fusecu-vet runs the repository's invariant analyzer suite
+// (internal/analysis) over go package patterns — a multichecker in the
+// spirit of golang.org/x/tools/go/analysis/multichecker, built on the
+// stdlib-only framework in internal/analysis.
+//
+// Usage:
+//
+//	fusecu-vet [packages]
+//
+// With no arguments it checks ./.... The exit status is 0 when the tree is
+// clean, 1 when any analyzer reported findings, and 2 on loader or analyzer
+// failure. Test files are not checked (tests legitimately build invalid
+// values to exercise validation); run `go vet` and the test suite alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fusecu/internal/analysis"
+	"fusecu/internal/analysis/analyzers"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := analysis.Vet(root, patterns, analyzers.All(), os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fusecu-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: fusecu-vet [packages]\n\nAnalyzers:\n")
+	for _, a := range analyzers.All() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-22s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fusecu-vet:", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod, so
+// the tool works from any subdirectory of the module.
+func findModuleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if fi, err := os.Stat(filepath.Join(d, "go.mod")); err == nil && !fi.IsDir() {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

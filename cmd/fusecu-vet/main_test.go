@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fusecu/internal/analysis"
+	"fusecu/internal/analysis/analyzers"
+)
+
+// TestRepoIsClean is the smoke test required by the CI contract: the
+// analyzer suite must report zero findings on the repository itself, i.e.
+// `fusecu-vet ./...` exits 0.
+func TestRepoIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	findings, err := analysis.Vet(root, []string{"./..."}, analyzers.All(), &out)
+	if err != nil {
+		t.Fatalf("fusecu-vet failed to run: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("fusecu-vet ./... reported %d finding(s) on a tree that must be clean:\n%s",
+			len(findings), out.String())
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(root, "go.mod")); err != nil || fi.IsDir() {
+		t.Errorf("findModuleRoot(%s) = %s, which has no go.mod", wd, root)
+	}
+	if _, err := findModuleRoot(string(filepath.Separator)); err == nil {
+		t.Error("findModuleRoot(/) should fail outside any module")
+	}
+}

@@ -1,0 +1,122 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary, sized for this repository's
+// fusecu-vet invariant linters. It exists because the build environment is
+// hermetic (no module proxy), so the x/tools framework cannot be vendored;
+// the subset here — Analyzer, Pass, Diagnostic, a go/types-backed package
+// loader and a multichecker driver — is API-compatible in spirit, and the
+// analyzers under internal/analysis/* could be ported to the real framework
+// by changing imports.
+//
+// The loader enumerates packages with `go list -json -deps`, parses their
+// compile-unit sources with go/parser and type-checks them with go/types,
+// resolving out-of-module imports (the standard library) through the
+// compiler's source importer. Test files are deliberately not loaded: the
+// invariants fusecu-vet enforces are about values that can reach the cost
+// model and simulator in production code, and tests legitimately construct
+// adversarial (invalid) values to exercise Validate paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one invariant check. Run is invoked once per loaded
+// package with a fully type-checked Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is the one-paragraph description shown by `fusecu-vet help`.
+	Doc string
+	// Run reports diagnostics through the Pass. A non-nil error aborts the
+	// whole run (reserved for analyzer bugs, not findings).
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.diags = append(p.diags, d) }
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Finding is a positioned, analyzer-attributed diagnostic produced by a run.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// RunPackage applies each analyzer to one loaded package and returns the
+// findings sorted by source position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		for _, d := range pass.diags {
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Position: pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}

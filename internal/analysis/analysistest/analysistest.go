@@ -1,0 +1,161 @@
+// Package analysistest runs an analyzer over a testdata fixture directory
+// and checks its diagnostics against `// want "regexp"` comments, following
+// the convention of golang.org/x/tools/go/analysis/analysistest. Fixtures
+// live under testdata/ (which the go tool ignores), are compiled for real by
+// the internal/analysis loader, and may import the module's own packages so
+// positive and negative cases exercise the analyzers on the genuine types.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fusecu/internal/analysis"
+)
+
+// wantRe matches one expectation comment: // want "regexp" ["regexp" ...]
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string // base name
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (relative to the calling
+// test's package directory), applies the analyzer, and reports mismatches
+// between its diagnostics and the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	_, callerFile, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller")
+	}
+	callerDir := filepath.Dir(callerFile)
+	fixtureDir := filepath.Join(callerDir, dir)
+	moduleRoot := findModuleRoot(t, callerDir)
+
+	loader, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgPath := "fixture/" + a.Name
+	pkg, err := loader.LoadDir(pkgPath, fixtureDir)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture %s: %v", fixtureDir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	for _, f := range findings {
+		base := filepath.Base(f.Position.Filename)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != base || w.line != f.Position.Line {
+				continue
+			}
+			if w.pattern.MatchString(f.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", base, f.Position.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants scans the fixture's comments for want expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, pos.String(), m[1]) {
+					wants = append(wants, &expectation{
+						file:    filepath.Base(pos.Filename),
+						line:    pos.Line,
+						pattern: pat,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns splits `"re1" "re2"` into compiled regexps.
+func parsePatterns(t *testing.T, pos, s string) []*regexp.Regexp {
+	t.Helper()
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		if rest[0] != '"' {
+			t.Fatalf("%s: malformed want comment near %q (expected quoted regexp)", pos, rest)
+		}
+		// Find the closing quote of this Go-quoted string.
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			t.Fatalf("%s: unterminated quoted regexp in want comment", pos)
+		}
+		quoted := rest[:end+1]
+		unq, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: bad quoted regexp %s: %v", pos, quoted, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			t.Fatalf("%s: bad regexp %q: %v", pos, unq, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return out
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(t *testing.T, dir string) string {
+	t.Helper()
+	for d := dir; ; {
+		if fi, err := os.Stat(filepath.Join(d, "go.mod")); err == nil && !fi.IsDir() {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("analysistest: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

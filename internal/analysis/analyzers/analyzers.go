@@ -1,0 +1,22 @@
+// Package analyzers registers the fusecu-vet analyzer suite: the four
+// invariant linters that keep the optimizer's validity assumptions
+// machine-enforced as the codebase grows.
+package analyzers
+
+import (
+	"fusecu/internal/analysis"
+	"fusecu/internal/analysis/droppederror"
+	"fusecu/internal/analysis/lockedsimstate"
+	"fusecu/internal/analysis/uncheckedmul"
+	"fusecu/internal/analysis/unvalidatedconstruct"
+)
+
+// All returns the full fusecu-vet suite in deterministic order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		droppederror.Analyzer,
+		lockedsimstate.Analyzer,
+		uncheckedmul.Analyzer,
+		unvalidatedconstruct.Analyzer,
+	}
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Vet loads the packages matched by patterns (default ./...) under
+// moduleRoot, runs every analyzer over each, prints the findings to w in
+// `file:line:col: message (analyzer)` form with paths relative to the module
+// root, and returns the findings.
+func Vet(moduleRoot string, patterns []string, analyzers []*Analyzer, w io.Writer) ([]Finding, error) {
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		findings, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, findings...)
+	}
+	for _, f := range all {
+		pos := f.Position
+		if rel, err := filepath.Rel(moduleRoot, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(w, "%s: %s (%s)\n", pos, f.Message, f.Analyzer)
+	}
+	return all, nil
+}

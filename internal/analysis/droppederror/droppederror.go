@@ -1,0 +1,141 @@
+// Package droppederror defines an analyzer that flags discarded error
+// results from this module's own APIs — stricter than go vet: assigning an
+// internal validation error to the blank identifier is also a finding.
+//
+// The repository's validation surface (op.MatMul.Validate, dataflow
+// constructors, cost.Evaluate, fusion.Evaluate, …) reports constraint
+// violations through error returns. Discarding one turns a malformed shape
+// or an infeasible tiling into a silently wrong memory-access number — the
+// exact failure mode the paper's lower-bound claim cannot tolerate. Errors
+// from the standard library and other modules are left to go vet and code
+// review; this analyzer only polices fusecu's packages, so it can afford
+// zero tolerance.
+package droppederror
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fusecu/internal/analysis"
+)
+
+// modulePath scopes the analyzer to this module's APIs.
+const modulePath = "fusecu"
+
+// Analyzer flags discarded error results of module-internal calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "droppederror",
+	Doc: "flag error results of fusecu APIs that are discarded, either by ignoring the call's " +
+		"results entirely or by assigning the error to _ (stricter than go vet)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall reports a statement-level call whose results (including
+// an error) are ignored entirely.
+func checkDiscardedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := internalCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	if idx := errorResult(fn); idx >= 0 {
+		pass.Reportf(call.Pos(), "error result of %s is discarded; handle or return it", fn.FullName())
+	}
+}
+
+// checkBlankAssign reports error results assigned to the blank identifier.
+func checkBlankAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	// Form 1: x, _ := f() — one multi-result call on the right.
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := internalCallee(pass, call)
+		if fn == nil {
+			return
+		}
+		results := fn.Type().(*types.Signature).Results()
+		for i, lhs := range stmt.Lhs {
+			if i >= results.Len() || !isBlank(lhs) {
+				continue
+			}
+			if isErrorType(results.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result of %s is assigned to _; handle or return it", fn.FullName())
+			}
+		}
+		return
+	}
+	// Form 2: _ = f() — pairwise assignment.
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) || i >= len(stmt.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(stmt.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := internalCallee(pass, call)
+		if fn == nil {
+			continue
+		}
+		results := fn.Type().(*types.Signature).Results()
+		if results.Len() == 1 && isErrorType(results.At(0).Type()) {
+			pass.Reportf(lhs.Pos(), "error result of %s is assigned to _; handle or return it", fn.FullName())
+		}
+	}
+}
+
+// internalCallee returns the statically known callee when it belongs to this
+// module.
+func internalCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if path != modulePath && !strings.HasPrefix(path, modulePath+"/") {
+		return nil
+	}
+	return fn
+}
+
+// errorResult returns the index of the first error-typed result, or -1.
+func errorResult(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

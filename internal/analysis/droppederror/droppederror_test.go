@@ -1,0 +1,12 @@
+package droppederror_test
+
+import (
+	"testing"
+
+	"fusecu/internal/analysis/analysistest"
+	"fusecu/internal/analysis/droppederror"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", droppederror.Analyzer)
+}

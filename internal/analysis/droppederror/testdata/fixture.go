@@ -1,0 +1,45 @@
+// Package fixture exercises the droppederror analyzer: error results of
+// fusecu APIs must not be discarded, whether by dropping the whole result or
+// assigning the error to the blank identifier. Errors from other modules
+// (the standard library) are out of scope.
+package fixture
+
+import (
+	"fmt"
+
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+var mm = op.MatMul{Name: "fixture", M: 8, K: 8, L: 8}
+
+func flaggedDiscardedCall(c *op.Chain) {
+	c.Validate() // want "error result of .*Validate.* is discarded"
+}
+
+func flaggedBlankSecond(df dataflow.Dataflow) int64 {
+	a, _ := cost.Evaluate(mm, df) // want "error result of fusecu/internal/cost.Evaluate is assigned to _"
+	return a.Total
+}
+
+func flaggedBlankSingle(df dataflow.Dataflow) {
+	_ = mm.Validate() // want "error result of .*Validate.* is assigned to _"
+	_ = df
+}
+
+func cleanHandled(df dataflow.Dataflow) (int64, error) {
+	a, err := cost.Evaluate(mm, df)
+	if err != nil {
+		return 0, err
+	}
+	return a.Total, nil
+}
+
+func cleanNonInternal() {
+	fmt.Println("stdlib errors are go vet's concern") // not flagged
+}
+
+func cleanNoError(t dataflow.Tiling) {
+	t.Footprint() // no error result: plain discard is fine
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully loaded and type-checked compile unit (non-test files
+// only, mirroring what `go build` compiles).
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader loads and type-checks packages of the enclosing module without any
+// dependency on golang.org/x/tools. Module membership is decided by the
+// module path in go.mod; imports outside the module (the standard library)
+// are resolved by the compiler's source importer. A Loader is not safe for
+// concurrent use.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader rooted at the module directory containing
+// go.mod.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+}
+
+// list shells out to `go list -json` with the given arguments.
+func (l *Loader) list(args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = l.ModuleRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// LoadPatterns loads the packages matched by the go package patterns (and,
+// transitively, every module-internal dependency) and returns the matched
+// packages in deterministic order.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// -deps output is dependency-ordered, so each package's module-internal
+	// imports are loaded before the package itself.
+	deps, err := l.list(append([]string{"-deps", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := l.list(append([]string{"--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range deps {
+		if e.Standard || !l.inModule(e.ImportPath) || len(e.GoFiles) == 0 {
+			continue
+		}
+		if _, err := l.load(e); err != nil {
+			return nil, err
+		}
+	}
+	var out []*Package
+	for _, r := range roots {
+		if p, ok := l.pkgs[r.ImportPath]; ok {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// inModule reports whether path names a package of the enclosing module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// Import implements types.Importer. Module-internal packages are loaded (and
+// cached) on demand; everything else is delegated to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if !l.inModule(path) {
+		return l.std.Import(path)
+	}
+	entries, err := l.list(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) != 1 {
+		return nil, fmt.Errorf("analysis: go list %s returned %d packages", path, len(entries))
+	}
+	p, err := l.load(entries[0])
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// load parses and type-checks one listed package.
+func (l *Loader) load(e listEntry) (*Package, error) {
+	if p, ok := l.pkgs[e.ImportPath]; ok {
+		return p, nil
+	}
+	if l.loading[e.ImportPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", e.ImportPath)
+	}
+	l.loading[e.ImportPath] = true
+	defer delete(l.loading, e.ImportPath)
+
+	var names []string
+	for _, f := range e.GoFiles {
+		names = append(names, filepath.Join(e.Dir, f))
+	}
+	return l.check(e.ImportPath, e.Dir, names)
+}
+
+// LoadDir loads a directory of Go files as a standalone package under the
+// given import path — the entry point for analyzer test fixtures, which live
+// in testdata directories the go tool refuses to list. Fixture imports of
+// module packages resolve against the real module.
+func (l *Loader) LoadDir(pkgPath, dir string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	var names []string
+	for _, m := range matches {
+		if strings.HasSuffix(m, "_test.go") {
+			continue
+		}
+		names = append(names, m)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return l.check(pkgPath, dir, names)
+}
+
+// check parses the named files and type-checks them as one package.
+func (l *Loader) check(pkgPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	p := &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[pkgPath] = p
+	return p, nil
+}

@@ -1,0 +1,177 @@
+// Package lockedsimstate defines an analyzer that flags accesses to shared
+// simulator state from goroutines that do not hold the owning mutex.
+//
+// The fabric/CU simulator aggregates traffic and cycle counters across
+// parallel sweeps (internal/sim). Any struct that declares a named
+// sync.Mutex or sync.RWMutex field is treated as lock-guarded: every one of
+// its other fields must only be touched inside a `go func(){…}` body while
+// that mutex is lexically held (between x.mu.Lock() and x.mu.Unlock(), or
+// after x.mu.Lock() with a deferred unlock). The check is a lexical
+// approximation — state escaping through method calls or aliasing is out of
+// scope (the -race CI run backstops those) — but it catches the common
+// regression: a new counter bumped straight from a worker goroutine.
+package lockedsimstate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fusecu/internal/analysis"
+)
+
+// Analyzer flags unlocked goroutine access to mutex-guarded struct fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedsimstate",
+	Doc: "flag accesses to fields of mutex-owning structs (shared fabric/CU simulator state) " +
+		"from go statements without lexically holding the owning mutex",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := guardedTypes(pass.Pkg)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				c := &checker{pass: pass, guarded: guarded, locked: map[string]bool{}}
+				c.walk(lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedTypes maps every package-level struct type owning a named mutex
+// field to that field's name.
+func guardedTypes(pkg *types.Package) map[*types.Named]string {
+	out := make(map[*types.Named]string)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if analysis.IsNamed(f.Type(), "sync", "Mutex") || analysis.IsNamed(f.Type(), "sync", "RWMutex") {
+				out[named] = f.Name()
+				break
+			}
+		}
+	}
+	return out
+}
+
+// checker walks one goroutine body tracking lexically held locks.
+type checker struct {
+	pass    *analysis.Pass
+	guarded map[*types.Named]string
+	// locked is keyed by the rendered receiver expression, e.g. "agg".
+	locked map[string]bool
+}
+
+func (c *checker) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Nested goroutines get their own fresh lock state via run.
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held to the end of the body;
+			// don't let it clear the state here.
+			if op, _ := c.lockOp(n.Call); op == opUnlock {
+				return false
+			}
+		case *ast.CallExpr:
+			switch op, key := c.lockOp(n); op {
+			case opLock:
+				c.locked[key] = true
+				return false
+			case opUnlock:
+				delete(c.locked, key)
+				return false
+			}
+		case *ast.SelectorExpr:
+			c.checkAccess(n)
+		}
+		return true
+	})
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies call as x.mu.Lock/RLock/Unlock/RUnlock on a guarded
+// struct's mutex field, returning the rendered key of x.
+func (c *checker) lockOp(call *ast.CallExpr) (lockOpKind, string) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	var kind lockOpKind
+	switch fun.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return opNone, ""
+	}
+	mutexSel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	sel, ok := c.pass.TypesInfo.Selections[mutexSel]
+	if !ok || sel.Kind() != types.FieldVal {
+		return opNone, ""
+	}
+	owner := analysis.NamedOf(sel.Recv())
+	if owner == nil || c.guarded[owner] != sel.Obj().Name() {
+		return opNone, ""
+	}
+	return kind, types.ExprString(mutexSel.X)
+}
+
+// checkAccess reports sel when it reads or writes a guarded field without
+// the owning lock held.
+func (c *checker) checkAccess(selExpr *ast.SelectorExpr) {
+	sel, ok := c.pass.TypesInfo.Selections[selExpr]
+	if !ok || sel.Kind() != types.FieldVal {
+		return
+	}
+	owner := analysis.NamedOf(sel.Recv())
+	if owner == nil {
+		return
+	}
+	mutexField, ok := c.guarded[owner]
+	if !ok || sel.Obj().Name() == mutexField {
+		return
+	}
+	key := types.ExprString(selExpr.X)
+	if c.locked[key] {
+		return
+	}
+	c.pass.Reportf(selExpr.Pos(),
+		"shared state %s.%s is accessed in a goroutine without holding %s.%s",
+		key, sel.Obj().Name(), key, mutexField)
+}

@@ -1,0 +1,12 @@
+package lockedsimstate_test
+
+import (
+	"testing"
+
+	"fusecu/internal/analysis/analysistest"
+	"fusecu/internal/analysis/lockedsimstate"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", lockedsimstate.Analyzer)
+}

@@ -1,0 +1,64 @@
+// Package fixture exercises the lockedsimstate analyzer: fields of a
+// mutex-owning struct may only be touched from goroutines while the mutex is
+// lexically held.
+package fixture
+
+import "sync"
+
+// aggregate mimics the simulator's shared sweep state: a mutex owning the
+// counters next to it.
+type aggregate struct {
+	mu     sync.Mutex
+	cycles int64
+	moves  int64
+}
+
+// plain has no mutex: its fields are not guarded.
+type plain struct {
+	n int
+}
+
+func flaggedUnlocked(agg *aggregate, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		agg.cycles++ // want "shared state agg.cycles is accessed in a goroutine without holding agg.mu"
+	}()
+}
+
+func flaggedAfterUnlock(agg *aggregate) {
+	go func() {
+		agg.mu.Lock()
+		agg.cycles++
+		agg.mu.Unlock()
+		agg.moves++ // want "shared state agg.moves is accessed in a goroutine without holding agg.mu"
+	}()
+}
+
+func cleanLocked(agg *aggregate) {
+	go func() {
+		agg.mu.Lock()
+		agg.cycles++
+		agg.moves += 2
+		agg.mu.Unlock()
+	}()
+}
+
+func cleanDeferred(agg *aggregate) {
+	go func() {
+		agg.mu.Lock()
+		defer agg.mu.Unlock()
+		agg.cycles++
+	}()
+}
+
+func cleanOutsideGoroutine(agg *aggregate) {
+	// Single-threaded setup before workers start needs no lock.
+	agg.cycles = 0
+}
+
+func cleanUnguarded(p *plain) {
+	go func() {
+		p.n++ // no mutex on the struct: not this analyzer's concern
+	}()
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the uncheckedmul analyzer: raw products of
+// dimension/tile-size quantities are flagged; checked products, plain local
+// arithmetic and float math are not.
+package fixture
+
+import (
+	"fusecu/internal/dataflow"
+	"fusecu/internal/invariant"
+	"fusecu/internal/op"
+)
+
+func flaggedFields(m op.MatMul) int64 {
+	return int64(m.M) * int64(m.K) // want "unchecked multiplication of dimension quantity MatMul.M"
+}
+
+func flaggedTiles(t dataflow.Tiling) int {
+	return t.TM * t.TK // want "unchecked multiplication of dimension quantity Tiling.TM"
+}
+
+func flaggedAccessor(t dataflow.Tiling, m op.MatMul) int64 {
+	return dataflow.TensorA.Size(m) * t.Trips(dataflow.DimL, m) // want "unchecked multiplication of dimension quantity Tensor.Size"
+}
+
+func flaggedOneSide(m op.MatMul, reps int64) int64 {
+	return m.SizeA() * reps // want "unchecked multiplication of dimension quantity MatMul.SizeA"
+}
+
+func cleanChecked(m op.MatMul) int64 {
+	return invariant.CheckedMul(int64(m.M), int64(m.K))
+}
+
+func cleanLocals(m op.MatMul) int64 {
+	a, b := int64(m.M), int64(m.K)
+	return a * b // flows through locals: out of analyzer scope (CheckedMul by convention)
+}
+
+func cleanFloat(m op.MatMul) float64 {
+	return float64(m.M) * 1.5 // float math cannot wrap
+}
+
+func cleanUnrelated(x, y int) int {
+	return x * y
+}

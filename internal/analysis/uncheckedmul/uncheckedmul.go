@@ -1,0 +1,143 @@
+// Package uncheckedmul defines an analyzer that flags raw integer
+// multiplications whose operands are dimension or tile-size quantities.
+//
+// The analytical model multiplies full problem dimensions (M·K·L reaches
+// ~10^12 for LLM shapes at batch scale, and footprint/traffic expressions
+// multiply several such factors), so a raw `*` on int/int64 silently wraps
+// exactly where the paper's communication lower bound is being computed.
+// Products of dimension quantities must go through invariant.CheckedMul /
+// CheckedMul3, which panic on overflow under -tags=fusecuchecks and cost
+// nothing otherwise.
+//
+// An operand counts as dimension-derived when, after stripping parentheses
+// and integer conversions, it is a direct selection of a known dimension
+// field (op.MatMul.{M,K,L}, dataflow.Tiling.{TM,TK,TL}, …) or a call of a
+// known dimension accessor (Tiling.Tile, Dim.Extent, Tensor.Size,
+// MatMul.SizeA, fusion.Pair.M, …). Tracking flows through local variables is
+// out of scope; the analyzer polices the direct products where the model's
+// formulas live. internal/invariant itself is exempt — it hosts the one
+// sanctioned multiply.
+package uncheckedmul
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fusecu/internal/analysis"
+)
+
+// typeKey identifies a named type by package path and name.
+type typeKey struct{ pkg, name string }
+
+// dimFields lists struct fields holding loop-dimension extents or tile
+// sizes.
+var dimFields = map[typeKey]map[string]bool{
+	{"fusecu/internal/op", "MatMul"}:        {"M": true, "K": true, "L": true},
+	{"fusecu/internal/op", "Elementwise"}:   {"Rows": true, "Cols": true},
+	{"fusecu/internal/dataflow", "Tiling"}:  {"TM": true, "TK": true, "TL": true},
+	{"fusecu/internal/fusion", "FusedDataflow"}: {"TM": true, "TK": true, "TL": true, "TN": true},
+}
+
+// dimMethods lists accessors returning dimension extents, tile sizes, trip
+// counts or element counts.
+var dimMethods = map[typeKey]map[string]bool{
+	{"fusecu/internal/dataflow", "Tiling"}: {"Tile": true, "Trips": true, "TensorTile": true, "Footprint": true},
+	{"fusecu/internal/dataflow", "Dim"}:    {"Extent": true},
+	{"fusecu/internal/dataflow", "Tensor"}: {"Size": true},
+	{"fusecu/internal/op", "MatMul"}: {
+		"SizeA": true, "SizeB": true, "SizeC": true, "MACs": true,
+		"MinDim": true, "MinTensor": true, "IdealMA": true,
+	},
+	{"fusecu/internal/op", "Elementwise"}: {"Size": true},
+	{"fusecu/internal/op", "Chain"}:       {"IntermediateSize": true, "MACs": true, "UnfusedIdealMA": true},
+	{"fusecu/internal/fusion", "Pair"}:    {"M": true, "K": true, "L": true, "N": true},
+}
+
+// Analyzer flags unchecked dimension/tile-size products.
+var Analyzer = &analysis.Analyzer{
+	Name: "uncheckedmul",
+	Doc: "flag raw int multiplications whose operands are dimension or tile-size quantities " +
+		"(M·K·L, footprint products); such products must use invariant.CheckedMul, which " +
+		"panics on int64 overflow under -tags=fusecuchecks",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == "fusecu/internal/invariant" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || bin.Op != token.MUL {
+				return true
+			}
+			if !isInteger(pass.TypeOf(bin)) {
+				return true
+			}
+			lx := dimOperand(pass, bin.X)
+			ly := dimOperand(pass, bin.Y)
+			if lx == "" && ly == "" {
+				return true
+			}
+			operand := lx
+			if operand == "" {
+				operand = ly
+			}
+			pass.Reportf(bin.OpPos,
+				"unchecked multiplication of dimension quantity %s may overflow int64 on large shapes; use invariant.CheckedMul",
+				operand)
+			return true
+		})
+	}
+	return nil
+}
+
+// isInteger reports whether t is a basic integer type.
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// dimOperand reports the description of e when it is dimension-derived, or
+// "".
+func dimOperand(pass *analysis.Pass, e ast.Expr) string {
+	e = analysis.Unconvert(pass.TypesInfo, e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := pass.TypesInfo.Selections[x]
+		if !ok || sel.Kind() != types.FieldVal {
+			return ""
+		}
+		owner := analysis.NamedOf(sel.Recv())
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return ""
+		}
+		key := typeKey{owner.Obj().Pkg().Path(), owner.Obj().Name()}
+		if dimFields[key][sel.Obj().Name()] {
+			return owner.Obj().Name() + "." + sel.Obj().Name()
+		}
+	case *ast.CallExpr:
+		fun, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		sel, ok := pass.TypesInfo.Selections[fun]
+		if !ok || sel.Kind() != types.MethodVal {
+			return ""
+		}
+		owner := analysis.NamedOf(sel.Recv())
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return ""
+		}
+		key := typeKey{owner.Obj().Pkg().Path(), owner.Obj().Name()}
+		if dimMethods[key][sel.Obj().Name()] {
+			return owner.Obj().Name() + "." + sel.Obj().Name() + "()"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package uncheckedmul_test
+
+import (
+	"testing"
+
+	"fusecu/internal/analysis/analysistest"
+	"fusecu/internal/analysis/uncheckedmul"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", uncheckedmul.Analyzer)
+}

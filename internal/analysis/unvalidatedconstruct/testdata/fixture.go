@@ -1,0 +1,50 @@
+// Package fixture exercises the unvalidatedconstruct analyzer: composite
+// literals of the dataflow IR types must be flagged outside their owning
+// packages, while constructors, zero-value literals and unrelated structs
+// stay clean.
+package fixture
+
+import (
+	"fusecu/internal/dataflow"
+	"fusecu/internal/fusion"
+	"fusecu/internal/op"
+)
+
+var mm = op.MatMul{Name: "fixture", M: 8, K: 8, L: 8} // unowned type: fine
+
+func flagged() {
+	ti := dataflow.Tiling{TM: 2, TK: 2, TL: 2}                  // want "composite literal of dataflow.Tiling"
+	df := dataflow.Dataflow{Order: dataflow.OrderOS, Tiling: ti} // want "composite literal of dataflow.Dataflow"
+	_ = df
+}
+
+func flaggedFusion(p fusion.Pair) fusion.FusedDataflow {
+	return fusion.FusedDataflow{Pattern: fusion.PatternTileOSIS, TM: 2, TK: 1, TL: 2, TN: 1} // want "composite literal of fusion.FusedDataflow"
+}
+
+func flaggedNested() []dataflow.Tiling {
+	return []dataflow.Tiling{
+		{TM: 1, TK: 1, TL: 1}, // want "composite literal of dataflow.Tiling"
+	}
+}
+
+func clean() {
+	var zero dataflow.Tiling
+	_ = zero
+	sentinel := dataflow.Tiling{} // empty literal: inert zero value
+	_ = sentinel
+	ti := dataflow.ClampedTiling(mm, 4, 4, 4)
+	df := dataflow.Must(mm, dataflow.OrderOS, ti)
+	_ = df
+	unit := dataflow.UnitTiling().WithTile(dataflow.DimM, 4)
+	_ = unit
+}
+
+func cleanFusion() {
+	p, err := fusion.NewPair(mm, op.MatMul{Name: "second", M: 8, K: 8, L: 8})
+	if err != nil {
+		return
+	}
+	fd := fusion.MustFused(p, fusion.PatternTileOSIS, 2, 1, 2, 1)
+	_ = fd
+}

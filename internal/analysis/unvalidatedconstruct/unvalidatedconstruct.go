@@ -1,0 +1,66 @@
+// Package unvalidatedconstruct defines an analyzer that flags composite
+// literals of the dataflow IR types outside their owning packages.
+//
+// The paper's optimality argument (and the cost model's formulas) hold only
+// for dataflow that satisfies the §III buffer and bounds constraints:
+// 1 ≤ T_D ≤ D per dimension, a loop order that is a permutation of {M,K,L},
+// and pattern-pinned tiles for fused dataflow. The owning packages expose
+// constructors (dataflow.NewTiling, dataflow.ClampedTiling, dataflow.New,
+// fusion.NewFused, …) that establish those invariants at the point of
+// construction; a composite literal elsewhere can smuggle an unvalidated
+// tiling straight into cost.Evaluate or the simulator. Empty literals
+// (zero values) are allowed — they are inert sentinels that fail validation
+// loudly if ever evaluated.
+package unvalidatedconstruct
+
+import (
+	"go/ast"
+
+	"fusecu/internal/analysis"
+)
+
+// owned maps an owning package path to the type names whose construction it
+// controls.
+var owned = map[string]map[string]bool{
+	"fusecu/internal/dataflow": {"Tiling": true, "Dataflow": true},
+	"fusecu/internal/fusion":   {"FusedDataflow": true},
+}
+
+// Analyzer flags composite literals of validated dataflow types outside
+// their owning package.
+var Analyzer = &analysis.Analyzer{
+	Name: "unvalidatedconstruct",
+	Doc: "flag composite literals of dataflow.Tiling, dataflow.Dataflow and fusion.FusedDataflow " +
+		"outside their owning packages, so every dataflow reaching the cost model went through " +
+		"constructor validation (empty zero-value literals are allowed)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if _, isOwner := owned[pass.Pkg.Path()]; isOwner {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			named := analysis.NamedOf(pass.TypeOf(lit))
+			if named == nil {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil {
+				return true
+			}
+			if names, ok := owned[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				pass.Reportf(lit.Pos(),
+					"composite literal of %s.%s bypasses constructor validation; use the %s package constructors (New/Must/Clamped/Unit)",
+					obj.Pkg().Name(), obj.Name(), obj.Pkg().Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

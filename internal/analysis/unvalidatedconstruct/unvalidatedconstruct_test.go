@@ -1,0 +1,12 @@
+package unvalidatedconstruct_test
+
+import (
+	"testing"
+
+	"fusecu/internal/analysis/analysistest"
+	"fusecu/internal/analysis/unvalidatedconstruct"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", unvalidatedconstruct.Analyzer)
+}

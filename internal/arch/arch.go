@@ -15,6 +15,7 @@ import (
 	"fusecu/internal/core"
 	"fusecu/internal/dataflow"
 	"fusecu/internal/fusion"
+	"fusecu/internal/invariant"
 	"fusecu/internal/mapping"
 	"fusecu/internal/model"
 	"fusecu/internal/op"
@@ -377,7 +378,7 @@ func (p Platform) selectIntra(mm op.MatMul, intra *core.Result, count int64, spe
 			return intraSelection{}, err
 		}
 		phys := c.Access.Total + c.Access.OutputReads
-		rl, err := perf.Estimate(mm.MACs()*count, phys*count, im.Utilization, spec)
+		rl, err := perf.Estimate(invariant.CheckedMul(mm.MACs(), count), invariant.CheckedMul(phys, count), im.Utilization, spec)
 		if err != nil {
 			return intraSelection{}, err
 		}

@@ -164,9 +164,9 @@ func frontierCandidate(mm op.MatMul, bufferSize int64, stationary dataflow.Tenso
 		if t2 == 0 {
 			return
 		}
-		ti := dataflow.Tiling{TM: 1, TK: 1, TL: 1}.
+		ti := dataflow.UnitTiling().
 			WithTile(third, t3).WithTile(d1, t1).WithTile(d2, t2)
-		a := cost.MustEvaluate(mm, dataflow.Dataflow{Order: order, Tiling: ti})
+		a := cost.MustEvaluate(mm, dataflow.Must(mm, order, ti))
 		if a.Footprint > bufferSize {
 			return
 		}
@@ -187,7 +187,7 @@ func frontierCandidate(mm op.MatMul, bufferSize int64, stationary dataflow.Tenso
 	if !found {
 		return Candidate{}, false
 	}
-	df := dataflow.Dataflow{Order: order, Tiling: bestTiling}
+	df := dataflow.Must(mm, order, bestTiling)
 	acc := cost.MustEvaluate(mm, df)
 	return Candidate{
 		Dataflow:  df,

@@ -200,9 +200,9 @@ func SingleNRACandidate(mm op.MatMul, bufferSize int64, stationary dataflow.Tens
 		if t2 > ext2 {
 			t2 = ext2
 		}
-		ti := dataflow.Tiling{TM: 1, TK: 1, TL: 1}.
+		ti := dataflow.UnitTiling().
 			WithTile(d1, int(t1)).WithTile(d2, int(t2))
-		a := cost.MustEvaluate(mm, dataflow.Dataflow{Order: order, Tiling: ti})
+		a := cost.MustEvaluate(mm, dataflow.Must(mm, order, ti))
 		if a.Footprint > bufferSize {
 			continue
 		}
@@ -213,7 +213,7 @@ func SingleNRACandidate(mm op.MatMul, bufferSize int64, stationary dataflow.Tens
 	if !found {
 		return Candidate{}, false
 	}
-	df := dataflow.Dataflow{Order: order, Tiling: bestTiling}
+	df := dataflow.Must(mm, order, bestTiling)
 	return Candidate{
 		Dataflow:  df,
 		Access:    cost.MustEvaluate(mm, df),
@@ -250,7 +250,7 @@ func TwoNRACandidate(mm op.MatMul, bufferSize int64, untiled dataflow.Dim, redun
 	uExt := int64(untiled.Extent(mm))
 	// Footprint with T_untiled = extent, T_q = 1 is linear in T_p:
 	// f(t) = a·t + b. Derive a and b from the tensor structure.
-	base := dataflow.Tiling{TM: 1, TK: 1, TL: 1}.WithTile(untiled, int(uExt))
+	base := dataflow.UnitTiling().WithTile(untiled, int(uExt))
 	b0 := base.Footprint()
 	b1 := base.WithTile(p, 2).Footprint()
 	a := b1 - b0 // cost per unit of T_p
@@ -265,7 +265,7 @@ func TwoNRACandidate(mm op.MatMul, bufferSize int64, untiled dataflow.Dim, redun
 		tp = pExt
 	}
 	ti := base.WithTile(p, int(tp))
-	df := dataflow.Dataflow{Order: order, Tiling: ti}
+	df := dataflow.Must(mm, order, ti)
 	acc := cost.MustEvaluate(mm, df)
 	if acc.Footprint > bufferSize {
 		return Candidate{}, false
@@ -299,7 +299,7 @@ func ThreeNRACandidate(mm op.MatMul, bufferSize int64, resident dataflow.Tensor)
 	d1, d2 := dd[0], dd[1]
 	third := irrelevantDimOf(resident)
 
-	base := dataflow.Tiling{TM: 1, TK: 1, TL: 1}.
+	base := dataflow.UnitTiling().
 		WithTile(d1, d1.Extent(mm)).
 		WithTile(d2, d2.Extent(mm))
 	b0 := base.Footprint()
@@ -319,7 +319,7 @@ func ThreeNRACandidate(mm op.MatMul, bufferSize int64, resident dataflow.Tensor)
 	// Any order works for MA here; put the tiled loop outermost so the
 	// resident tensor's dims are innermost (transparent, trip count 1).
 	order := dataflow.Order{third, d1, d2}
-	df := dataflow.Dataflow{Order: order, Tiling: ti}
+	df := dataflow.Must(mm, order, ti)
 	acc := cost.MustEvaluate(mm, df)
 	if acc.Footprint > bufferSize {
 		return Candidate{}, false

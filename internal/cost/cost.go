@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"fusecu/internal/dataflow"
+	"fusecu/internal/invariant"
 	"fusecu/internal/op"
 )
 
@@ -90,6 +91,10 @@ func Evaluate(mm op.MatMul, df dataflow.Dataflow) (Access, error) {
 		a.Total += a.PerTensor[t]
 	}
 	a.NRA = classify(mm, a)
+	// The paper's Eq. 1 accounting can never beat the unbounded-buffer bound:
+	// every operand moves at least once.
+	invariant.Assert(a.Total >= mm.IdealMA(),
+		"MA total %d below communication lower bound %d for %v under %v", a.Total, mm.IdealMA(), mm, df)
 	return a, nil
 }
 
@@ -107,7 +112,7 @@ func inputTraffic(mm op.MatMul, df dataflow.Dataflow, t dataflow.Tensor) int64 {
 	for p := irrPos + 1; p < len(df.Order); p++ {
 		d := df.Order[p]
 		if t.HasDim(d) && df.Tiling.Trips(d, mm) > 1 {
-			return t.Size(mm) * nIrr
+			return invariant.CheckedMul(t.Size(mm), nIrr)
 		}
 	}
 	return t.Size(mm)
@@ -137,7 +142,7 @@ func outputTraffic(mm op.MatMul, df dataflow.Dataflow) (writes, reads int64) {
 	}
 	// Each C tile is visited nK times: written every visit, read back on
 	// every revisit.
-	return size * nK, size * (nK - 1)
+	return invariant.CheckedMul(size, nK), invariant.CheckedMul(size, nK-1)
 }
 
 // irrelevantDim returns the one loop dimension that does not index t.

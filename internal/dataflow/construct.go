@@ -1,0 +1,64 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"fusecu/internal/op"
+)
+
+// This file holds the blessed constructors for Tiling and Dataflow. The
+// fusecu-vet unvalidatedconstruct analyzer flags composite literals of these
+// types outside this package, so construction anywhere else funnels through
+// here and the §III bounds (1 ≤ T_D ≤ D, order a permutation of {M,K,L})
+// are established exactly once, at the point of creation.
+
+// NewTiling builds a tiling validated against mm: 1 ≤ T_D ≤ D for every
+// dimension.
+func NewTiling(mm op.MatMul, tm, tk, tl int) (Tiling, error) {
+	t := Tiling{TM: tm, TK: tk, TL: tl}
+	if err := t.Validate(mm); err != nil {
+		return Tiling{}, err
+	}
+	return t, nil
+}
+
+// MustTiling is NewTiling for tile sizes the caller guarantees in range; it
+// panics otherwise.
+func MustTiling(mm op.MatMul, tm, tk, tl int) Tiling {
+	t, err := NewTiling(mm, tm, tk, tl)
+	if err != nil {
+		panic(fmt.Sprintf("dataflow: %v", err))
+	}
+	return t
+}
+
+// ClampedTiling builds the tiling with every size clamped into [1, extent] —
+// the forgiving constructor for search heuristics that generate raw
+// candidates.
+func ClampedTiling(mm op.MatMul, tm, tk, tl int) Tiling {
+	return Tiling{TM: tm, TK: tk, TL: tl}.Clamp(mm)
+}
+
+// UnitTiling returns the all-ones tiling, valid for every operator; callers
+// grow it with WithTile.
+func UnitTiling() Tiling {
+	return Tiling{TM: 1, TK: 1, TL: 1}
+}
+
+// New builds a Dataflow validated against mm.
+func New(mm op.MatMul, o Order, t Tiling) (Dataflow, error) {
+	df := Dataflow{Order: o, Tiling: t}
+	if err := df.Validate(mm); err != nil {
+		return Dataflow{}, err
+	}
+	return df, nil
+}
+
+// Must is New for dataflow the caller guarantees valid; it panics otherwise.
+func Must(mm op.MatMul, o Order, t Tiling) Dataflow {
+	df, err := New(mm, o, t)
+	if err != nil {
+		panic(fmt.Sprintf("dataflow: %v", err))
+	}
+	return df
+}

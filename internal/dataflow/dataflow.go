@@ -9,6 +9,7 @@ package dataflow
 import (
 	"fmt"
 
+	"fusecu/internal/invariant"
 	"fusecu/internal/op"
 )
 
@@ -199,6 +200,7 @@ func (t Tiling) Validate(mm op.MatMul) error {
 // Trips returns ceil(D / T_D) for dimension d.
 func (t Tiling) Trips(d Dim, mm op.MatMul) int64 {
 	ext, tile := int64(d.Extent(mm)), int64(t.Tile(d))
+	invariant.Assert(tile >= 1, "tile %s=%d must be positive for trip count", d, tile)
 	return (ext + tile - 1) / tile
 }
 
@@ -206,13 +208,15 @@ func (t Tiling) Trips(d Dim, mm op.MatMul) int64 {
 // two tile sizes).
 func (t Tiling) TensorTile(x Tensor) int64 {
 	dd := x.Dims()
-	return int64(t.Tile(dd[0])) * int64(t.Tile(dd[1]))
+	return invariant.CheckedMul(int64(t.Tile(dd[0])), int64(t.Tile(dd[1])))
 }
 
 // Footprint returns the total buffer occupancy of the three tiles — the
 // left-hand side of the paper's buffer constraints (Eq. 2 and Eq. 4).
 func (t Tiling) Footprint() int64 {
-	return t.TensorTile(TensorA) + t.TensorTile(TensorB) + t.TensorTile(TensorC)
+	fp := t.TensorTile(TensorA) + t.TensorTile(TensorB) + t.TensorTile(TensorC)
+	invariant.Assert(fp > 0, "footprint %d of %v wrapped or vanished", fp, t)
+	return fp
 }
 
 // Untiled reports whether dimension d is fully resident under tiling t.

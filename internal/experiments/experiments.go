@@ -289,7 +289,10 @@ func RenderFig12() (*report.Table, *report.Table) {
 
 	bd := report.NewTable("Fig. 12 — FuseCU area breakdown at 28 nm", "component", "area mm²", "share %", "overhead")
 	for _, c := range fuse.Components {
-		share, _ := fuse.Share(c.Name)
+		share, err := fuse.Share(c.Name)
+		if err != nil {
+			continue // component list and breakdown disagree; skip the row
+		}
 		bd.AddRow(c.Name, c.Area()/1e6, share, c.Overhead)
 	}
 

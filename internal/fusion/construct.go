@@ -1,0 +1,28 @@
+package fusion
+
+import "fmt"
+
+// Constructors for FusedDataflow. The fusecu-vet unvalidatedconstruct
+// analyzer flags composite literals of FusedDataflow outside this package,
+// so every fused dataflow built elsewhere passes pattern and tile-bound
+// validation (Validate) exactly once, at construction.
+
+// NewFused builds a fused dataflow validated against pair p: tile sizes in
+// range and pattern-pinned dimensions respected.
+func NewFused(p Pair, pattern Pattern, tm, tk, tl, tn int) (FusedDataflow, error) {
+	fd := FusedDataflow{Pattern: pattern, TM: tm, TK: tk, TL: tl, TN: tn}
+	if err := fd.Validate(p); err != nil {
+		return FusedDataflow{}, err
+	}
+	return fd, nil
+}
+
+// MustFused is NewFused for tile sizes the caller guarantees valid; it
+// panics otherwise.
+func MustFused(p Pair, pattern Pattern, tm, tk, tl, tn int) FusedDataflow {
+	fd, err := NewFused(p, pattern, tm, tk, tl, tn)
+	if err != nil {
+		panic(fmt.Sprintf("fusion: %v", err))
+	}
+	return fd
+}

@@ -331,7 +331,12 @@ func ConstructTileOSISAligned(p Pair, bufferSize int64, align int) (Candidate, b
 	if !found {
 		return Candidate{}, false
 	}
-	a, _ := Evaluate(p, best)
+	a, err := Evaluate(p, best)
+	if err != nil {
+		// best was admitted by a successful Evaluate inside try, so this is
+		// unreachable; fail closed rather than report zero traffic.
+		return Candidate{}, false
+	}
 	return Candidate{Dataflow: best, Access: a, Note: "tile fusion: OS producer → IS consumer"}, true
 }
 

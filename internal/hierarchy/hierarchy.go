@@ -131,9 +131,9 @@ func cubicCandidates(mm op.MatMul, global int64) []core.Candidate {
 		if t < 1 {
 			continue
 		}
-		ti := dataflow.Tiling{TM: t, TK: t, TL: t}.Clamp(mm)
+		ti := dataflow.ClampedTiling(mm, t, t, t)
 		for _, order := range []dataflow.Order{dataflow.OrderOS, dataflow.OrderIS, dataflow.OrderWS} {
-			df := dataflow.Dataflow{Order: order, Tiling: ti}
+			df := dataflow.Must(mm, order, ti)
 			acc, err := cost.Evaluate(mm, df)
 			if err != nil || acc.Footprint > global {
 				continue

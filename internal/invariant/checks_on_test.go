@@ -1,0 +1,31 @@
+//go:build fusecuchecks
+
+package invariant
+
+import (
+	"math"
+	"testing"
+)
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic under fusecuchecks", name)
+		}
+	}()
+	fn()
+}
+
+func TestAssertPanicsWhenEnabled(t *testing.T) {
+	mustPanic(t, "Assert(false)", func() { Assert(false, "tile %d exceeds buffer", 9) })
+	Assert(true, "must not panic")
+}
+
+func TestCheckedMulPanicsOnOverflow(t *testing.T) {
+	mustPanic(t, "CheckedMul overflow", func() { CheckedMul(math.MaxInt64, 2) })
+	mustPanic(t, "CheckedMul3 overflow", func() { CheckedMul3(1<<31, 1<<31, 2) })
+	if got := CheckedMul(6, 7); got != 42 {
+		t.Errorf("CheckedMul(6,7) = %d, want 42", got)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !fusecuchecks
+
+package invariant
+
+// Enabled reports whether runtime invariant checking was compiled in. It is
+// a constant so the disabled checks are dead code the compiler removes.
+const Enabled = false

@@ -1,0 +1,6 @@
+//go:build fusecuchecks
+
+package invariant
+
+// Enabled reports whether runtime invariant checking was compiled in.
+const Enabled = true

@@ -1,0 +1,59 @@
+// Package invariant provides build-tag-gated runtime assertions and checked
+// integer arithmetic for the dataflow optimizer's correctness invariants:
+// tile footprints stay non-negative and inside the buffer, memory-access
+// totals never dip below the communication lower bound, and dimension
+// products (M·K·L, footprint terms) never overflow int64 on large LLM
+// shapes.
+//
+// Under the default build the checks compile to nothing: Assert is an empty
+// inlineable call and CheckedMul is a plain multiply. Building with
+// -tags=fusecuchecks turns every violated invariant into a panic, which the
+// test suite and CI run exercise. The fusecu-vet analyzers (internal/analysis)
+// enforce that dimension products go through this package rather than raw
+// `*` expressions.
+package invariant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assert panics with the formatted message when cond is false and the
+// fusecuchecks build tag is set; otherwise it is a no-op the compiler can
+// eliminate.
+func Assert(cond bool, format string, args ...any) {
+	if Enabled && !cond {
+		panic("invariant: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// CheckedMul returns a·b. Under -tags=fusecuchecks it panics when the
+// product overflows int64; under the default build it is a plain multiply.
+func CheckedMul(a, b int64) int64 {
+	if Enabled && mulOverflows(a, b) {
+		panic(fmt.Sprintf("invariant: %d * %d overflows int64", a, b))
+	}
+	return a * b
+}
+
+// CheckedMul3 returns a·b·c with the same overflow policy as CheckedMul,
+// checking both partial products.
+func CheckedMul3(a, b, c int64) int64 {
+	return CheckedMul(CheckedMul(a, b), c)
+}
+
+// MulOverflows reports whether a·b overflows int64. It is exported for
+// callers that want to reject oversized shapes gracefully instead of
+// asserting.
+func MulOverflows(a, b int64) bool { return mulOverflows(a, b) }
+
+func mulOverflows(a, b int64) bool {
+	if a == 0 || b == 0 {
+		return false
+	}
+	if a == -1 {
+		return b == math.MinInt64
+	}
+	r := a * b
+	return r/a != b
+}

@@ -1,0 +1,59 @@
+package invariant
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheckedMul(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0},
+		{3, 7, 21},
+		{-4, 6, -24},
+		{1 << 31, 1 << 31, 1 << 62},
+	}
+	for _, c := range cases {
+		if got := CheckedMul(c.a, c.b); got != c.want {
+			t.Errorf("CheckedMul(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCheckedMul3(t *testing.T) {
+	if got := CheckedMul3(2, 3, 5); got != 30 {
+		t.Errorf("CheckedMul3(2,3,5) = %d, want 30", got)
+	}
+}
+
+func TestMulOverflows(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want bool
+	}{
+		{0, math.MaxInt64, false},
+		{math.MaxInt64, 1, false},
+		{math.MaxInt64, 2, true},
+		{1 << 32, 1 << 32, true},
+		{-1, math.MinInt64, true},
+		{math.MinInt64, -1, true},
+		{-1, math.MaxInt64, false},
+		{1 << 31, 1 << 31, false},
+	}
+	for _, c := range cases {
+		if got := MulOverflows(c.a, c.b); got != c.want {
+			t.Errorf("MulOverflows(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAssertDisabledIsNoop(t *testing.T) {
+	if Enabled {
+		t.Skip("fusecuchecks build: Assert panics on violation (see checks_on_test.go)")
+	}
+	Assert(false, "must not panic when checks are compiled out")
+	var wrapped int64 = math.MaxInt64
+	wrapped *= 2
+	if got := CheckedMul(math.MaxInt64, 2); got != wrapped {
+		t.Errorf("disabled CheckedMul should wrap like a plain multiply, got %d", got)
+	}
+}

@@ -9,6 +9,7 @@ package model
 import (
 	"fmt"
 
+	"fusecu/internal/invariant"
 	"fusecu/internal/op"
 )
 
@@ -61,7 +62,7 @@ type WeightedChain struct {
 }
 
 // MACs returns the chain's total multiply-accumulates across instances.
-func (w WeightedChain) MACs() int64 { return w.Chain.MACs() * w.Count }
+func (w WeightedChain) MACs() int64 { return invariant.CheckedMul(w.Chain.MACs(), w.Count) }
 
 // Workload is one transformer layer's operator graph.
 type Workload struct {

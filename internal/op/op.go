@@ -8,6 +8,8 @@ package op
 import (
 	"errors"
 	"fmt"
+
+	"fusecu/internal/invariant"
 )
 
 // MatMul describes one matrix multiplication A[M,K] × B[K,L] = C[M,L].
@@ -34,16 +36,16 @@ func (m MatMul) label() string {
 }
 
 // SizeA returns the element count of input A (M×K).
-func (m MatMul) SizeA() int64 { return int64(m.M) * int64(m.K) }
+func (m MatMul) SizeA() int64 { return invariant.CheckedMul(int64(m.M), int64(m.K)) }
 
 // SizeB returns the element count of input B (K×L).
-func (m MatMul) SizeB() int64 { return int64(m.K) * int64(m.L) }
+func (m MatMul) SizeB() int64 { return invariant.CheckedMul(int64(m.K), int64(m.L)) }
 
 // SizeC returns the element count of output C (M×L).
-func (m MatMul) SizeC() int64 { return int64(m.M) * int64(m.L) }
+func (m MatMul) SizeC() int64 { return invariant.CheckedMul(int64(m.M), int64(m.L)) }
 
 // MACs returns the multiply-accumulate count M·K·L.
-func (m MatMul) MACs() int64 { return int64(m.M) * int64(m.K) * int64(m.L) }
+func (m MatMul) MACs() int64 { return invariant.CheckedMul3(int64(m.M), int64(m.K), int64(m.L)) }
 
 // MinDim returns the smallest of the three loop dimensions (the paper's
 // D_min, which positions the buffer-regime boundaries).
@@ -91,7 +93,7 @@ type Elementwise struct {
 }
 
 // Size returns the operand element count.
-func (e Elementwise) Size() int64 { return int64(e.Rows) * int64(e.Cols) }
+func (e Elementwise) Size() int64 { return invariant.CheckedMul(int64(e.Rows), int64(e.Cols)) }
 
 func (e Elementwise) String() string {
 	return fmt.Sprintf("%s[%d×%d]", e.Name, e.Rows, e.Cols)

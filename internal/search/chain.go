@@ -105,13 +105,13 @@ func SearchFused(p fusion.Pair, bufferSize int64) (int64, int64, bool) {
 	}
 	for _, tm := range TileGrid(p.M()) {
 		for _, tl := range TileGrid(p.L()) {
-			consider(fusion.FusedDataflow{Pattern: fusion.PatternTileOSIS, TM: tm, TK: 1, TL: tl, TN: 1})
+			consider(fusion.MustFused(p, fusion.PatternTileOSIS, tm, 1, tl, 1))
 		}
 		for _, tl := range TileGrid(p.L()) {
-			consider(fusion.FusedDataflow{Pattern: fusion.PatternColumn, TM: tm, TK: p.K(), TL: tl, TN: p.N()})
+			consider(fusion.MustFused(p, fusion.PatternColumn, tm, p.K(), tl, p.N()))
 		}
 	}
-	consider(fusion.FusedDataflow{Pattern: fusion.PatternResident, TM: p.M(), TK: 1, TL: p.L(), TN: p.N()})
+	consider(fusion.MustFused(p, fusion.PatternResident, p.M(), 1, p.L(), p.N()))
 	return best, evals, found
 }
 

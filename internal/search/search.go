@@ -46,7 +46,7 @@ func Exhaustive(mm op.MatMul, bufferSize int64) (Result, error) {
 		for tm := 1; tm <= mm.M; tm++ {
 			for tk := 1; tk <= mm.K; tk++ {
 				for tl := 1; tl <= mm.L; tl++ {
-					df := dataflow.Dataflow{Order: o, Tiling: dataflow.Tiling{TM: tm, TK: tk, TL: tl}}
+					df := dataflow.Must(mm, o, dataflow.MustTiling(mm, tm, tk, tl))
 					if df.Tiling.Footprint() > bufferSize {
 						continue
 					}
@@ -106,7 +106,7 @@ func ExhaustiveCoarse(mm op.MatMul, bufferSize int64) (Result, error) {
 		for _, tm := range gm {
 			for _, tk := range gk {
 				for _, tl := range gl {
-					df := dataflow.Dataflow{Order: o, Tiling: dataflow.Tiling{TM: tm, TK: tk, TL: tl}}
+					df := dataflow.Must(mm, o, dataflow.MustTiling(mm, tm, tk, tl))
 					if df.Tiling.Footprint() > bufferSize {
 						continue
 					}
@@ -177,10 +177,7 @@ func Genetic(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error
 
 	var evals int64
 	fitness := func(g genome) int64 {
-		df := dataflow.Dataflow{
-			Order:  orders[g.order],
-			Tiling: dataflow.Tiling{TM: g.tm, TK: g.tk, TL: g.tl}.Clamp(mm),
-		}
+		df := dataflow.Must(mm, orders[g.order], dataflow.ClampedTiling(mm, g.tm, g.tk, g.tl))
 		evals++
 		a := cost.MustEvaluate(mm, df)
 		if a.Footprint > bufferSize {
@@ -195,7 +192,7 @@ func Genetic(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error
 	repair := func(g genome) genome {
 		g.tm, g.tk, g.tl = clampT(g.tm, mm.M), clampT(g.tk, mm.K), clampT(g.tl, mm.L)
 		for i := 0; i < 64; i++ {
-			ti := dataflow.Tiling{TM: g.tm, TK: g.tk, TL: g.tl}
+			ti := dataflow.ClampedTiling(mm, g.tm, g.tk, g.tl)
 			if ti.Footprint() <= bufferSize {
 				break
 			}
@@ -312,10 +309,7 @@ func Genetic(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error
 		bestF, bestG = s[0].f, s[0].g
 	}
 
-	df := dataflow.Dataflow{
-		Order:  orders[bestG.order],
-		Tiling: dataflow.Tiling{TM: bestG.tm, TK: bestG.tk, TL: bestG.tl}.Clamp(mm),
-	}
+	df := dataflow.Must(mm, orders[bestG.order], dataflow.ClampedTiling(mm, bestG.tm, bestG.tk, bestG.tl))
 	a := cost.MustEvaluate(mm, df)
 	if a.Footprint > bufferSize {
 		return Result{}, fmt.Errorf("search: genetic search found no feasible dataflow for %v in buffer %d", mm, bufferSize)

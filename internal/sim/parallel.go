@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepJob is one unit of a parallel simulation sweep: a named function run
+// against a private Fabric. Jobs must confine all mutable state to that
+// fabric (and their own locals); shared aggregation happens in the sweep.
+type SweepJob struct {
+	Name string
+	Run  func(*Fabric) error
+}
+
+// SweepResult is the aggregate of a parallel sweep.
+type SweepResult struct {
+	// Jobs counts successfully completed jobs.
+	Jobs int
+	// Traffic sums element movement across every job's fabric.
+	Traffic Traffic
+	// Cycles sums per-job pipelined cycles (sweep jobs are independent, so
+	// total work is the sum, not the max).
+	Cycles int64
+	// BusyCycles sums per-CU busy cycles across jobs.
+	BusyCycles int64
+}
+
+// sweepState is the mutex-guarded shared state of one sweep. The
+// lockedsimstate analyzer (cmd/fusecu-vet) enforces that worker goroutines
+// only touch the fields beside mu while holding it; the -race CI run
+// backstops what the lexical analysis cannot see.
+type sweepState struct {
+	mu   sync.Mutex
+	res  SweepResult
+	errs []error
+}
+
+// ParallelSweep executes jobs across min(workers, len(jobs)) goroutines,
+// each owning a private Fabric of CU dimension n, and aggregates traffic
+// and cycle counts. workers ≤ 0 selects GOMAXPROCS. Jobs that fail are
+// reported (joined, in completion order) without stopping the sweep; the
+// result aggregates the jobs that succeeded.
+func ParallelSweep(n, workers int, jobs []SweepJob) (SweepResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if len(jobs) == 0 {
+		return SweepResult{}, nil
+	}
+	// Fail fast on an invalid CU dimension before spawning anything.
+	if _, err := NewFabric(n); err != nil {
+		return SweepResult{}, err
+	}
+
+	state := &sweepState{}
+	ch := make(chan SweepJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fab, err := NewFabric(n)
+			if err != nil {
+				state.mu.Lock()
+				state.errs = append(state.errs, err)
+				state.mu.Unlock()
+				return
+			}
+			for job := range ch {
+				fab.ResetTraffic()
+				fab.pipelineCycles = 0
+				before := fab.BusyCycles()
+				err := job.Run(fab)
+				tr, cyc, busy := fab.Traffic(), fab.Cycles(), fab.BusyCycles()-before
+
+				state.mu.Lock()
+				if err != nil {
+					state.errs = append(state.errs, fmt.Errorf("sim: job %q: %w", job.Name, err))
+				} else {
+					state.res.Jobs++
+					state.res.Traffic.A += tr.A
+					state.res.Traffic.B += tr.B
+					state.res.Traffic.D += tr.D
+					state.res.Traffic.Out += tr.Out
+					state.res.Cycles += cyc
+					state.res.BusyCycles += busy
+				}
+				state.mu.Unlock()
+			}
+		}()
+	}
+	for _, job := range jobs {
+		ch <- job
+	}
+	close(ch)
+	wg.Wait()
+
+	// Workers are done: no lock needed, but the state is still behind the
+	// mutex for the analyzer's benefit elsewhere.
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	return state.res, errors.Join(state.errs...)
+}

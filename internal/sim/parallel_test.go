@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/tensor"
+)
+
+// sweepJobs builds a deterministic mixed workload of matmul jobs.
+func sweepJobs(count int) []SweepJob {
+	shapes := []struct{ m, k, l int }{
+		{7, 4, 5}, {9, 7, 10}, {3, 9, 4}, {6, 5, 7},
+	}
+	kinds := []dataflow.StationaryKind{dataflow.WS, dataflow.IS, dataflow.OS}
+	jobs := make([]SweepJob, count)
+	for i := range jobs {
+		sh := shapes[i%len(shapes)]
+		st := kinds[i%len(kinds)]
+		a := tensor.New(sh.m, sh.k).Seq(i + 1)
+		b := tensor.New(sh.k, sh.l).Seq(i + 2)
+		jobs[i] = SweepJob{
+			Name: fmt.Sprintf("mm-%d-%v", i, st),
+			Run: func(f *Fabric) error {
+				_, err := f.MatMul(a, b, st)
+				return err
+			},
+		}
+	}
+	return jobs
+}
+
+// sequentialSweep runs the jobs one at a time on fresh fabrics and sums the
+// same aggregates ParallelSweep reports.
+func sequentialSweep(t *testing.T, n int, jobs []SweepJob) SweepResult {
+	t.Helper()
+	var res SweepResult
+	for _, job := range jobs {
+		fab, err := NewFabric(n)
+		if err != nil {
+			t.Fatalf("NewFabric(%d): %v", n, err)
+		}
+		if err := job.Run(fab); err != nil {
+			t.Fatalf("job %q: %v", job.Name, err)
+		}
+		tr := fab.Traffic()
+		res.Jobs++
+		res.Traffic.A += tr.A
+		res.Traffic.B += tr.B
+		res.Traffic.D += tr.D
+		res.Traffic.Out += tr.Out
+		res.Cycles += fab.Cycles()
+		res.BusyCycles += fab.BusyCycles()
+	}
+	return res
+}
+
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	const n, count = 4, 24
+	jobs := sweepJobs(count)
+	want := sequentialSweep(t, n, jobs)
+
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		got, err := ParallelSweep(n, workers, jobs)
+		if err != nil {
+			t.Fatalf("ParallelSweep(workers=%d): %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("ParallelSweep(workers=%d) = %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+func TestParallelSweepEmpty(t *testing.T) {
+	res, err := ParallelSweep(4, 2, nil)
+	if err != nil {
+		t.Fatalf("ParallelSweep(empty): %v", err)
+	}
+	if res != (SweepResult{}) {
+		t.Errorf("ParallelSweep(empty) = %+v, want zero", res)
+	}
+}
+
+func TestParallelSweepInvalidDimension(t *testing.T) {
+	if _, err := ParallelSweep(0, 2, sweepJobs(3)); err == nil {
+		t.Fatal("ParallelSweep(n=0) succeeded, want error")
+	}
+}
+
+func TestParallelSweepPropagatesJobErrors(t *testing.T) {
+	jobs := sweepJobs(6)
+	boom := errors.New("boom")
+	jobs[2].Name = "bad-shape"
+	jobs[2].Run = func(f *Fabric) error {
+		// Mismatched inner dimensions: the fabric must reject this.
+		_, err := f.MatMul(tensor.New(2, 3), tensor.New(4, 2), dataflow.WS)
+		return err
+	}
+	jobs[4].Name = "explicit-failure"
+	jobs[4].Run = func(*Fabric) error { return boom }
+
+	res, err := ParallelSweep(4, 3, jobs)
+	if err == nil {
+		t.Fatal("ParallelSweep with failing jobs returned nil error")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v does not wrap the job error", err)
+	}
+	if !strings.Contains(err.Error(), "bad-shape") || !strings.Contains(err.Error(), "explicit-failure") {
+		t.Errorf("error %v does not name both failing jobs", err)
+	}
+	if res.Jobs != 4 {
+		t.Errorf("Jobs = %d, want 4 (the successful jobs)", res.Jobs)
+	}
+	if res.Traffic.Total() <= 0 || res.Cycles <= 0 {
+		t.Errorf("successful jobs not aggregated: %+v", res)
+	}
+}
+
+func BenchmarkParallelSweep(b *testing.B) {
+	jobs := make([]SweepJob, 32)
+	a := tensor.New(24, 24).Seq(1)
+	bm := tensor.New(24, 24).Seq(2)
+	for i := range jobs {
+		jobs[i] = SweepJob{
+			Name: fmt.Sprintf("mm-%d", i),
+			Run: func(f *Fabric) error {
+				_, err := f.MatMul(a, bm, dataflow.OS)
+				return err
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelSweep(8, 0, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
