@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fusecu-vet test test-race test-checks bench check
+.PHONY: build vet fusecu-vet test test-race test-checks bench bench-full check
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,18 @@ test-race:
 test-checks:
 	$(GO) test -tags=fusecuchecks ./...
 
+## bench is the CI smoke pass: every benchmark runs once, then fusecu-bench
+## times the Fig. 9 search engines against the frozen reference and writes
+## BENCH_search.json (verifying all engines return identical results).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x ./...
+	$(GO) run ./cmd/fusecu-bench -out BENCH_search.json
+
+## bench-full is the measurement pass: statistically meaningful benchmark
+## iterations plus the paper's full 32KiB-32MiB Fig. 9 sweep.
+bench-full:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+	$(GO) run ./cmd/fusecu-bench -full -out BENCH_search.json
 
 ## check is the full CI gate.
-check: build vet fusecu-vet test test-race test-checks
+check: build vet fusecu-vet test test-race test-checks bench

@@ -1,0 +1,252 @@
+// Command fusecu-bench times the Fig. 9 search-validation sweep under three
+// engine configurations and writes a machine-readable report:
+//
+//   - reference-sequential: the frozen pre-optimization engines (unpruned
+//     coarse scan, no memoization) — the honest baseline.
+//   - pruned-cached: footprint-pruned scans with a per-operator evaluation
+//     cache shared across the buffer sweep (experiments.Fig9).
+//   - parallel: the same, with (operator, buffer) points fanned across a
+//     worker pool (experiments.Fig9Parallel).
+//
+// The report (default BENCH_search.json) records wall time, cost-model
+// invocations, and cache hits per engine, plus whether all three produced
+// bit-identical memory-access results — which they must.
+//
+//	fusecu-bench -out BENCH_search.json        # reduced sweep (CI smoke)
+//	fusecu-bench -full -out BENCH_search.json  # the paper's 32KiB–32MiB sweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fusecu/internal/core"
+	"fusecu/internal/experiments"
+	"fusecu/internal/op"
+	"fusecu/internal/search"
+)
+
+type engineReport struct {
+	Name        string  `json:"name"`
+	WallMs      float64 `json:"wall_ms"`
+	Evaluations int64   `json:"evaluations"`
+	CacheHits   int64   `json:"cache_hits"`
+}
+
+type report struct {
+	Benchmark    string         `json:"benchmark"`
+	FullSweep    bool           `json:"full_sweep"`
+	Ops          []string       `json:"ops"`
+	BufferPoints int            `json:"buffer_points"`
+	Cores        int            `json:"cores"`
+	Workers      int            `json:"workers"`
+	Engines      []engineReport `json:"engines"`
+	// Speedups are reference-sequential wall time divided by each optimized
+	// engine's wall time.
+	SpeedupPrunedCached float64 `json:"speedup_pruned_cached"`
+	SpeedupParallel     float64 `json:"speedup_parallel"`
+	// IdenticalResults is true iff every (operator, buffer) point's
+	// principle MA, search MA, and total candidate-visit count agree across
+	// all three engines.
+	IdenticalResults bool `json:"identical_results"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_search.json", "output report path")
+		full    = flag.Bool("full", false, "run the paper's full 32KiB-32MiB sweep instead of the reduced smoke sweep")
+		workers = flag.Int("workers", 0, "workers for the parallel engine (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*out, *full, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "fusecu-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, full bool, workers int) error {
+	ops, buffers := sweep(full)
+
+	rep := report{
+		Benchmark:    "fig9-search-sweep",
+		FullSweep:    full,
+		BufferPoints: len(buffers),
+		Cores:        runtime.NumCPU(),
+		Workers:      workers,
+	}
+	for _, mm := range ops {
+		rep.Ops = append(rep.Ops, mm.String())
+	}
+
+	refStart := time.Now()
+	ref, err := referenceFig9(ops, buffers, 1)
+	if err != nil {
+		return fmt.Errorf("reference engine: %w", err)
+	}
+	refWall := time.Since(refStart)
+
+	prunedStart := time.Now()
+	pruned, err := experiments.Fig9(ops, buffers, 1)
+	if err != nil {
+		return fmt.Errorf("pruned-cached engine: %w", err)
+	}
+	prunedWall := time.Since(prunedStart)
+
+	parStart := time.Now()
+	par, err := experiments.Fig9Parallel(ops, buffers, 1, workers)
+	if err != nil {
+		return fmt.Errorf("parallel engine: %w", err)
+	}
+	parWall := time.Since(parStart)
+
+	rep.Engines = []engineReport{
+		tally("reference-sequential", refWall, ref),
+		tally("pruned-cached", prunedWall, pruned),
+		tally("parallel", parWall, par),
+	}
+	rep.SpeedupPrunedCached = ratio(refWall, prunedWall)
+	rep.SpeedupParallel = ratio(refWall, parWall)
+	rep.IdenticalResults = identical(ref, pruned) && identical(ref, par)
+	if !rep.IdenticalResults {
+		// Still write the report, but fail loudly: equivalence is the whole
+		// contract of the optimized engines.
+		if werr := write(out, rep); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("engines disagree on the sweep results (see %s)", out)
+	}
+	if err := write(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: reference %.1fms, pruned+cached %.1fms (%.2fx), parallel %.1fms (%.2fx), identical=%v\n",
+		out, ms(refWall), ms(prunedWall), rep.SpeedupPrunedCached,
+		ms(parWall), rep.SpeedupParallel, rep.IdenticalResults)
+	return nil
+}
+
+// sweep selects the workload: the paper's full sweep under -full, otherwise
+// a reduced two-operator, five-buffer smoke sweep sized for CI.
+func sweep(full bool) ([]op.MatMul, []int64) {
+	if full {
+		return experiments.Fig9Ops(), experiments.Fig9Buffers()
+	}
+	ops := []op.MatMul{
+		{Name: "proj", M: 256, K: 192, L: 192},
+		{Name: "QKt", M: 256, K: 32, L: 256},
+	}
+	var buffers []int64
+	for b := int64(4 << 10); b <= 64<<10; b *= 2 {
+		buffers = append(buffers, b)
+	}
+	return ops, buffers
+}
+
+// referenceFig9 reproduces experiments.Fig9 exactly, but drives the frozen
+// reference engines: unpruned coarse enumeration, no evaluation cache, and
+// the same engine-selection threshold and genetic polish as
+// search.Optimize.
+func referenceFig9(ops []op.MatMul, buffers []int64, seed int64) ([]experiments.Fig9Result, error) {
+	var results []experiments.Fig9Result
+	for _, mm := range ops {
+		r := experiments.Fig9Result{Op: mm}
+		for _, bs := range buffers {
+			pr, err := core.Optimize(mm, bs)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v BS=%d: %w", mm, bs, err)
+			}
+			sr, err := referenceOptimize(mm, bs, seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 search %v BS=%d: %w", mm, bs, err)
+			}
+			r.Points = append(r.Points, experiments.Fig9Point{
+				BufferElems: bs,
+				PrincipleMA: pr.Access.Total,
+				SearchMA:    sr.Access.Total,
+				Ideal:       mm.IdealMA(),
+				SearchEvals: sr.Evaluations,
+			})
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// referenceOptimize mirrors search.Optimize's engine selection — exact
+// coarse enumeration when the lattice is small, genetic polish kept when it
+// wins — using the frozen ReferenceCoarse scan and the uncached GA.
+func referenceOptimize(mm op.MatMul, bufferSize, seed int64) (search.Result, error) {
+	opts := search.GeneticOptions{Seed: seed}
+	lattice := int64(len(search.TileGrid(mm.M))) * int64(len(search.TileGrid(mm.K))) * int64(len(search.TileGrid(mm.L))) * 6
+	if lattice > 200_000 {
+		return search.Genetic(mm, bufferSize, opts)
+	}
+	r, err := search.ReferenceCoarse(mm, bufferSize)
+	if err != nil {
+		return search.Result{}, err
+	}
+	g, gerr := search.Genetic(mm, bufferSize, opts)
+	if gerr == nil && g.Access.Total < r.Access.Total {
+		g.Evaluations += r.Evaluations
+		g.Method = "coarse+genetic"
+		return g, nil
+	}
+	r.Evaluations += g.Evaluations
+	return r, nil
+}
+
+// tally sums an engine's evaluation and cache-hit counters over the sweep.
+func tally(name string, wall time.Duration, results []experiments.Fig9Result) engineReport {
+	rep := engineReport{Name: name, WallMs: ms(wall)}
+	for _, r := range results {
+		for _, p := range r.Points {
+			rep.Evaluations += p.SearchEvals
+			rep.CacheHits += p.SearchCacheHits
+		}
+	}
+	return rep
+}
+
+// identical reports whether two sweeps agree on every paper-facing value:
+// buffer point, principle MA, search MA, ideal bound, and the total
+// candidate-visit count (evaluations + cache hits, which caching must
+// conserve).
+func identical(a, b []experiments.Fig9Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op || len(a[i].Points) != len(b[i].Points) {
+			return false
+		}
+		for j := range a[i].Points {
+			pa, pb := a[i].Points[j], b[i].Points[j]
+			if pa.BufferElems != pb.BufferElems || pa.PrincipleMA != pb.PrincipleMA ||
+				pa.SearchMA != pb.SearchMA || pa.Ideal != pb.Ideal ||
+				pa.SearchEvals+pa.SearchCacheHits != pb.SearchEvals+pb.SearchCacheHits {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func ratio(base, opt time.Duration) float64 {
+	if opt <= 0 {
+		return 0
+	}
+	return float64(base) / float64(opt)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func write(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

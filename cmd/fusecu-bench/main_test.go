@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesConsistentReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(out, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IdenticalResults {
+		t.Fatal("engines disagreed on the sweep")
+	}
+	if len(rep.Engines) != 3 {
+		t.Fatalf("engines = %d", len(rep.Engines))
+	}
+	refEvals := rep.Engines[0].Evaluations + rep.Engines[0].CacheHits
+	for _, e := range rep.Engines {
+		if e.WallMs <= 0 {
+			t.Errorf("%s: wall %.3fms", e.Name, e.WallMs)
+		}
+		// Caching reassigns visits between the counters but must conserve
+		// their sum across engines.
+		if e.Evaluations+e.CacheHits != refEvals {
+			t.Errorf("%s: visits %d, reference %d", e.Name, e.Evaluations+e.CacheHits, refEvals)
+		}
+	}
+	if rep.Engines[0].CacheHits != 0 {
+		t.Error("reference engine reported cache hits")
+	}
+	if rep.Engines[1].CacheHits == 0 {
+		t.Error("cached engine reported no cache hits")
+	}
+	if rep.SpeedupPrunedCached <= 0 || rep.SpeedupParallel <= 0 {
+		t.Errorf("degenerate speedups: %+v", rep)
+	}
+}
+
+func TestSweepSelection(t *testing.T) {
+	ops, buffers := sweep(false)
+	fullOps, fullBuffers := sweep(true)
+	if len(fullOps) <= 0 || len(fullBuffers) <= len(buffers) {
+		t.Fatalf("full sweep (%d ops, %d buffers) not larger than smoke sweep (%d, %d)",
+			len(fullOps), len(fullBuffers), len(ops), len(buffers))
+	}
+	if fullBuffers[0] != 32<<10 || fullBuffers[len(fullBuffers)-1] != 32<<20 {
+		t.Fatalf("full sweep buffers = %v", fullBuffers)
+	}
+}

@@ -28,8 +28,9 @@ func main() {
 		k      = flag.Int("k", 768, "K dimension (reduction)")
 		l      = flag.Int("l", 768, "L dimension (columns of B and C)")
 		buffer = flag.Int64("buffer", 512*1024, "buffer size in elements")
-		chain  = flag.String("chain", "", "comma-separated MxKxL chain, e.g. 512x64x512,512x512x64")
-		check  = flag.Bool("check", false, "cross-check against the DAT-style search baseline")
+		chain   = flag.String("chain", "", "comma-separated MxKxL chain, e.g. 512x64x512,512x512x64")
+		check   = flag.Bool("check", false, "cross-check against the DAT-style search baseline")
+		workers = flag.Int("workers", 0, "search workers for -check (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -40,13 +41,13 @@ func main() {
 		}
 		return
 	}
-	if err := runSingle(op.MatMul{Name: "op", M: *m, K: *k, L: *l}, *buffer, *check); err != nil {
+	if err := runSingle(op.MatMul{Name: "op", M: *m, K: *k, L: *l}, *buffer, *check, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "fusecu-opt:", err)
 		os.Exit(1)
 	}
 }
 
-func runSingle(mm op.MatMul, buffer int64, check bool) error {
+func runSingle(mm op.MatMul, buffer int64, check bool, workers int) error {
 	res, err := core.Optimize(mm, buffer)
 	if err != nil {
 		return err
@@ -63,7 +64,7 @@ func runSingle(mm op.MatMul, buffer int64, check bool) error {
 		res.Access.PerTensor[0], res.Access.PerTensor[1], res.Access.PerTensor[2], res.Access.OutputReads)
 	fmt.Printf("footprint:  %d / %d elements\n", res.Access.Footprint, buffer)
 	if check {
-		sr, err := search.Optimize(mm, buffer, search.GeneticOptions{Seed: 1})
+		sr, err := search.OptimizeParallel(mm, buffer, search.GeneticOptions{Seed: 1}, workers, nil)
 		if err != nil {
 			return err
 		}

@@ -36,7 +36,10 @@ func TestParseChainErrors(t *testing.T) {
 
 func TestRunSingleAndChain(t *testing.T) {
 	// Exercise the command paths end to end (output goes to stdout).
-	if err := runSingle(opFor(64, 32, 48), 4096, true); err != nil {
+	if err := runSingle(opFor(64, 32, 48), 4096, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSingle(opFor(64, 32, 48), 4096, true, 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := runChain("64x16x64,64x64x16", 4096); err != nil {

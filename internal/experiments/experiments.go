@@ -7,7 +7,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"fusecu/internal/arch"
 	"fusecu/internal/area"
@@ -33,8 +37,15 @@ type Fig9Point struct {
 	// DAT-style searcher found; Ideal is the unbounded-buffer lower bound.
 	PrincipleMA, SearchMA, Ideal int64
 	// SearchEvals counts the searcher's cost-model invocations (the
-	// principles use a constant-size candidate set).
+	// principles use a constant-size candidate set). Candidates served from
+	// the sweep-level evaluation cache are counted in SearchCacheHits
+	// instead, so SearchEvals stays comparable to the paper's search-cost
+	// metric; SearchEvals + SearchCacheHits is the total candidate-visit
+	// count and is invariant under caching.
 	SearchEvals int64
+	// SearchCacheHits counts candidate visits served from the shared
+	// per-operator evaluation cache without invoking the cost model.
+	SearchCacheHits int64
 }
 
 // Fig9Result is the sweep for one operator.
@@ -63,32 +74,136 @@ func Fig9Buffers() []int64 {
 	return out
 }
 
+// fig9Point computes one (operator, buffer) point of the validation sweep:
+// the principle optimum, the DAT-style search result (memoized through the
+// per-operator cache), and the ideal lower bound.
+func fig9Point(mm op.MatMul, bs, seed int64, cache *search.EvalCache) (Fig9Point, error) {
+	pr, err := core.Optimize(mm, bs)
+	if err != nil {
+		return Fig9Point{}, fmt.Errorf("experiments: fig9 %v BS=%d: %w", mm, bs, err)
+	}
+	sr, err := search.OptimizeCached(mm, bs, search.GeneticOptions{Seed: seed}, cache)
+	if err != nil {
+		return Fig9Point{}, fmt.Errorf("experiments: fig9 search %v BS=%d: %w", mm, bs, err)
+	}
+	return Fig9Point{
+		BufferElems:     bs,
+		PrincipleMA:     pr.Access.Total,
+		SearchMA:        sr.Access.Total,
+		Ideal:           mm.IdealMA(),
+		SearchEvals:     sr.Evaluations,
+		SearchCacheHits: sr.CacheHits,
+	}, nil
+}
+
 // Fig9 validates the principles against the search baseline across the
-// buffer sweep. seed feeds the genetic engine.
+// buffer sweep. seed feeds the genetic engine. Each operator owns one
+// evaluation cache spanning its buffer sweep, so a candidate dataflow is
+// costed once and every later sweep point filters it by footprint only
+// (the repeat visits land in Fig9Point.SearchCacheHits).
 func Fig9(ops []op.MatMul, buffers []int64, seed int64) ([]Fig9Result, error) {
 	var results []Fig9Result
 	for _, mm := range ops {
 		r := Fig9Result{Op: mm}
+		cache := search.NewEvalCache()
 		for _, bs := range buffers {
-			pr, err := core.Optimize(mm, bs)
+			p, err := fig9Point(mm, bs, seed, cache)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fig9 %v BS=%d: %w", mm, bs, err)
+				return nil, err
 			}
-			sr, err := search.Optimize(mm, bs, search.GeneticOptions{Seed: seed})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig9 search %v BS=%d: %w", mm, bs, err)
-			}
-			r.Points = append(r.Points, Fig9Point{
-				BufferElems: bs,
-				PrincipleMA: pr.Access.Total,
-				SearchMA:    sr.Access.Total,
-				Ideal:       mm.IdealMA(),
-				SearchEvals: sr.Evaluations,
-			})
+			r.Points = append(r.Points, p)
 		}
 		results = append(results, r)
 	}
 	return results, nil
+}
+
+// Fig9Parallel computes the same sweep as Fig9 with the (operator, buffer)
+// points fanned across a worker pool (workers ≤ 0 selects GOMAXPROCS).
+// Every MA value and the per-point SearchEvals + SearchCacheHits sum are
+// deterministic and identical to Fig9's — the genetic engine's RNG stream
+// does not depend on the cache — but the split between evaluations and
+// cache hits at a given point depends on which point warmed the shared
+// per-operator cache first. Failed points are reported joined, sorted by
+// sweep position, so failures reproduce run to run.
+func Fig9Parallel(ops []op.MatMul, buffers []int64, seed int64, workers int) ([]Fig9Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	caches := make([]*search.EvalCache, len(ops))
+	points := make([][]Fig9Point, len(ops))
+	for i := range ops {
+		caches[i] = search.NewEvalCache()
+		points[i] = make([]Fig9Point, len(buffers))
+	}
+
+	type job struct{ oi, bi int }
+	total := len(ops) * len(buffers)
+	if workers > total {
+		workers = total
+	}
+	state := &fig9State{}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				// Each worker writes a distinct points[oi][bi] slot; only
+				// the error list is shared.
+				p, err := fig9Point(ops[j.oi], buffers[j.bi], seed, caches[j.oi])
+				if err != nil {
+					state.mu.Lock()
+					state.errs = append(state.errs, fig9Error{oi: j.oi, bi: j.bi, err: err})
+					state.mu.Unlock()
+					continue
+				}
+				points[j.oi][j.bi] = p
+			}
+		}()
+	}
+	for oi := range ops {
+		for bi := range buffers {
+			ch <- job{oi, bi}
+		}
+	}
+	close(ch)
+	wg.Wait()
+
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	if len(state.errs) > 0 {
+		sort.Slice(state.errs, func(i, j int) bool {
+			if state.errs[i].oi != state.errs[j].oi {
+				return state.errs[i].oi < state.errs[j].oi
+			}
+			return state.errs[i].bi < state.errs[j].bi
+		})
+		joined := make([]error, len(state.errs))
+		for i, e := range state.errs {
+			joined[i] = e.err
+		}
+		return nil, errors.Join(joined...)
+	}
+	results := make([]Fig9Result, len(ops))
+	for i, mm := range ops {
+		results[i] = Fig9Result{Op: mm, Points: points[i]}
+	}
+	return results, nil
+}
+
+// fig9Error locates one failed sweep point for deterministic reporting.
+type fig9Error struct {
+	oi, bi int
+	err    error
+}
+
+// fig9State is the mutex-guarded shared state of one parallel sweep
+// (lockedsimstate-enforced, -race-backstopped like sim.ParallelSweep).
+type fig9State struct {
+	mu   sync.Mutex
+	errs []fig9Error
 }
 
 // RenderFig9 renders each operator's sweep as a figure with the principle

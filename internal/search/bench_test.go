@@ -1,0 +1,80 @@
+package search
+
+import (
+	"testing"
+
+	"fusecu/internal/op"
+)
+
+// benchOp is large enough that the coarse lattice dominates runtime but
+// small enough for -benchtime=1x smoke runs in CI.
+var benchOp = op.MatMul{Name: "bench", M: 256, K: 192, L: 256}
+
+const benchBuffer = 32 << 10
+
+func BenchmarkCoarseReference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ReferenceCoarse(benchOp, benchBuffer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoarsePruned(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ExhaustiveCoarse(benchOp, benchBuffer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoarseParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelCoarse(benchOp, benchBuffer, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoarseCachedSweep measures a warm-cache buffer sweep — the
+// Fig. 9 access pattern where the same candidate lattice is revisited at
+// every buffer size.
+func BenchmarkCoarseCachedSweep(b *testing.B) {
+	buffers := []int64{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := NewEvalCache()
+		for _, bs := range buffers {
+			if _, err := ExhaustiveCoarseCached(benchOp, bs, cache); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkExhaustiveReference(b *testing.B) {
+	mm := op.MatMul{Name: "bench-small", M: 24, K: 20, L: 24}
+	for i := 0; i < b.N; i++ {
+		if _, err := ReferenceExhaustive(mm, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustivePruned(b *testing.B) {
+	mm := op.MatMul{Name: "bench-small", M: 24, K: 20, L: 24}
+	for i := 0; i < b.N; i++ {
+		if _, err := Exhaustive(mm, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveParallel(b *testing.B) {
+	mm := op.MatMul{Name: "bench-small", M: 24, K: 20, L: 24}
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelExhaustive(mm, 512, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

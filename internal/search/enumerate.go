@@ -1,0 +1,211 @@
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/invariant"
+	"fusecu/internal/op"
+)
+
+// This file is the shared enumeration core behind Exhaustive,
+// ExhaustiveCoarse and their Parallel variants. All of them walk the same
+// candidate lattice (tile triples × loop orders) and must return the exact
+// result the unoptimized reference engines return, so the fast paths here
+// lean on two properties the tests pin down:
+//
+//   - Footprint monotonicity: Tiling.Footprint() = T_M·T_K + T_K·T_L +
+//     T_M·T_L is strictly increasing in each tile size for fixed others, so
+//     once a candidate overflows the buffer every larger tile in the same
+//     loop does too — the scan breaks instead of filtering per candidate.
+//   - Canonical tie-break: among equal-MA optima the engines keep the
+//     candidate with the smallest (order index, T_M, T_K, T_L) tuple, which
+//     is exactly the first minimum the reference engines' order-major scan
+//     encounters. This makes the optimum independent of enumeration order
+//     and of how the parallel engines shard the lattice.
+
+// candKey identifies one enumeration candidate by its canonical
+// coordinates, used to break MA ties deterministically.
+type candKey struct {
+	order, tm, tk, tl int
+}
+
+// less orders keys lexicographically by (order, tm, tk, tl).
+func (k candKey) less(o candKey) bool {
+	if k.order != o.order {
+		return k.order < o.order
+	}
+	if k.tm != o.tm {
+		return k.tm < o.tm
+	}
+	if k.tk != o.tk {
+		return k.tk < o.tk
+	}
+	return k.tl < o.tl
+}
+
+// tileFootprint is Tiling.Footprint for a raw tile triple, evaluated before
+// deciding whether the candidate is worth constructing at all.
+func tileFootprint(tm, tk, tl int) int64 {
+	return invariant.CheckedMul(int64(tm), int64(tk)) +
+		invariant.CheckedMul(int64(tk), int64(tl)) +
+		invariant.CheckedMul(int64(tm), int64(tl))
+}
+
+// fullRange returns the complete tile-size range [1, 2, …, n] of one
+// dimension — the exhaustive engines' "grid".
+func fullRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// evalDataflow routes one cost evaluation through the cache when present.
+// The boolean reports a cache hit, which callers count separately from
+// Evaluations so the paper's search-cost metric stays honest.
+func evalDataflow(mm op.MatMul, df dataflow.Dataflow, cache *EvalCache) (cost.Access, bool) {
+	if cache != nil {
+		return cache.Evaluate(mm, df)
+	}
+	return cost.MustEvaluate(mm, df), false
+}
+
+// enumBest accumulates one scan's running optimum and cost counters.
+type enumBest struct {
+	best    Result
+	bestKey candKey
+	found   bool
+}
+
+// take replaces the running optimum when the candidate is strictly better,
+// or ties on MA with a smaller canonical key.
+func (e *enumBest) take(df dataflow.Dataflow, a cost.Access, key candKey) {
+	if !e.found || a.Total < e.best.Access.Total ||
+		(a.Total == e.best.Access.Total && key.less(e.bestKey)) {
+		e.found = true
+		e.best.Dataflow, e.best.Access, e.bestKey = df, a, key
+	}
+}
+
+// merge folds another scan's accumulator into e: counters add, optima
+// compete under the canonical tie-break.
+func (e *enumBest) merge(o enumBest) {
+	e.best.Evaluations += o.best.Evaluations
+	e.best.CacheHits += o.best.CacheHits
+	if o.found {
+		e.take(o.best.Dataflow, o.best.Access, o.bestKey)
+	}
+}
+
+// scanChunk enumerates the tilings gm[lo:hi] × gk × gl (each grid sorted
+// ascending) against every loop order, pruning by footprint monotonicity:
+// the innermost tl loop breaks on buffer overflow, and the tk and tm loops
+// break once even the smallest remaining partner tiles overflow.
+func scanChunk(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, lo, hi int, cache *EvalCache, acc *enumBest) {
+	minK, minL := gk[0], gl[0]
+	for _, tm := range gm[lo:hi] {
+		if tileFootprint(tm, minK, minL) > bufferSize {
+			break
+		}
+		for _, tk := range gk {
+			if tileFootprint(tm, tk, minL) > bufferSize {
+				break
+			}
+			for _, tl := range gl {
+				if tileFootprint(tm, tk, tl) > bufferSize {
+					break
+				}
+				ti := dataflow.MustTiling(mm, tm, tk, tl)
+				for oi, o := range orders {
+					df := dataflow.Must(mm, o, ti)
+					a, hit := evalDataflow(mm, df, cache)
+					if hit {
+						acc.best.CacheHits++
+					} else {
+						acc.best.Evaluations++
+					}
+					acc.take(df, a, candKey{oi, tm, tk, tl})
+				}
+			}
+		}
+	}
+}
+
+// enumState is the mutex-guarded shared state of one parallel scan; worker
+// goroutines merge their chunk-local accumulators under mu (enforced by the
+// lockedsimstate analyzer, backstopped by the -race CI run).
+type enumState struct {
+	mu  sync.Mutex
+	acc enumBest
+}
+
+// scanParallel shards the tm grid across a worker pool and merges the
+// chunk-local optima under the canonical tie-break, so the combined result
+// is identical to a sequential scan regardless of scheduling.
+func scanParallel(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, cache *EvalCache, workers int) enumBest {
+	type span struct{ lo, hi int }
+	// Several chunks per worker load-balance the ragged pruning: small-tm
+	// chunks admit far more feasible (tk, tl) partners than large-tm ones.
+	chunk := len(gm) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	state := &enumState{}
+	ch := make(chan span)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local enumBest
+			for s := range ch {
+				scanChunk(mm, bufferSize, orders, gm, gk, gl, s.lo, s.hi, cache, &local)
+			}
+			state.mu.Lock()
+			state.acc.merge(local)
+			state.mu.Unlock()
+		}()
+	}
+	for lo := 0; lo < len(gm); lo += chunk {
+		hi := lo + chunk
+		if hi > len(gm) {
+			hi = len(gm)
+		}
+		ch <- span{lo, hi}
+	}
+	close(ch)
+	wg.Wait()
+
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	return state.acc
+}
+
+// enumerate runs the pruned scan over the given grids, sequentially for
+// workers == 1 and on a worker pool otherwise (workers ≤ 0 selects
+// GOMAXPROCS), and packages the optimum as a Result.
+func enumerate(mm op.MatMul, bufferSize int64, gm, gk, gl []int, cache *EvalCache, workers int, method string) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	orders := dataflow.AllOrders()
+	var acc enumBest
+	if workers == 1 {
+		scanChunk(mm, bufferSize, orders, gm, gk, gl, 0, len(gm), cache, &acc)
+	} else {
+		acc = scanParallel(mm, bufferSize, orders, gm, gk, gl, cache, workers)
+	}
+	if !acc.found {
+		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d", mm, bufferSize)
+	}
+	acc.best.Method = method
+	return acc.best, nil
+}

@@ -1,0 +1,291 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fusecu/internal/op"
+)
+
+// engineCase runs one engine variant against a fixed (op, buffer) input.
+type engineCase struct {
+	name string
+	run  func(op.MatMul, int64) (Result, error)
+}
+
+// prunedAndParallelEngines lists every optimized exhaustive variant that
+// must reproduce ReferenceExhaustive bit for bit. cache is shared across
+// calls when non-nil.
+func exhaustiveVariants(cache *EvalCache) []engineCase {
+	return []engineCase{
+		{"pruned", Exhaustive},
+		{"pruned-cached", func(mm op.MatMul, bs int64) (Result, error) { return ExhaustiveCached(mm, bs, cache) }},
+		{"parallel-2", func(mm op.MatMul, bs int64) (Result, error) { return ParallelExhaustive(mm, bs, 2, nil) }},
+		{"parallel-5-cached", func(mm op.MatMul, bs int64) (Result, error) { return ParallelExhaustive(mm, bs, 5, cache) }},
+		{"parallel-auto", func(mm op.MatMul, bs int64) (Result, error) { return ParallelExhaustive(mm, bs, 0, nil) }},
+	}
+}
+
+func coarseVariants(cache *EvalCache) []engineCase {
+	return []engineCase{
+		{"pruned", ExhaustiveCoarse},
+		{"pruned-cached", func(mm op.MatMul, bs int64) (Result, error) { return ExhaustiveCoarseCached(mm, bs, cache) }},
+		{"parallel-3", func(mm op.MatMul, bs int64) (Result, error) { return ParallelCoarse(mm, bs, 3, nil) }},
+		{"parallel-3-cached", func(mm op.MatMul, bs int64) (Result, error) { return ParallelCoarse(mm, bs, 3, cache) }},
+	}
+}
+
+// checkEquivalent asserts got reproduces the reference optimum exactly:
+// same dataflow (including the deterministic tie-break), same access
+// breakdown, and the same total candidate-visit count, with cache hits
+// never hidden inside Evaluations.
+func checkEquivalent(t *testing.T, label string, ref, got Result) {
+	t.Helper()
+	if got.Dataflow != ref.Dataflow {
+		t.Errorf("%s: dataflow %v, reference %v", label, got.Dataflow, ref.Dataflow)
+	}
+	if got.Access != ref.Access {
+		t.Errorf("%s: access %+v, reference %+v", label, got.Access, ref.Access)
+	}
+	if got.Evaluations+got.CacheHits != ref.Evaluations {
+		t.Errorf("%s: evals %d + hits %d != reference evals %d",
+			label, got.Evaluations, got.CacheHits, ref.Evaluations)
+	}
+}
+
+func TestExhaustiveEnginesMatchReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cache := NewEvalCache()
+	for trial := 0; trial < 25; trial++ {
+		mm := op.MatMul{
+			Name: "rand",
+			M:    rng.Intn(9) + 1,
+			K:    rng.Intn(9) + 1,
+			L:    rng.Intn(9) + 1,
+		}
+		// Buffers from infeasible through unconstrained.
+		maxFP := mm.SizeA() + mm.SizeB() + mm.SizeC()
+		for _, bs := range []int64{2, 3, 7, maxFP / 2, maxFP, maxFP * 2} {
+			ref, refErr := ReferenceExhaustive(mm, bs)
+			for _, eng := range exhaustiveVariants(cache) {
+				got, err := eng.run(mm, bs)
+				if (err == nil) != (refErr == nil) {
+					t.Fatalf("%v BS=%d %s: err=%v, reference err=%v", mm, bs, eng.name, err, refErr)
+				}
+				if refErr != nil {
+					continue
+				}
+				checkEquivalent(t, eng.name, ref, got)
+			}
+		}
+	}
+}
+
+func TestCoarseEnginesMatchReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cache := NewEvalCache()
+	for trial := 0; trial < 20; trial++ {
+		mm := op.MatMul{
+			Name: "rand",
+			M:    rng.Intn(60) + 1,
+			K:    rng.Intn(60) + 1,
+			L:    rng.Intn(60) + 1,
+		}
+		maxFP := mm.SizeA() + mm.SizeB() + mm.SizeC()
+		for _, bs := range []int64{2, 5, 16, maxFP / 3, maxFP * 2} {
+			ref, refErr := ReferenceCoarse(mm, bs)
+			for _, eng := range coarseVariants(cache) {
+				got, err := eng.run(mm, bs)
+				if (err == nil) != (refErr == nil) {
+					t.Fatalf("%v BS=%d %s: err=%v, reference err=%v", mm, bs, eng.name, err, refErr)
+				}
+				if refErr != nil {
+					continue
+				}
+				checkEquivalent(t, eng.name, ref, got)
+			}
+		}
+	}
+}
+
+func TestEvalCacheServesRepeatSweepsEntirely(t *testing.T) {
+	mm := op.MatMul{M: 12, K: 10, L: 8}
+	cache := NewEvalCache()
+
+	cold, err := ExhaustiveCached(mm, 1<<20, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 {
+		t.Errorf("cold run reported %d hits", cold.CacheHits)
+	}
+	if cold.Evaluations == 0 {
+		t.Fatal("cold run reported no evaluations")
+	}
+
+	// A second identical run must be served entirely from the cache without
+	// changing the optimum or the visit count.
+	warm, err := ExhaustiveCached(mm, 1<<20, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Evaluations != 0 {
+		t.Errorf("warm run invoked the cost model %d times", warm.Evaluations)
+	}
+	if warm.CacheHits != cold.Evaluations {
+		t.Errorf("warm hits %d != cold evals %d", warm.CacheHits, cold.Evaluations)
+	}
+	if warm.Dataflow != cold.Dataflow || warm.Access != cold.Access {
+		t.Errorf("cache changed the optimum: %+v vs %+v", warm, cold)
+	}
+
+	// A smaller buffer revisits a subset of cached candidates: still zero
+	// fresh evaluations, fewer visits, and footprint filtering intact.
+	small, err := ExhaustiveCached(mm, 40, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Evaluations != 0 {
+		t.Errorf("subset run invoked the cost model %d times", small.Evaluations)
+	}
+	if small.CacheHits >= warm.CacheHits {
+		t.Errorf("subset visits %d not below full-sweep visits %d", small.CacheHits, warm.CacheHits)
+	}
+	if small.Access.Footprint > 40 {
+		t.Errorf("cached engine returned infeasible footprint %d", small.Access.Footprint)
+	}
+
+	s := cache.Stats()
+	if s.Misses != cold.Evaluations || s.Entries != s.Misses {
+		t.Errorf("stats %+v inconsistent with cold evals %d", s, cold.Evaluations)
+	}
+	if s.Hits != warm.CacheHits+small.CacheHits {
+		t.Errorf("stats hits %d != %d + %d", s.Hits, warm.CacheHits, small.CacheHits)
+	}
+}
+
+func TestGeneticCacheDoesNotAlterResult(t *testing.T) {
+	mm := op.MatMul{M: 48, K: 36, L: 24}
+	opts := GeneticOptions{Seed: 9, Population: 24, Generations: 12}
+	plain, err := Genetic(mm, 1024, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewEvalCache()
+	for run := 0; run < 2; run++ {
+		cached, err := GeneticCached(mm, 1024, opts, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.Dataflow != plain.Dataflow || cached.Access != plain.Access {
+			t.Fatalf("run %d: cache altered the GA result: %+v vs %+v", run, cached, plain)
+		}
+		if cached.Evaluations+cached.CacheHits != plain.Evaluations {
+			t.Fatalf("run %d: evals %d + hits %d != uncached evals %d",
+				run, cached.Evaluations, cached.CacheHits, plain.Evaluations)
+		}
+	}
+	// The second run's fitness stream is warm: the GA trajectory repeats, so
+	// nearly every visit must be a hit (the trajectory itself revisits
+	// genomes, so even the first run records some).
+	warm, err := GeneticCached(mm, 1024, opts, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Evaluations != 0 {
+		t.Errorf("fully warmed GA still invoked the cost model %d times", warm.Evaluations)
+	}
+}
+
+func TestGeneticSeedDeterminismFullResult(t *testing.T) {
+	mm := op.MatMul{M: 64, K: 48, L: 96}
+	opts := GeneticOptions{Seed: 42, Population: 32, Generations: 20}
+	a, err := Genetic(mm, 2048, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Genetic(mm, 2048, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed produced different Results: %+v vs %+v", a, b)
+	}
+	c, err := Genetic(mm, 2048, GeneticOptions{Seed: -42, Population: 32, Generations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Evaluations == 0 {
+		t.Fatal("negative seed run recorded no evaluations")
+	}
+}
+
+func TestGeneticOptionsElitismSentinel(t *testing.T) {
+	// Zero value keeps the historical defaults.
+	o := GeneticOptions{}.withDefaults()
+	if o.Population != 64 || o.Generations != 60 || o.Seed != 1 || o.Elitism != 4 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Negative Elitism is the explicit no-elitism request the zero value
+	// could never express.
+	if got := (GeneticOptions{Elitism: -1}).withDefaults().Elitism; got != 0 {
+		t.Fatalf("Elitism -1 → %d, want 0", got)
+	}
+	// No-elitism runs must still work end to end.
+	mm := op.MatMul{M: 16, K: 12, L: 8}
+	r, err := Genetic(mm, 200, GeneticOptions{Seed: 5, Population: 16, Generations: 10, Elitism: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Access.Footprint > 200 {
+		t.Fatalf("no-elitism run infeasible: %+v", r.Access)
+	}
+}
+
+func TestInfeasibleFitnessSaturatesInsteadOfWrapping(t *testing.T) {
+	// Regression for the penalty total + (footprint-buffer)·1024: with a
+	// huge-operator footprint the product alone exceeds int64. The old
+	// expression wrapped negative, ranking the infeasible genome above
+	// every feasible one.
+	hugeOverflow := int64(1) << 53 // ·1024 = 2^63 > MaxInt64
+	if old := int64(123) + hugeOverflow*1024; old >= 0 {
+		t.Fatalf("expected the unchecked expression to wrap, got %d", old)
+	}
+	if got := infeasibleFitness(123, hugeOverflow); got != math.MaxInt64 {
+		t.Fatalf("product overflow: fitness = %d, want saturation", got)
+	}
+	// Addition overflow saturates too.
+	if got := infeasibleFitness(math.MaxInt64-10, 1); got != math.MaxInt64 {
+		t.Fatalf("sum overflow: fitness = %d, want saturation", got)
+	}
+	// Small overflows keep the original proportional-pressure semantics.
+	if got := infeasibleFitness(1000, 3); got != 1000+3*1024 {
+		t.Fatalf("small overflow: fitness = %d", got)
+	}
+	// Saturated fitness must rank below (worse than) any feasible total.
+	if infeasibleFitness(1, hugeOverflow) <= (int64(1) << 62) {
+		t.Fatal("saturated penalty does not dominate feasible totals")
+	}
+}
+
+func TestGeneticHugeOperatorStaysFeasible(t *testing.T) {
+	// Huge-op regression: M·K = 2^54, so an untiled genome's footprint
+	// alone makes (footprint-buffer)·1024 overflow int64. The dimensions
+	// are chosen so every representable traffic value still fits int64
+	// (M·K·L = 2^60), keeping the run clean under -tags=fusecuchecks.
+	mm := op.MatMul{Name: "huge", M: 1 << 27, K: 1 << 27, L: 1 << 6}
+	if got := infeasibleFitness(0, mm.SizeA()-4); got != math.MaxInt64 {
+		t.Fatalf("huge-op penalty did not saturate: %d", got)
+	}
+	r, err := Genetic(mm, 1<<20, GeneticOptions{Seed: 3, Population: 16, Generations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Access.Footprint > 1<<20 {
+		t.Fatalf("huge-op GA returned infeasible footprint %d", r.Access.Footprint)
+	}
+	if r.Access.Total < mm.IdealMA() {
+		t.Fatalf("huge-op GA total %d below ideal %d", r.Access.Total, mm.IdealMA())
+	}
+}

@@ -1,0 +1,110 @@
+package search
+
+import (
+	"sync"
+
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+// EvalCache memoizes cost-model evaluations across searches, keyed by the
+// complete cost input (operator shape, loop order, tile triple). Its point
+// is buffer-size sweeps: cost.Evaluate does not depend on the buffer size —
+// only feasibility filtering does — so a sweep like experiments.Fig9 can
+// evaluate each (order, tiling) candidate once and serve every other sweep
+// point from the cache, filtering by footprint per point.
+//
+// Hits and misses are counted separately: engines report served-from-cache
+// visits in Result.CacheHits, never in Result.Evaluations, so the paper's
+// search-cost metric (cost-model invocations) stays honest.
+//
+// The cache is sharded by key hash and safe for concurrent use by the
+// parallel engines. Operator names are not part of the key — cost depends
+// only on the dimensions — so a cache may be shared across identically
+// shaped operators.
+type EvalCache struct {
+	shards [evalCacheShards]evalCacheShard
+}
+
+// evalCacheShards trades map contention against footprint; 64 keeps the
+// worker pools (≤ GOMAXPROCS) mostly collision-free.
+const evalCacheShards = 64
+
+// evalCacheShard is one mutex-guarded slice of the cache.
+type evalCacheShard struct {
+	mu     sync.Mutex
+	m      map[evalKey]cost.Access
+	hits   int64
+	misses int64
+}
+
+// evalKey is the complete input of one cost evaluation.
+type evalKey struct {
+	m, k, l    int
+	order      dataflow.Order
+	tm, tk, tl int
+}
+
+// shard hashes the key (FNV-1a over its coordinates) to a shard index.
+func (k evalKey) shard() int {
+	h := uint64(14695981039346656037)
+	for _, v := range [...]int{k.m, k.k, k.l, int(k.order[0]), int(k.order[1]), int(k.order[2]), k.tm, k.tk, k.tl} {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return int(h % evalCacheShards)
+}
+
+// NewEvalCache returns an empty cache.
+func NewEvalCache() *EvalCache {
+	c := &EvalCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[evalKey]cost.Access)
+	}
+	return c
+}
+
+// Evaluate returns the exact cost of df on mm, computing it at most once
+// per (shape, order, tiling) over the cache's lifetime. The boolean reports
+// whether this call was served from the cache.
+func (c *EvalCache) Evaluate(mm op.MatMul, df dataflow.Dataflow) (cost.Access, bool) {
+	key := evalKey{
+		m: mm.M, k: mm.K, l: mm.L,
+		order: df.Order,
+		tm:    df.Tiling.TM, tk: df.Tiling.TK, tl: df.Tiling.TL,
+	}
+	sh := &c.shards[key.shard()]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if a, ok := sh.m[key]; ok {
+		sh.hits++
+		return a, true
+	}
+	a := cost.MustEvaluate(mm, df)
+	sh.m[key] = a
+	sh.misses++
+	return a, false
+}
+
+// CacheStats summarizes an EvalCache's traffic.
+type CacheStats struct {
+	// Hits counts evaluations served from the cache; Misses counts actual
+	// cost-model invocations. Entries is the resident candidate count
+	// (equal to Misses: each miss inserts exactly one entry).
+	Hits, Misses, Entries int64
+}
+
+// Stats returns the cache's cumulative hit/miss counters.
+func (c *EvalCache) Stats() CacheStats {
+	var s CacheStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Entries += int64(len(sh.m))
+		sh.mu.Unlock()
+	}
+	return s
+}

@@ -1,23 +1,35 @@
 // Package search implements the search-based dataflow optimizer the
 // principles are validated against, playing the role DAT plays in the paper
-// (Fig. 9). Two engines are provided over the identical tiling/scheduling
+// (Fig. 9). Several engines are provided over the identical tiling/scheduling
 // space used by internal/core:
 //
 //   - Exhaustive enumerates every loop order and every integer tiling —
 //     the ground-truth optimum, tractable for small operators and used by the
-//     test suite to prove the principle optimizer's optimality.
+//     test suite to prove the principle optimizer's optimality. It prunes by
+//     footprint monotonicity; ReferenceExhaustive is the frozen unpruned
+//     original it is proven equivalent to.
+//   - ExhaustiveCoarse restricts the tilings to the TileGrid lattice — the
+//     tractable projection search-based mappers explore for large operators.
+//   - ParallelExhaustive / ParallelCoarse shard the same scans across a
+//     worker pool and return bit-identical results.
 //   - Genetic is a DAT-style genetic algorithm for spaces where exhaustive
 //     enumeration is intractable. Like DAT's GA it does not guarantee the
 //     global optimum, which is exactly the behaviour Fig. 9 exercises.
+//
+// Every engine has a *Cached variant accepting an EvalCache so buffer-size
+// sweeps evaluate each candidate dataflow once (cost does not depend on the
+// buffer size; only feasibility filtering does).
 package search
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
 	"fusecu/internal/cost"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/invariant"
 	"fusecu/internal/op"
 )
 
@@ -26,45 +38,32 @@ type Result struct {
 	Dataflow dataflow.Dataflow
 	Access   cost.Access
 	// Evaluations counts cost-model invocations, the search-cost metric the
-	// paper contrasts with one-shot principle optimization.
+	// paper contrasts with one-shot principle optimization. Candidates
+	// served from an EvalCache are NOT counted here.
 	Evaluations int64
-	Method      string
+	// CacheHits counts candidate visits served from an EvalCache without
+	// invoking the cost model. Evaluations + CacheHits is the engine's
+	// total candidate-visit count and is invariant under caching.
+	CacheHits int64
+	Method    string
 }
 
 // Exhaustive enumerates all 6 loop orders × all integer tilings and returns
 // the global optimum. Cost grows with M·K·L; use only for operators whose
-// dimension product is modest (tests, calibration).
+// dimension product is modest (tests, calibration). The scan prunes by
+// footprint monotonicity and is proven bit-identical to
+// ReferenceExhaustive.
 func Exhaustive(mm op.MatMul, bufferSize int64) (Result, error) {
+	return ExhaustiveCached(mm, bufferSize, nil)
+}
+
+// ExhaustiveCached is Exhaustive with candidate evaluations memoized in
+// cache (which may be nil).
+func ExhaustiveCached(mm op.MatMul, bufferSize int64, cache *EvalCache) (Result, error) {
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
-	var (
-		best  Result
-		found bool
-	)
-	for _, o := range dataflow.AllOrders() {
-		for tm := 1; tm <= mm.M; tm++ {
-			for tk := 1; tk <= mm.K; tk++ {
-				for tl := 1; tl <= mm.L; tl++ {
-					df := dataflow.Must(mm, o, dataflow.MustTiling(mm, tm, tk, tl))
-					if df.Tiling.Footprint() > bufferSize {
-						continue
-					}
-					a := cost.MustEvaluate(mm, df)
-					best.Evaluations++
-					if !found || a.Total < best.Access.Total {
-						found = true
-						best.Dataflow, best.Access = df, a
-					}
-				}
-			}
-		}
-	}
-	if !found {
-		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d", mm, bufferSize)
-	}
-	best.Method = "exhaustive"
-	return best, nil
+	return enumerate(mm, bufferSize, fullRange(mm.M), fullRange(mm.K), fullRange(mm.L), cache, 1, "exhaustive")
 }
 
 // TileGrid returns the candidate tile values for one dimension extent used
@@ -92,49 +91,66 @@ func TileGrid(extent int) []int {
 
 // ExhaustiveCoarse enumerates all loop orders over the TileGrid lattice —
 // the tractable projection of the full space that DSE frameworks typically
-// explore for large operators.
+// explore for large operators. Pruned like Exhaustive; proven bit-identical
+// to ReferenceCoarse.
 func ExhaustiveCoarse(mm op.MatMul, bufferSize int64) (Result, error) {
+	return ExhaustiveCoarseCached(mm, bufferSize, nil)
+}
+
+// ExhaustiveCoarseCached is ExhaustiveCoarse with candidate evaluations
+// memoized in cache (which may be nil).
+func ExhaustiveCoarseCached(mm op.MatMul, bufferSize int64, cache *EvalCache) (Result, error) {
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
-	gm, gk, gl := TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L)
-	var (
-		best  Result
-		found bool
-	)
-	for _, o := range dataflow.AllOrders() {
-		for _, tm := range gm {
-			for _, tk := range gk {
-				for _, tl := range gl {
-					df := dataflow.Must(mm, o, dataflow.MustTiling(mm, tm, tk, tl))
-					if df.Tiling.Footprint() > bufferSize {
-						continue
-					}
-					a := cost.MustEvaluate(mm, df)
-					best.Evaluations++
-					if !found || a.Total < best.Access.Total {
-						found = true
-						best.Dataflow, best.Access = df, a
-					}
-				}
-			}
-		}
+	return enumerate(mm, bufferSize, TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L), cache, 1, "exhaustive-coarse")
+}
+
+// ParallelExhaustive is Exhaustive sharded across a worker pool (workers ≤ 0
+// selects GOMAXPROCS). The result — dataflow, access, tie-break and
+// evaluation count — is bit-identical to the sequential engine's; only the
+// split between Evaluations and CacheHits can vary with scheduling when a
+// cache is shared.
+func ParallelExhaustive(mm op.MatMul, bufferSize int64, workers int, cache *EvalCache) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
 	}
-	if !found {
-		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d", mm, bufferSize)
+	return enumerate(mm, bufferSize, fullRange(mm.M), fullRange(mm.K), fullRange(mm.L), cache, nonUnitWorkers(workers), "exhaustive-parallel")
+}
+
+// ParallelCoarse is ExhaustiveCoarse sharded across a worker pool, with the
+// same bit-identical-result guarantee as ParallelExhaustive.
+func ParallelCoarse(mm op.MatMul, bufferSize int64, workers int, cache *EvalCache) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
 	}
-	best.Method = "exhaustive-coarse"
-	return best, nil
+	return enumerate(mm, bufferSize, TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L), cache, nonUnitWorkers(workers), "exhaustive-coarse-parallel")
+}
+
+// nonUnitWorkers keeps an explicit workers=1 request on the sequential
+// in-line path while mapping auto-selection (≤ 0) through to the pool.
+func nonUnitWorkers(workers int) int {
+	if workers < 1 {
+		return 0
+	}
+	return workers
 }
 
 // GeneticOptions tunes the genetic engine. The zero value selects the
 // defaults used throughout the benchmarks.
 type GeneticOptions struct {
-	Population  int   // default 64
-	Generations int   // default 60
-	Seed        int64 // default 1
+	Population  int // default 64
+	Generations int // default 60
+	// Seed seeds the deterministic RNG. The zero value selects the default
+	// seed 1 (so zero-valued options keep the benchmarks' historical
+	// behaviour); every other value, including negatives, is used verbatim.
+	// A literal seed of 0 is therefore not expressible — pass any other
+	// value for an independent stream.
+	Seed int64
 	// Elitism keeps the best individuals unchanged each generation.
-	Elitism int // default 4
+	// 0 selects the default of 4; a negative value requests no elitism
+	// (the zero value cannot, since it must keep the default behaviour).
+	Elitism int
 }
 
 func (o GeneticOptions) withDefaults() GeneticOptions {
@@ -147,8 +163,11 @@ func (o GeneticOptions) withDefaults() GeneticOptions {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	if o.Elitism <= 0 {
+	switch {
+	case o.Elitism == 0:
 		o.Elitism = 4
+	case o.Elitism < 0:
+		o.Elitism = 0
 	}
 	if o.Elitism > o.Population/2 {
 		o.Elitism = o.Population / 2
@@ -161,10 +180,33 @@ type genome struct {
 	tm, tk, tl int
 }
 
+// infeasibleFitness penalizes an infeasible genome proportionally to its
+// buffer overflow, saturating at MaxInt64 instead of wrapping: on huge
+// operators total + overflow·1024 exceeds int64, and the wrapped-negative
+// penalty would make an infeasible genome beat every feasible one.
+func infeasibleFitness(total, overflow int64) int64 {
+	const weight = 1024
+	if invariant.MulOverflows(overflow, weight) {
+		return math.MaxInt64
+	}
+	p := overflow * weight
+	if total > math.MaxInt64-p {
+		return math.MaxInt64
+	}
+	return total + p
+}
+
 // Genetic runs a DAT-style genetic algorithm over loop orders and integer
 // tilings. It is deterministic for a fixed seed. Like DAT it may return a
 // locally rather than globally optimal dataflow.
 func Genetic(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error) {
+	return GeneticCached(mm, bufferSize, opts, nil)
+}
+
+// GeneticCached is Genetic with fitness evaluations memoized in cache
+// (which may be nil). The cache never alters the GA's trajectory — the RNG
+// stream is independent of it — only the Evaluations/CacheHits split.
+func GeneticCached(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache) (Result, error) {
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -175,15 +217,19 @@ func Genetic(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error
 	rng := rand.New(rand.NewSource(opts.Seed))
 	orders := dataflow.AllOrders()
 
-	var evals int64
+	var evals, hits int64
 	fitness := func(g genome) int64 {
 		df := dataflow.Must(mm, orders[g.order], dataflow.ClampedTiling(mm, g.tm, g.tk, g.tl))
-		evals++
-		a := cost.MustEvaluate(mm, df)
+		a, hit := evalDataflow(mm, df, cache)
+		if hit {
+			hits++
+		} else {
+			evals++
+		}
 		if a.Footprint > bufferSize {
 			// Penalize infeasible individuals proportionally to overflow so
 			// repair pressure points back into the feasible region.
-			return a.Total + (a.Footprint-bufferSize)*1024
+			return infeasibleFitness(a.Total, a.Footprint-bufferSize)
 		}
 		return a.Total
 	}
@@ -310,36 +356,66 @@ func Genetic(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error
 	}
 
 	df := dataflow.Must(mm, orders[bestG.order], dataflow.ClampedTiling(mm, bestG.tm, bestG.tk, bestG.tl))
+	// Uncounted re-evaluation of the winner, preserving the historical
+	// Evaluations semantics (fitness invocations only).
 	a := cost.MustEvaluate(mm, df)
 	if a.Footprint > bufferSize {
 		return Result{}, fmt.Errorf("search: genetic search found no feasible dataflow for %v in buffer %d", mm, bufferSize)
 	}
-	return Result{Dataflow: df, Access: a, Evaluations: evals, Method: "genetic"}, nil
+	return Result{Dataflow: df, Access: a, Evaluations: evals, CacheHits: hits, Method: "genetic"}, nil
 }
 
 // Optimize picks the engine by space size: exact enumeration over the coarse
 // lattice when it is small enough, otherwise the genetic algorithm. This is
 // the entry point the Fig. 9 harness uses as "DAT".
 func Optimize(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error) {
+	return OptimizeCached(mm, bufferSize, opts, nil)
+}
+
+// OptimizeCached is Optimize with every candidate evaluation memoized in
+// cache (which may be nil) — the buffer-sweep entry point: across sweep
+// points the same candidates recur and are served as CacheHits.
+func OptimizeCached(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache) (Result, error) {
+	return optimize(mm, bufferSize, opts, cache, 1)
+}
+
+// OptimizeParallel is Optimize with the lattice stage sharded across
+// workers (workers ≤ 0 selects GOMAXPROCS); the genetic polish stays
+// sequential — it is a dependent chain by construction.
+func OptimizeParallel(mm op.MatMul, bufferSize int64, opts GeneticOptions, workers int, cache *EvalCache) (Result, error) {
+	return optimize(mm, bufferSize, opts, cache, workers)
+}
+
+func optimize(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache, workers int) (Result, error) {
 	lattice := int64(len(TileGrid(mm.M))) * int64(len(TileGrid(mm.K))) * int64(len(TileGrid(mm.L))) * 6
 	if lattice <= 200_000 {
-		r, err := ExhaustiveCoarse(mm, bufferSize)
+		var (
+			r   Result
+			err error
+		)
+		if workers == 1 {
+			r, err = ExhaustiveCoarseCached(mm, bufferSize, cache)
+		} else {
+			r, err = ParallelCoarse(mm, bufferSize, workers, cache)
+		}
 		if err != nil {
 			return Result{}, err
 		}
 		// The coarse lattice can miss boundary tile values such as
 		// (BS−K)/(K+1); polish with the GA seeded from scratch and keep the
 		// better of the two, mirroring DAT's MIP+GA hybrid.
-		g, gerr := Genetic(mm, bufferSize, opts)
+		g, gerr := GeneticCached(mm, bufferSize, opts, cache)
 		if gerr == nil && g.Access.Total < r.Access.Total {
 			g.Evaluations += r.Evaluations
+			g.CacheHits += r.CacheHits
 			g.Method = "coarse+genetic"
 			return g, nil
 		}
 		r.Evaluations += g.Evaluations
+		r.CacheHits += g.CacheHits
 		return r, nil
 	}
-	return Genetic(mm, bufferSize, opts)
+	return GeneticCached(mm, bufferSize, opts, cache)
 }
 
 func clampT(v, hi int) int {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -28,6 +29,14 @@ type SweepResult struct {
 	BusyCycles int64
 }
 
+// sweepError pairs a failed job's name with its error so joined failures
+// can be reported in a deterministic (name-sorted) order rather than in
+// nondeterministic completion order.
+type sweepError struct {
+	name string
+	err  error
+}
+
 // sweepState is the mutex-guarded shared state of one sweep. The
 // lockedsimstate analyzer (cmd/fusecu-vet) enforces that worker goroutines
 // only touch the fields beside mu while holding it; the -race CI run
@@ -35,14 +44,15 @@ type SweepResult struct {
 type sweepState struct {
 	mu   sync.Mutex
 	res  SweepResult
-	errs []error
+	errs []sweepError
 }
 
 // ParallelSweep executes jobs across min(workers, len(jobs)) goroutines,
 // each owning a private Fabric of CU dimension n, and aggregates traffic
 // and cycle counts. workers ≤ 0 selects GOMAXPROCS. Jobs that fail are
-// reported (joined, in completion order) without stopping the sweep; the
-// result aggregates the jobs that succeeded.
+// reported (joined, sorted by job name so failures reproduce run to run)
+// without stopping the sweep; the result aggregates the jobs that
+// succeeded.
 func ParallelSweep(n, workers int, jobs []SweepJob) (SweepResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -68,20 +78,23 @@ func ParallelSweep(n, workers int, jobs []SweepJob) (SweepResult, error) {
 			fab, err := NewFabric(n)
 			if err != nil {
 				state.mu.Lock()
-				state.errs = append(state.errs, err)
+				state.errs = append(state.errs, sweepError{name: "", err: err})
 				state.mu.Unlock()
 				return
 			}
 			for job := range ch {
 				fab.ResetTraffic()
-				fab.pipelineCycles = 0
+				fab.ResetCycles()
 				before := fab.BusyCycles()
 				err := job.Run(fab)
 				tr, cyc, busy := fab.Traffic(), fab.Cycles(), fab.BusyCycles()-before
 
 				state.mu.Lock()
 				if err != nil {
-					state.errs = append(state.errs, fmt.Errorf("sim: job %q: %w", job.Name, err))
+					state.errs = append(state.errs, sweepError{
+						name: job.Name,
+						err:  fmt.Errorf("sim: job %q: %w", job.Name, err),
+					})
 				} else {
 					state.res.Jobs++
 					state.res.Traffic.A += tr.A
@@ -105,5 +118,17 @@ func ParallelSweep(n, workers int, jobs []SweepJob) (SweepResult, error) {
 	// mutex for the analyzer's benefit elsewhere.
 	state.mu.Lock()
 	defer state.mu.Unlock()
-	return state.res, errors.Join(state.errs...)
+	sort.Slice(state.errs, func(i, j int) bool {
+		// Tie-break same-named jobs on message so even degenerate workloads
+		// report deterministically.
+		if state.errs[i].name != state.errs[j].name {
+			return state.errs[i].name < state.errs[j].name
+		}
+		return state.errs[i].err.Error() < state.errs[j].err.Error()
+	})
+	joined := make([]error, len(state.errs))
+	for i, e := range state.errs {
+		joined[i] = e.err
+	}
+	return state.res, errors.Join(joined...)
 }

@@ -120,6 +120,72 @@ func TestParallelSweepPropagatesJobErrors(t *testing.T) {
 	}
 }
 
+func TestParallelSweepErrorOrderDeterministic(t *testing.T) {
+	// Many failing jobs with names that sort differently from their
+	// submission order: the joined error must come back name-sorted and
+	// byte-identical across runs regardless of worker scheduling.
+	var jobs []SweepJob
+	for i := 9; i >= 0; i-- {
+		name := fmt.Sprintf("fail-%c", 'a'+i)
+		jobs = append(jobs, SweepJob{
+			Name: name,
+			Run:  func(*Fabric) error { return fmt.Errorf("synthetic failure in %s", name) },
+		})
+	}
+	jobs = append(jobs, sweepJobs(4)...)
+
+	var first string
+	for run := 0; run < 8; run++ {
+		_, err := ParallelSweep(4, 5, jobs)
+		if err == nil {
+			t.Fatal("sweep with failing jobs returned nil error")
+		}
+		msg := err.Error()
+		if run == 0 {
+			first = msg
+			// Sorted order: fail-a must be reported before fail-j even though
+			// fail-j was submitted first.
+			if strings.Index(msg, "fail-a") > strings.Index(msg, "fail-j") {
+				t.Fatalf("errors not name-sorted:\n%s", msg)
+			}
+			continue
+		}
+		if msg != first {
+			t.Fatalf("run %d error differs from run 0:\n%s\nvs\n%s", run, msg, first)
+		}
+	}
+}
+
+func TestFabricResetCycles(t *testing.T) {
+	fab, err := NewFabric(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tensor.New(6, 5).Seq(1)
+	b := tensor.New(5, 7).Seq(2)
+	if _, err := fab.MatMul(a, b, dataflow.WS); err != nil {
+		t.Fatal(err)
+	}
+	if fab.Cycles() == 0 {
+		t.Fatal("run recorded no pipelined cycles")
+	}
+	busy := fab.BusyCycles()
+	fab.ResetCycles()
+	if fab.Cycles() != 0 {
+		t.Errorf("Cycles() = %d after ResetCycles", fab.Cycles())
+	}
+	if fab.BusyCycles() != busy {
+		t.Errorf("ResetCycles touched monotone busy counters: %d vs %d", fab.BusyCycles(), busy)
+	}
+	// A reused fabric now reports only the second run's cycles.
+	if _, err := fab.MatMul(a, b, dataflow.WS); err != nil {
+		t.Fatal(err)
+	}
+	if fab.Cycles() == 0 {
+		t.Error("reused fabric recorded no cycles")
+	}
+}
+
 func BenchmarkParallelSweep(b *testing.B) {
 	jobs := make([]SweepJob, 32)
 	a := tensor.New(24, 24).Seq(1)
