@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fusecu-vet test test-race test-checks bench bench-full check
+.PHONY: build vet fusecu-vet test test-race test-race-service test-checks bench bench-serve bench-full check
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+## test-race-service is the focused race pass over the HTTP service stack
+## (admission gate, shared EvalCache, metrics registry, graceful shutdown).
+test-race-service:
+	$(GO) test -race ./internal/service ./internal/metrics ./cmd/fusecu-serve
+
 ## test-checks builds with the fusecuchecks tag so internal/invariant
 ## assertions (checked multiplies, MA lower-bound checks) panic on violation.
 test-checks:
@@ -30,6 +35,12 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x ./...
 	$(GO) run ./cmd/fusecu-bench -out BENCH_search.json
 
+## bench-serve load-tests an in-process fusecu-serve under concurrent
+## /v1/search waves and writes BENCH_serve.json (throughput, latency
+## quantiles, cache hit-rate, and bit-identity against the reference engine).
+bench-serve:
+	$(GO) run ./cmd/fusecu-bench -serve-load -serve-out BENCH_serve.json
+
 ## bench-full is the measurement pass: statistically meaningful benchmark
 ## iterations plus the paper's full 32KiB-32MiB Fig. 9 sweep.
 bench-full:
@@ -37,4 +48,4 @@ bench-full:
 	$(GO) run ./cmd/fusecu-bench -full -out BENCH_search.json
 
 ## check is the full CI gate.
-check: build vet fusecu-vet test test-race test-checks bench
+check: build vet fusecu-vet test test-race test-race-service test-checks bench bench-serve

@@ -57,11 +57,22 @@ type report struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_search.json", "output report path")
+		out     = flag.String("out", "BENCH_search.json", "output report path (search sweep mode)")
 		full    = flag.Bool("full", false, "run the paper's full 32KiB-32MiB sweep instead of the reduced smoke sweep")
 		workers = flag.Int("workers", 0, "workers for the parallel engine (0 = GOMAXPROCS)")
+		load    = flag.Bool("serve-load", false, "benchmark the fusecu-serve HTTP service under concurrent /v1/search load instead")
+		loadOut = flag.String("serve-out", "BENCH_serve.json", "output report path (-serve-load mode)")
+		clients = flag.Int("clients", 96, "concurrent clients for -serve-load")
+		maxInFl = flag.Int("max-inflight", 64, "service admission ceiling for -serve-load")
 	)
 	flag.Parse()
+	if *load {
+		if err := serveLoad(*loadOut, *clients, *maxInFl, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "fusecu-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *full, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "fusecu-bench:", err)
 		os.Exit(1)

@@ -59,3 +59,33 @@ func TestSweepSelection(t *testing.T) {
 		t.Fatalf("full sweep buffers = %v", fullBuffers)
 	}
 }
+
+func TestServeLoadWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "serve.json")
+	if err := serveLoad(out, 24, 16, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IdenticalResults {
+		t.Fatal("served results diverged from the reference engine")
+	}
+	if rep.OK == 0 || rep.Failed != 0 || rep.OK+rep.Shed != rep.Clients {
+		t.Fatalf("wave accounting wrong: %+v", rep)
+	}
+	if rep.InflightHighWater <= 0 || rep.InflightHighWater > int64(rep.MaxInFlight) {
+		t.Fatalf("in-flight high water %d outside (0, %d]", rep.InflightHighWater, rep.MaxInFlight)
+	}
+	if rep.OK > 1 && rep.CacheHits == 0 {
+		t.Error("repeated identical operators produced zero cache hits")
+	}
+	if rep.WallMs <= 0 || rep.LatencyP50Ms <= 0 {
+		t.Errorf("degenerate timing: %+v", rep)
+	}
+}

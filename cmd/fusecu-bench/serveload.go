@@ -1,0 +1,173 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"fusecu/internal/op"
+	"fusecu/internal/search"
+	"fusecu/internal/service"
+)
+
+// serveReport is the machine-readable result of the service load benchmark
+// (BENCH_serve.json): a wave of concurrent /v1/search requests against an
+// in-process fusecu-serve instance, every accepted answer checked against
+// the frozen sequential reference engine.
+type serveReport struct {
+	Benchmark   string `json:"benchmark"`
+	Clients     int    `json:"clients"`
+	MaxInFlight int    `json:"max_inflight"`
+	// OK / Shed / Failed partition the wave: 200s, 429s, anything else.
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Failed int `json:"failed"`
+	// InflightHighWater is the service's own gauge of the peak number of
+	// simultaneously admitted requests.
+	InflightHighWater int64   `json:"inflight_high_water"`
+	WallMs            float64 `json:"wall_ms"`
+	ThroughputRPS     float64 `json:"throughput_rps"`
+	LatencyP50Ms      float64 `json:"latency_p50_ms"`
+	LatencyP95Ms      float64 `json:"latency_p95_ms"`
+	LatencyP99Ms      float64 `json:"latency_p99_ms"`
+	CacheHits         int64   `json:"cache_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	// IdenticalResults is true iff every 200 response carried the reference
+	// engine's exact optimum (tiling and memory access).
+	IdenticalResults bool `json:"identical_results"`
+}
+
+// serveLoadOp is the per-request operator: small enough that a wave of ~100
+// requests finishes quickly on one core, large enough that requests overlap.
+var serveLoadOp = op.MatMul{Name: "bench", M: 32, K: 24, L: 28}
+
+const serveLoadBuffer = 4096
+
+// serveLoad boots an in-process fusecu-serve, fires clients concurrent
+// /v1/search requests at it, verifies every accepted answer against the
+// sequential reference engine, and writes the report to out.
+func serveLoad(out string, clients, maxInFlight, workers int) error {
+	want, err := search.ReferenceExhaustive(serveLoadOp, serveLoadBuffer)
+	if err != nil {
+		return fmt.Errorf("reference engine: %w", err)
+	}
+
+	svc := service.New(service.Config{MaxInFlight: maxInFlight, SearchWorkers: workers})
+	srv := &http.Server{Handler: svc.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "fusecu-bench: shutdown:", err)
+		}
+		<-serveErr
+	}()
+	base := "http://" + ln.Addr().String()
+
+	body := fmt.Sprintf(`{"op":{"name":%q,"m":%d,"k":%d,"l":%d},"buffer":%d,"engine":"exhaustive","workers":1}`,
+		serveLoadOp.Name, serveLoadOp.M, serveLoadOp.K, serveLoadOp.L, serveLoadBuffer)
+
+	rep := serveReport{
+		Benchmark:        "serve-search-load",
+		Clients:          clients,
+		MaxInFlight:      maxInFlight,
+		IdenticalResults: true,
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/search", "application/json", strings.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				rep.Failed++
+				mu.Unlock()
+				return
+			}
+			raw, rerr := io.ReadAll(resp.Body)
+			if cerr := resp.Body.Close(); cerr != nil && rerr == nil {
+				rerr = cerr
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case rerr != nil:
+				rep.Failed++
+			case resp.StatusCode == http.StatusOK:
+				rep.OK++
+				var sr struct {
+					Dataflow struct {
+						TM int   `json:"tm"`
+						TK int   `json:"tk"`
+						TL int   `json:"tl"`
+						MA int64 `json:"memory_access"`
+					} `json:"dataflow"`
+				}
+				if err := json.Unmarshal(raw, &sr); err != nil ||
+					sr.Dataflow.MA != want.Access.Total ||
+					sr.Dataflow.TM != want.Dataflow.Tiling.TM ||
+					sr.Dataflow.TK != want.Dataflow.Tiling.TK ||
+					sr.Dataflow.TL != want.Dataflow.Tiling.TL {
+					rep.IdenticalResults = false
+				}
+			case resp.StatusCode == http.StatusTooManyRequests:
+				rep.Shed++
+			default:
+				rep.Failed++
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep.WallMs = ms(wall)
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / wall.Seconds()
+	}
+	rep.InflightHighWater = svc.Registry().Gauge("http_inflight").High()
+	snap := svc.Registry().Snapshot()
+	rep.LatencyP50Ms = snap["http_latency_ms:search_p50"]
+	rep.LatencyP95Ms = snap["http_latency_ms:search_p95"]
+	rep.LatencyP99Ms = snap["http_latency_ms:search_p99"]
+	st := svc.Cache().Stats()
+	rep.CacheHits, rep.CacheMisses = st.Hits, st.Misses
+
+	if rep.OK == 0 || rep.Failed > 0 || !rep.IdenticalResults {
+		if werr := writeServe(out, rep); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("load wave failed: %d ok, %d shed, %d failed, identical=%v (see %s)",
+			rep.OK, rep.Shed, rep.Failed, rep.IdenticalResults, out)
+	}
+	if err := writeServe(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d ok / %d shed in %.1fms (%.0f rps), peak in-flight %d, p95 %.2fms, cache %d/%d hits, identical=%v\n",
+		out, rep.OK, rep.Shed, rep.WallMs, rep.ThroughputRPS,
+		rep.InflightHighWater, rep.LatencyP95Ms, rep.CacheHits, rep.CacheHits+rep.CacheMisses, rep.IdenticalResults)
+	return nil
+}
+
+func writeServe(path string, rep serveReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fusecu/internal/experiments"
@@ -17,28 +18,36 @@ import (
 )
 
 func main() {
-	var (
-		all      = flag.Bool("all", false, "run every experiment")
-		table1   = flag.Bool("table1", false, "Table I: optimizer features")
-		table2   = flag.Bool("table2", false, "Table II: model parameters")
-		table3   = flag.Bool("table3", false, "Table III: platform attributes")
-		fig9     = flag.Bool("fig9", false, "Fig. 9: principle vs search validation")
-		fig10    = flag.Bool("fig10", false, "Fig. 10: cross-platform MA and utilization")
-		fig11    = flag.Bool("fig11", false, "Fig. 11: LLaMA2 sequence-length sweep")
-		fig12    = flag.Bool("fig12", false, "Fig. 12: area breakdown")
-		headline = flag.Bool("headline", false, "headline averages (abstract numbers)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		seed     = flag.Int64("seed", 1, "genetic search seed for Fig. 9")
-		models   = flag.String("models", "", "JSON file of model configs replacing Table II for -fig10/-headline")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	workloads := model.TableII()
-	if *models != "" {
-		data, err := os.ReadFile(*models)
-		fail(err)
-		workloads, err = model.UnmarshalConfigs(data)
-		fail(err)
+// run is the testable entry point: usage errors go to stderr with exit code
+// 2, runtime failures to stderr with exit code 1, and nothing is written to
+// stdout unless the input validated.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fusecu-eval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		all      = fs.Bool("all", false, "run every experiment")
+		table1   = fs.Bool("table1", false, "Table I: optimizer features")
+		table2   = fs.Bool("table2", false, "Table II: model parameters")
+		table3   = fs.Bool("table3", false, "Table III: platform attributes")
+		fig9     = fs.Bool("fig9", false, "Fig. 9: principle vs search validation")
+		fig10    = fs.Bool("fig10", false, "Fig. 10: cross-platform MA and utilization")
+		fig11    = fs.Bool("fig11", false, "Fig. 11: LLaMA2 sequence-length sweep")
+		fig12    = fs.Bool("fig12", false, "Fig. 12: area breakdown")
+		headline = fs.Bool("headline", false, "headline averages (abstract numbers)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed     = fs.Int64("seed", 1, "genetic search seed for Fig. 9")
+		models   = fs.String("models", "", "JSON file of model configs replacing Table II for -fig10/-headline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fusecu-eval: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
 	}
 
 	if *all {
@@ -46,64 +55,99 @@ func main() {
 		*fig9, *fig10, *fig11, *fig12, *headline = true, true, true, true, true
 	}
 	if !(*table1 || *table2 || *table3 || *fig9 || *fig10 || *fig11 || *fig12 || *headline) {
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fusecu-eval: no experiment selected")
+		fs.Usage()
+		return 2
 	}
 
-	emit := func(t *report.Table) {
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Println(t)
+	workloads := model.TableII()
+	if *models != "" {
+		data, err := os.ReadFile(*models)
+		if err != nil {
+			fmt.Fprintln(stderr, "fusecu-eval:", err)
+			return 1
+		}
+		workloads, err = model.UnmarshalConfigs(data)
+		if err != nil {
+			fmt.Fprintln(stderr, "fusecu-eval:", err)
+			return 1
 		}
 	}
 
-	if *table1 {
+	if err := runExperiments(stdout, evalSelection{
+		table1: *table1, table2: *table2, table3: *table3,
+		fig9: *fig9, fig10: *fig10, fig11: *fig11, fig12: *fig12,
+		headline: *headline, csv: *csv, seed: *seed,
+	}, workloads); err != nil {
+		fmt.Fprintln(stderr, "fusecu-eval:", err)
+		return 1
+	}
+	return 0
+}
+
+// evalSelection is the validated experiment selection.
+type evalSelection struct {
+	table1, table2, table3    bool
+	fig9, fig10, fig11, fig12 bool
+	headline, csv             bool
+	seed                      int64
+}
+
+func runExperiments(w io.Writer, sel evalSelection, workloads []model.Config) error {
+	emit := func(t *report.Table) {
+		if sel.csv {
+			fmt.Fprint(w, t.CSV())
+		} else {
+			fmt.Fprintln(w, t)
+		}
+	}
+
+	if sel.table1 {
 		emit(experiments.Table1())
 	}
-	if *table2 {
+	if sel.table2 {
 		emit(experiments.Table2())
 	}
-	if *table3 {
+	if sel.table3 {
 		emit(experiments.Table3())
 	}
-	if *fig9 {
-		results, err := experiments.Fig9(experiments.Fig9Ops(), experiments.Fig9Buffers(), *seed)
-		fail(err)
+	if sel.fig9 {
+		results, err := experiments.Fig9(experiments.Fig9Ops(), experiments.Fig9Buffers(), sel.seed)
+		if err != nil {
+			return err
+		}
 		for _, f := range experiments.RenderFig9(results) {
-			fmt.Println(f)
+			fmt.Fprintln(w, f)
 		}
 	}
 
 	var rows []experiments.Fig10Row
-	if *fig10 || *headline {
+	if sel.fig10 || sel.headline {
 		var err error
 		rows, err = experiments.Fig10(workloads)
-		fail(err)
+		if err != nil {
+			return err
+		}
 	}
-	if *fig10 {
+	if sel.fig10 {
 		ma, util := experiments.RenderFig10(rows)
 		emit(ma)
 		emit(util)
 	}
-	if *fig11 {
+	if sel.fig11 {
 		sweep, err := experiments.Fig11(model.Fig11SeqLengths())
-		fail(err)
-		fmt.Println(experiments.RenderFig11(sweep))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.RenderFig11(sweep))
 	}
-	if *fig12 {
+	if sel.fig12 {
 		bd, ov := experiments.RenderFig12()
 		emit(bd)
 		emit(ov)
 	}
-	if *headline {
+	if sel.headline {
 		emit(experiments.RenderHeadline(experiments.ComputeHeadline(rows)))
 	}
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fusecu-eval:", err)
-		os.Exit(1)
-	}
+	return nil
 }

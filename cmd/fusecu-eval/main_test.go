@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunBadInput drives the CLI with invalid input and requires the shared
+// contract: diagnostics on stderr, non-zero exit, no partial stdout.
+func TestRunBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"positional args", []string{"table1"}, 2},
+		{"no experiment selected", []string{}, 2},
+		{"no experiment with csv", []string{"-csv"}, 2},
+		{"missing models file", []string{"-table2", "-models", "/nonexistent/models.json"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.code {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("bad input produced stdout: %q", stdout.String())
+			}
+			if stderr.Len() == 0 {
+				t.Fatal("bad input produced no stderr diagnostic")
+			}
+		})
+	}
+}
+
+func TestRunBadModelsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := os.WriteFile(path, []byte(`{"not":"a list"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-table2", "-models", path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("bad models file produced stdout: %q", stdout.String())
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-table1", "-table2", "-table3"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, stderr.String())
+	}
+	for _, want := range []string{"Table I", "Table II", "principle-based", "heads", "FuseCU"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("stderr not empty: %q", stderr.String())
+	}
+}
+
+func TestRunTablesCSV(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-table2", "-csv"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), ",") {
+		t.Fatalf("CSV output has no commas:\n%s", stdout.String())
+	}
+}

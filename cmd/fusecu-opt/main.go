@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,58 +24,75 @@ import (
 )
 
 func main() {
-	var (
-		m      = flag.Int("m", 1024, "M dimension (rows of A and C)")
-		k      = flag.Int("k", 768, "K dimension (reduction)")
-		l      = flag.Int("l", 768, "L dimension (columns of B and C)")
-		buffer = flag.Int64("buffer", 512*1024, "buffer size in elements")
-		chain   = flag.String("chain", "", "comma-separated MxKxL chain, e.g. 512x64x512,512x512x64")
-		check   = flag.Bool("check", false, "cross-check against the DAT-style search baseline")
-		workers = flag.Int("workers", 0, "search workers for -check (0 = GOMAXPROCS, 1 = sequential)")
-	)
-	flag.Parse()
-
-	if *chain != "" {
-		if err := runChain(*chain, *buffer); err != nil {
-			fmt.Fprintln(os.Stderr, "fusecu-opt:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := runSingle(op.MatMul{Name: "op", M: *m, K: *k, L: *l}, *buffer, *check, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "fusecu-opt:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func runSingle(mm op.MatMul, buffer int64, check bool, workers int) error {
+// run is the testable entry point: usage errors go to stderr with exit code
+// 2, runtime failures to stderr with exit code 1, and nothing is written to
+// stdout unless the input validated.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fusecu-opt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		m       = fs.Int("m", 1024, "M dimension (rows of A and C)")
+		k       = fs.Int("k", 768, "K dimension (reduction)")
+		l       = fs.Int("l", 768, "L dimension (columns of B and C)")
+		buffer  = fs.Int64("buffer", 512*1024, "buffer size in elements")
+		chain   = fs.String("chain", "", "comma-separated MxKxL chain, e.g. 512x64x512,512x512x64")
+		check   = fs.Bool("check", false, "cross-check against the DAT-style search baseline")
+		workers = fs.Int("workers", 0, "search workers for -check (0 = GOMAXPROCS, 1 = sequential)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fusecu-opt: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+
+	if *chain != "" {
+		if err := runChain(stdout, *chain, *buffer); err != nil {
+			fmt.Fprintln(stderr, "fusecu-opt:", err)
+			return 1
+		}
+		return 0
+	}
+	if err := runSingle(stdout, op.MatMul{Name: "op", M: *m, K: *k, L: *l}, *buffer, *check, *workers); err != nil {
+		fmt.Fprintln(stderr, "fusecu-opt:", err)
+		return 1
+	}
+	return 0
+}
+
+func runSingle(w io.Writer, mm op.MatMul, buffer int64, check bool, workers int) error {
 	res, err := core.Optimize(mm, buffer)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("operator:   %v\n", mm)
-	fmt.Printf("buffer:     %d elements (%s regime)\n", buffer, res.Regime)
-	fmt.Printf("dataflow:   %v\n", res.Dataflow)
-	fmt.Printf("principle:  P%d — %s\n", res.Principle, res.Note)
-	fmt.Printf("NRA class:  %s\n", res.Access.NRA)
-	fmt.Printf("memory:     %d elements (ideal lower bound %d, overhead %.2f%%)\n",
+	fmt.Fprintf(w, "operator:   %v\n", mm)
+	fmt.Fprintf(w, "buffer:     %d elements (%s regime)\n", buffer, res.Regime)
+	fmt.Fprintf(w, "dataflow:   %v\n", res.Dataflow)
+	fmt.Fprintf(w, "principle:  P%d — %s\n", res.Principle, res.Note)
+	fmt.Fprintf(w, "NRA class:  %s\n", res.Access.NRA)
+	fmt.Fprintf(w, "memory:     %d elements (ideal lower bound %d, overhead %.2f%%)\n",
 		res.Access.Total, mm.IdealMA(),
 		100*(float64(res.Access.Total)/float64(mm.IdealMA())-1))
-	fmt.Printf("per tensor: A=%d B=%d C=%d (spill read-back %d)\n",
+	fmt.Fprintf(w, "per tensor: A=%d B=%d C=%d (spill read-back %d)\n",
 		res.Access.PerTensor[0], res.Access.PerTensor[1], res.Access.PerTensor[2], res.Access.OutputReads)
-	fmt.Printf("footprint:  %d / %d elements\n", res.Access.Footprint, buffer)
+	fmt.Fprintf(w, "footprint:  %d / %d elements\n", res.Access.Footprint, buffer)
 	if check {
 		sr, err := search.OptimizeParallel(mm, buffer, search.GeneticOptions{Seed: 1}, workers, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("search:     %d elements after %d cost evaluations (%s)\n",
+		fmt.Fprintf(w, "search:     %d elements after %d cost evaluations (%s)\n",
 			sr.Access.Total, sr.Evaluations, sr.Method)
 	}
 	return nil
 }
 
-func runChain(spec string, buffer int64) error {
+func runChain(w io.Writer, spec string, buffer int64) error {
 	ops, err := parseChain(spec)
 	if err != nil {
 		return err
@@ -87,20 +105,20 @@ func runChain(spec string, buffer int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%v\n", c)
-	fmt.Printf("buffer: %d elements\n\n", buffer)
+	fmt.Fprintf(w, "%v\n", c)
+	fmt.Fprintf(w, "buffer: %d elements\n\n", buffer)
 	for i, d := range plan.Decisions {
 		verdict := "do not fuse"
 		if d.Fuse {
 			verdict = fmt.Sprintf("fuse (%s, gain %d)", d.Fused.Dataflow.Pattern, d.Gain)
 		}
-		fmt.Printf("link %d: NRA %s ⨝ %s, same=%v → %s\n", i, d.FirstNRA, d.SecondNRA, d.SameNRA, verdict)
+		fmt.Fprintf(w, "link %d: NRA %s ⨝ %s, same=%v → %s\n", i, d.FirstNRA, d.SecondNRA, d.SameNRA, verdict)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, g := range plan.Groups {
-		fmt.Printf("  %v\n", g)
+		fmt.Fprintf(w, "  %v\n", g)
 	}
-	fmt.Printf("\ntotal MA: %d (unfused %d, saving %.1f%%)\n",
+	fmt.Fprintf(w, "\ntotal MA: %d (unfused %d, saving %.1f%%)\n",
 		plan.TotalMA, plan.UnfusedMA, 100*plan.Saving())
 	return nil
 }

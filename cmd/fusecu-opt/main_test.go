@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"fusecu/internal/op"
@@ -35,17 +37,65 @@ func TestParseChainErrors(t *testing.T) {
 }
 
 func TestRunSingleAndChain(t *testing.T) {
-	// Exercise the command paths end to end (output goes to stdout).
-	if err := runSingle(opFor(64, 32, 48), 4096, true, 0); err != nil {
+	var out bytes.Buffer
+	if err := runSingle(&out, opFor(64, 32, 48), 4096, true, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSingle(opFor(64, 32, 48), 4096, true, 2); err != nil {
+	if err := runSingle(&out, opFor(64, 32, 48), 4096, true, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := runChain("64x16x64,64x64x16", 4096); err != nil {
+	if err := runChain(&out, "64x16x64,64x64x16", 4096); err != nil {
 		t.Fatal(err)
 	}
-	if err := runChain("64x16x64,63x64x16", 4096); err == nil {
+	if err := runChain(&out, "64x16x64,63x64x16", 4096); err == nil {
 		t.Fatal("mismatched chain accepted")
+	}
+}
+
+// TestRunBadInput drives the full CLI with invalid input and requires the
+// shared contract: usage/diagnostics on stderr, a non-zero exit code, and
+// no partial report on stdout.
+func TestRunBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"positional args", []string{"12x3x4"}, 2},
+		{"non-numeric dim", []string{"-m", "abc"}, 2},
+		{"invalid operator", []string{"-m", "0"}, 1},
+		{"buffer too small", []string{"-m", "8", "-k", "8", "-l", "8", "-buffer", "1"}, 1},
+		{"malformed chain", []string{"-chain", "1x2"}, 1},
+		{"mismatched chain", []string{"-chain", "8x8x8,9x9x9"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.code {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("bad input produced stdout: %q", stdout.String())
+			}
+			if stderr.Len() == 0 {
+				t.Fatal("bad input produced no stderr diagnostic")
+			}
+		})
+	}
+}
+
+func TestRunGoodInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-m", "64", "-k", "32", "-l", "48", "-buffer", "4096"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, stderr.String())
+	}
+	for _, want := range []string{"operator:", "dataflow:", "NRA class:"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("good input produced stderr: %q", stderr.String())
 	}
 }

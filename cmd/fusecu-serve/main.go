@@ -1,0 +1,103 @@
+// Command fusecu-serve runs the FuseCU optimization service: an HTTP/JSON
+// daemon exposing principle-based optimization (/v1/optimize), chain fusion
+// planning (/v1/plan), the DAT-style search baseline (/v1/search), and
+// cross-platform workload evaluation (/v1/evaluate), plus /metrics and
+// /healthz.
+//
+//	fusecu-serve -addr :8080 -max-inflight 64 -timeout 30s
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fusecu/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable entry point: it parses args, serves until a signal
+// (or until ready receives the bound address and the returned shutdown is
+// triggered in tests), and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("fusecu-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		maxInflight = fs.Int("max-inflight", 64, "maximum concurrently admitted requests")
+		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		workers     = fs.Int("workers", 0, "search workers per request (0 = GOMAXPROCS)")
+		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fusecu-serve: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if *maxInflight <= 0 || *timeout <= 0 || *drain <= 0 {
+		fmt.Fprintln(stderr, "fusecu-serve: -max-inflight, -timeout and -drain must be positive")
+		fs.Usage()
+		return 2
+	}
+
+	svc := service.New(service.Config{
+		MaxInFlight:    *maxInflight,
+		DefaultTimeout: *timeout,
+		SearchWorkers:  *workers,
+	})
+	srv := &http.Server{Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "fusecu-serve:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "fusecu-serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal.
+		fmt.Fprintln(stderr, "fusecu-serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "fusecu-serve: draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "fusecu-serve: shutdown:", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "fusecu-serve:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "fusecu-serve: drained, exiting")
+	return 0
+}

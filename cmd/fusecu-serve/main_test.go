@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"positional args", []string{"extra"}},
+		{"bad max-inflight", []string{"-max-inflight", "0"}},
+		{"bad timeout", []string{"-timeout", "-1s"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr, nil); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("usage error wrote to stdout: %q", stdout.String())
+			}
+			if !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "flag") {
+				t.Fatalf("stderr missing usage text: %q", stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:99999"}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight boots the real daemon, puts a wave of
+// search requests in flight, delivers SIGTERM mid-wave, and requires every
+// already-admitted request to complete with 200 — zero dropped requests —
+// before the process exits cleanly.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0"}, &stdout, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	// Liveness first.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	const wave = 8
+	body := `{"op":{"name":"drain","m":48,"k":32,"l":40},"buffer":4096,"engine":"exhaustive"}`
+	var wg sync.WaitGroup
+	codes := make([]int, wave)
+	errs := make([]error, wave)
+	for i := 0; i < wave; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/search", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer func() {
+				if cerr := resp.Body.Close(); cerr != nil && errs[i] == nil {
+					errs[i] = cerr
+				}
+			}()
+			if _, err := io.ReadAll(resp.Body); err != nil {
+				errs[i] = err
+				return
+			}
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	// Wait until the whole wave is admitted — the in-flight gauge on
+	// /metrics reports it — so the signal provably lands mid-request.
+	waitDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("wave never fully in flight; last metrics:\n%s", scrape(t, base))
+		}
+		if strings.Contains(scrape(t, base), fmt.Sprintf("http_inflight %d", wave)) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	wg.Wait()
+
+	for i := 0; i < wave; i++ {
+		if errs[i] != nil {
+			t.Errorf("request %d dropped during drain: %v", i, errs[i])
+		} else if codes[i] != http.StatusOK {
+			t.Errorf("request %d status %d during drain", i, codes[i])
+		}
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never exited after SIGTERM")
+	}
+	out := stdout.String()
+	for _, want := range []string{"listening on", "draining in-flight requests", "drained, exiting"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	// The listener is really gone.
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// scrape fetches the /metrics text exposition.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Errorf("close: %v", cerr)
+		}
+	}()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	return string(raw)
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fusecu/internal/dataflow"
@@ -19,34 +20,69 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: usage errors go to stderr with exit code
+// 2, runtime failures to stderr with exit code 1, and nothing is written to
+// stdout unless the input validated.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fusecu-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n       = flag.Int("n", 16, "CU dimension (N×N PEs per CU)")
-		emitRTL = flag.Bool("emit-rtl", false, "emit the FuseCU Verilog design for -n and exit")
-		mode    = flag.String("mode", "tile", "ws | is | os | tile | column | attention")
-		m       = flag.Int("m", 48, "M dimension")
-		k       = flag.Int("k", 16, "K dimension")
-		l       = flag.Int("l", 48, "L dimension")
-		nn      = flag.Int("nn", 16, "N dimension (fused modes)")
+		n       = fs.Int("n", 16, "CU dimension (N×N PEs per CU)")
+		emitRTL = fs.Bool("emit-rtl", false, "emit the FuseCU Verilog design for -n and exit")
+		mode    = fs.String("mode", "tile", "ws | is | os | tile | column | attention")
+		m       = fs.Int("m", 48, "M dimension")
+		k       = fs.Int("k", 16, "K dimension")
+		l       = fs.Int("l", 48, "L dimension")
+		nn      = fs.Int("nn", 16, "N dimension (fused modes)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "fusecu-sim: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if !validMode(*mode) {
+		fmt.Fprintf(stderr, "fusecu-sim: unknown mode %q\n", *mode)
+		fs.Usage()
+		return 2
+	}
+	if *m <= 0 || *k <= 0 || *l <= 0 || *nn <= 0 {
+		fmt.Fprintf(stderr, "fusecu-sim: dimensions must be positive (m=%d k=%d l=%d nn=%d)\n", *m, *k, *l, *nn)
+		fs.Usage()
+		return 2
+	}
 
 	if *emitRTL {
 		src, err := rtl.Emit(rtl.Config{N: *n, DataWidth: 8, AccWidth: 32})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fusecu-sim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fusecu-sim:", err)
+			return 1
 		}
-		fmt.Print(src)
-		return
+		fmt.Fprint(stdout, src)
+		return 0
 	}
 
-	if err := run(*n, *mode, *m, *k, *l, *nn); err != nil {
-		fmt.Fprintln(os.Stderr, "fusecu-sim:", err)
-		os.Exit(1)
+	if err := simulate(stdout, *n, *mode, *m, *k, *l, *nn); err != nil {
+		fmt.Fprintln(stderr, "fusecu-sim:", err)
+		return 1
 	}
+	return 0
 }
 
-func run(n int, mode string, m, k, l, nn int) error {
+func validMode(mode string) bool {
+	switch mode {
+	case "ws", "is", "os", "tile", "column", "attention":
+		return true
+	}
+	return false
+}
+
+func simulate(w io.Writer, n int, mode string, m, k, l, nn int) error {
 	fabric, err := sim.NewFabric(n)
 	if err != nil {
 		return err
@@ -65,7 +101,7 @@ func run(n int, mode string, m, k, l, nn int) error {
 		if err != nil {
 			return err
 		}
-		return reportRun(fabric, fmt.Sprintf("%s matmul %dx%dx%d", mode, m, k, l), got, want)
+		return reportRun(w, fabric, fmt.Sprintf("%s matmul %dx%dx%d", mode, m, k, l), got, want)
 	case "attention":
 		kT := tensor.New(k, l).Seq(2)
 		v := tensor.New(l, k).Seq(3)
@@ -88,11 +124,11 @@ func run(n int, mode string, m, k, l, nn int) error {
 		if !tensor.Equal(got, want, 1e-6) {
 			return fmt.Errorf("attention: simulator diverges from reference by %v", tensor.MaxAbsDiff(got, want))
 		}
-		fmt.Printf("fused attention (online softmax), %dx%d heads over %d keys\n", m, k, l)
-		fmt.Printf("  result matches full-softmax reference exactly\n")
-		fmt.Printf("  pipelined: %d cycles, traffic %+v\n", fabric.Cycles(), fabric.Traffic())
+		fmt.Fprintf(w, "fused attention (online softmax), %dx%d heads over %d keys\n", m, k, l)
+		fmt.Fprintf(w, "  result matches full-softmax reference exactly\n")
+		fmt.Fprintf(w, "  pipelined: %d cycles, traffic %+v\n", fabric.Cycles(), fabric.Traffic())
 		return nil
-	case "tile", "column":
+	default: // "tile", "column"; validMode already rejected the rest
 		d := tensor.New(l, nn).Seq(3)
 		var got *tensor.Matrix
 		if mode == "tile" {
@@ -111,19 +147,17 @@ func run(n int, mode string, m, k, l, nn int) error {
 		if err != nil {
 			return err
 		}
-		return reportRun(fabric, fmt.Sprintf("%s fusion (%dx%dx%d)(%dx%d)", mode, m, k, l, l, nn), got, want)
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return reportRun(w, fabric, fmt.Sprintf("%s fusion (%dx%dx%d)(%dx%d)", mode, m, k, l, l, nn), got, want)
 	}
 }
 
-func reportRun(fabric *sim.Fabric, what string, got, want *tensor.Matrix) error {
+func reportRun(w io.Writer, fabric *sim.Fabric, what string, got, want *tensor.Matrix) error {
 	if !tensor.Equal(got, want, 1e-6) {
 		return fmt.Errorf("%s: simulator diverges from reference by %v", what, tensor.MaxAbsDiff(got, want))
 	}
-	fmt.Printf("%s\n", what)
-	fmt.Printf("  result:       %d×%d, matches reference exactly\n", got.Rows, got.Cols)
-	fmt.Printf("  pipelined:    %d cycles\n", fabric.Cycles())
-	fmt.Printf("  CU busy time: %d cycles\n", fabric.BusyCycles())
+	fmt.Fprintf(w, "%s\n", what)
+	fmt.Fprintf(w, "  result:       %d×%d, matches reference exactly\n", got.Rows, got.Cols)
+	fmt.Fprintf(w, "  pipelined:    %d cycles\n", fabric.Cycles())
+	fmt.Fprintf(w, "  CU busy time: %d cycles\n", fabric.BusyCycles())
 	return nil
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunBadInput drives the CLI with invalid input and requires the shared
+// contract: diagnostics on stderr, non-zero exit, no partial stdout.
+func TestRunBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"positional args", []string{"tile"}, 2},
+		{"unknown mode", []string{"-mode", "warp"}, 2},
+		{"non-numeric dim", []string{"-m", "abc"}, 2},
+		{"bad fabric size", []string{"-n", "0"}, 1},
+		{"bad matrix dims", []string{"-mode", "ws", "-m", "0"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.code {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("bad input produced stdout: %q", stdout.String())
+			}
+			if stderr.Len() == 0 {
+				t.Fatal("bad input produced no stderr diagnostic")
+			}
+		})
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []string{"ws", "is", "os", "tile", "column", "attention"} {
+		t.Run(mode, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			args := []string{"-n", "4", "-mode", mode, "-m", "8", "-k", "4", "-l", "8", "-nn", "4"}
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit code = %d (stderr: %s)", code, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Fatal("no report on stdout")
+			}
+			if stderr.Len() != 0 {
+				t.Errorf("stderr not empty: %q", stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunEmitRTL(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-emit-rtl", "-n", "4"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "module") {
+		t.Fatalf("RTL output looks wrong:\n%.200s", stdout.String())
+	}
+}

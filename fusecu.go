@@ -18,15 +18,38 @@
 package fusecu
 
 import (
+	"context"
+
 	"fusecu/internal/arch"
 	"fusecu/internal/core"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/errs"
 	"fusecu/internal/fusion"
 	"fusecu/internal/model"
 	"fusecu/internal/op"
 	"fusecu/internal/search"
 	"fusecu/internal/sim"
 	"fusecu/internal/tensor"
+)
+
+// Error sentinels. Every error the library returns wraps exactly one of
+// these, so callers classify failures with errors.Is regardless of which
+// subsystem produced them.
+var (
+	// ErrInvalidOperator: an operator has non-positive dimensions.
+	ErrInvalidOperator = errs.ErrInvalidOperator
+	// ErrInvalidChain: a chain is empty or its shapes do not compose.
+	ErrInvalidChain = errs.ErrInvalidChain
+	// ErrInvalidDataflow: a tiling or loop order is malformed.
+	ErrInvalidDataflow = errs.ErrInvalidDataflow
+	// ErrBufferTooSmall: the buffer cannot hold even 1×1 tiles.
+	ErrBufferTooSmall = errs.ErrBufferTooSmall
+	// ErrInfeasible: no dataflow satisfies the constraints.
+	ErrInfeasible = errs.ErrInfeasible
+	// ErrUnknownPlatform: a platform name is not in Table III.
+	ErrUnknownPlatform = errs.ErrUnknownPlatform
+	// ErrUnknownModel: a model name is not in Table II.
+	ErrUnknownModel = errs.ErrUnknownModel
 )
 
 // Operator and workload types.
@@ -136,6 +159,14 @@ func NewFusedPair(first, second MatMul) (FusedPair, error) {
 // space (exhaustive on small lattices, genetic otherwise).
 func SearchOptimize(mm MatMul, bufferSize int64, seed int64) (SearchResult, error) {
 	return search.Optimize(mm, bufferSize, search.GeneticOptions{Seed: seed})
+}
+
+// SearchOptimizeCtx is SearchOptimize with a parallel worker pool and
+// cooperative cancellation: the scan stops promptly when ctx is done and
+// returns ctx's error. workers ≤ 0 selects GOMAXPROCS; the result is
+// bit-identical to SearchOptimize for any worker count.
+func SearchOptimizeCtx(ctx context.Context, mm MatMul, bufferSize int64, seed int64, workers int) (SearchResult, error) {
+	return search.OptimizeParallelCtx(ctx, mm, bufferSize, search.GeneticOptions{Seed: seed}, workers, nil)
 }
 
 // Platforms returns the five evaluation platforms in the paper's order.

@@ -1,6 +1,8 @@
 package fusecu
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -108,5 +110,53 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		if diff := got.Data[i] - want.Data[i]; diff > 1e-6 || diff < -1e-6 {
 			t.Fatal("fused result diverges from reference")
 		}
+	}
+}
+
+// TestPublicErrorSentinels proves the façade's sentinels classify failures
+// produced anywhere in the library.
+func TestPublicErrorSentinels(t *testing.T) {
+	if _, err := Optimize(MatMul{Name: "bad", M: 0, K: 8, L: 8}, 64); !errors.Is(err, ErrInvalidOperator) {
+		t.Fatalf("Optimize(bad op) = %v, want ErrInvalidOperator", err)
+	}
+	if _, err := Optimize(MatMul{Name: "x", M: 8, K: 8, L: 8}, 1); !errors.Is(err, ErrBufferTooSmall) {
+		t.Fatalf("Optimize(tiny buffer) = %v, want ErrBufferTooSmall", err)
+	}
+	if _, err := NewChain("broken",
+		MatMul{Name: "a", M: 8, K: 8, L: 8},
+		MatMul{Name: "b", M: 9, K: 9, L: 9},
+	); !errors.Is(err, ErrInvalidChain) {
+		t.Fatalf("NewChain(mismatched) err = %v, want ErrInvalidChain", err)
+	}
+	if _, err := PlatformByName("Cerebras"); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("PlatformByName = %v, want ErrUnknownPlatform", err)
+	}
+	if _, err := ModelByName("GPT-9"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("ModelByName = %v, want ErrUnknownModel", err)
+	}
+	if _, err := SearchOptimize(MatMul{Name: "x", M: 8, K: 8, L: 8}, 1, 1); !errors.Is(err, ErrBufferTooSmall) {
+		t.Fatalf("SearchOptimize(tiny buffer) = %v, want ErrBufferTooSmall", err)
+	}
+}
+
+// TestSearchOptimizeCtx proves the context variant matches the sequential
+// baseline bit for bit and honors cancellation.
+func TestSearchOptimizeCtx(t *testing.T) {
+	mm := MatMul{Name: "proj", M: 96, K: 64, L: 80}
+	want, err := SearchOptimize(mm, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SearchOptimizeCtx(context.Background(), mm, 4096, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Access.Total != want.Access.Total || got.Dataflow != want.Dataflow {
+		t.Fatalf("ctx search diverged: %+v vs %+v", got, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SearchOptimizeCtx(ctx, mm, 4096, 1, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled search err = %v, want context.Canceled", err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"fusecu/internal/core"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/errs"
 	"fusecu/internal/fusion"
 	"fusecu/internal/invariant"
 	"fusecu/internal/mapping"
@@ -207,7 +208,7 @@ func ByName(name string) (Platform, error) {
 			return p, nil
 		}
 	}
-	return Platform{}, fmt.Errorf("arch: unknown platform %q", name)
+	return Platform{}, fmt.Errorf("arch: unknown platform %q: %w", name, errs.ErrUnknownPlatform)
 }
 
 // fissionShapes enumerates power-of-two subarray shapes of at most pes PEs

@@ -5,6 +5,7 @@ import (
 
 	"fusecu/internal/cost"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/errs"
 	"fusecu/internal/fusion"
 	"fusecu/internal/op"
 )
@@ -108,7 +109,7 @@ func OptimizeConstrained(mm op.MatMul, bufferSize int64, c Constraint) (Result, 
 	}
 	best, ok := bestOf(cands)
 	if !ok {
-		return Result{}, fmt.Errorf("core: no feasible dataflow for %v in buffer %d under %+v", mm, bufferSize, c)
+		return Result{}, fmt.Errorf("core: no feasible dataflow for %v in buffer %d under %+v: %w", mm, bufferSize, c, errs.ErrInfeasible)
 	}
 	return Result{Candidate: best, Regime: Classify(mm, bufferSize), Considered: cands}, nil
 }

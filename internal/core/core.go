@@ -13,11 +13,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"fusecu/internal/cost"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/errs"
 	"fusecu/internal/op"
 )
 
@@ -91,8 +91,9 @@ type Result struct {
 	Considered []Candidate
 }
 
-// ErrBufferTooSmall is returned when even 1×1×1 tiles do not fit.
-var ErrBufferTooSmall = errors.New("core: buffer cannot hold three 1×1 tiles")
+// ErrBufferTooSmall is returned when even 1×1×1 tiles do not fit. It wraps
+// the library-wide errs.ErrBufferTooSmall sentinel.
+var ErrBufferTooSmall = fmt.Errorf("core: buffer cannot hold three 1×1 tiles: %w", errs.ErrBufferTooSmall)
 
 // minimumBuffer is the footprint of 1×1 tiles for all three tensors.
 const minimumBuffer = 3
@@ -146,7 +147,7 @@ func Optimize(mm op.MatMul, bufferSize int64) (Result, error) {
 	}
 	best, ok := bestOf(cands)
 	if !ok {
-		return Result{}, fmt.Errorf("core: no feasible principle candidate for %v with buffer %d", mm, bufferSize)
+		return Result{}, fmt.Errorf("core: no feasible principle candidate for %v with buffer %d: %w", mm, bufferSize, errs.ErrInfeasible)
 	}
 	return Result{Candidate: best, Regime: regime, Considered: cands}, nil
 }

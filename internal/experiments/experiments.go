@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -76,13 +77,14 @@ func Fig9Buffers() []int64 {
 
 // fig9Point computes one (operator, buffer) point of the validation sweep:
 // the principle optimum, the DAT-style search result (memoized through the
-// per-operator cache), and the ideal lower bound.
-func fig9Point(mm op.MatMul, bs, seed int64, cache *search.EvalCache) (Fig9Point, error) {
+// per-operator cache), and the ideal lower bound. The search stage honours
+// ctx, so canceling it abandons the point mid-search.
+func fig9Point(ctx context.Context, mm op.MatMul, bs, seed int64, cache *search.EvalCache) (Fig9Point, error) {
 	pr, err := core.Optimize(mm, bs)
 	if err != nil {
 		return Fig9Point{}, fmt.Errorf("experiments: fig9 %v BS=%d: %w", mm, bs, err)
 	}
-	sr, err := search.OptimizeCached(mm, bs, search.GeneticOptions{Seed: seed}, cache)
+	sr, err := search.OptimizeParallelCtx(ctx, mm, bs, search.GeneticOptions{Seed: seed}, 1, cache)
 	if err != nil {
 		return Fig9Point{}, fmt.Errorf("experiments: fig9 search %v BS=%d: %w", mm, bs, err)
 	}
@@ -107,7 +109,7 @@ func Fig9(ops []op.MatMul, buffers []int64, seed int64) ([]Fig9Result, error) {
 		r := Fig9Result{Op: mm}
 		cache := search.NewEvalCache()
 		for _, bs := range buffers {
-			p, err := fig9Point(mm, bs, seed, cache)
+			p, err := fig9Point(context.Background(), mm, bs, seed, cache)
 			if err != nil {
 				return nil, err
 			}
@@ -127,6 +129,14 @@ func Fig9(ops []op.MatMul, buffers []int64, seed int64) ([]Fig9Result, error) {
 // per-operator cache first. Failed points are reported joined, sorted by
 // sweep position, so failures reproduce run to run.
 func Fig9Parallel(ops []op.MatMul, buffers []int64, seed int64, workers int) ([]Fig9Result, error) {
+	return Fig9ParallelCtx(context.Background(), ops, buffers, seed, workers)
+}
+
+// Fig9ParallelCtx is Fig9Parallel with cooperative cancellation: when ctx is
+// canceled, no further sweep points are dispatched, in-flight points abandon
+// their search at the engine's next cancellation poll, and the call returns
+// an error wrapping ctx.Err() instead of a partial sweep.
+func Fig9ParallelCtx(ctx context.Context, ops []op.MatMul, buffers []int64, seed int64, workers int) ([]Fig9Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -152,7 +162,7 @@ func Fig9Parallel(ops []op.MatMul, buffers []int64, seed int64, workers int) ([]
 			for j := range ch {
 				// Each worker writes a distinct points[oi][bi] slot; only
 				// the error list is shared.
-				p, err := fig9Point(ops[j.oi], buffers[j.bi], seed, caches[j.oi])
+				p, err := fig9Point(ctx, ops[j.oi], buffers[j.bi], seed, caches[j.oi])
 				if err != nil {
 					state.mu.Lock()
 					state.errs = append(state.errs, fig9Error{oi: j.oi, bi: j.bi, err: err})
@@ -163,13 +173,23 @@ func Fig9Parallel(ops []op.MatMul, buffers []int64, seed int64, workers int) ([]
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for oi := range ops {
 		for bi := range buffers {
-			ch <- job{oi, bi}
+			select {
+			case ch <- job{oi, bi}:
+			case <-done:
+				break dispatch
+			}
 		}
 	}
 	close(ch)
 	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: fig9 sweep canceled: %w", err)
+	}
 
 	state.mu.Lock()
 	defer state.mu.Unlock()

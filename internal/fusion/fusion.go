@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"fusecu/internal/dataflow"
+	"fusecu/internal/errs"
 	"fusecu/internal/op"
 )
 
@@ -45,8 +46,8 @@ func NewPair(first, second op.MatMul) (Pair, error) {
 		return Pair{}, err
 	}
 	if first.M != second.M || first.L != second.K {
-		return Pair{}, fmt.Errorf("fusion: producer C is %d×%d but consumer A is %d×%d",
-			first.M, first.L, second.M, second.K)
+		return Pair{}, fmt.Errorf("fusion: producer C is %d×%d but consumer A is %d×%d: %w",
+			first.M, first.L, second.M, second.K, errs.ErrInvalidChain)
 	}
 	return Pair{First: first, Second: second}, nil
 }
@@ -155,7 +156,7 @@ func (fd FusedDataflow) String() string {
 func (fd FusedDataflow) Validate(p Pair) error {
 	check := func(name string, v, hi int) error {
 		if v < 1 || v > hi {
-			return fmt.Errorf("fusion: tile %s=%d outside [1,%d]", name, v, hi)
+			return fmt.Errorf("fusion: tile %s=%d outside [1,%d]: %w", name, v, hi, errs.ErrInvalidDataflow)
 		}
 		return nil
 	}
@@ -174,18 +175,18 @@ func (fd FusedDataflow) Validate(p Pair) error {
 	switch fd.Pattern {
 	case PatternColumn:
 		if fd.TK != p.K() {
-			return fmt.Errorf("fusion: column pattern requires K untiled (T_K=%d, K=%d)", fd.TK, p.K())
+			return fmt.Errorf("fusion: column pattern requires K untiled (T_K=%d, K=%d): %w", fd.TK, p.K(), errs.ErrInvalidDataflow)
 		}
 		if fd.TN != p.N() {
-			return fmt.Errorf("fusion: column pattern keeps the E row-block resident (T_N=%d, N=%d)", fd.TN, p.N())
+			return fmt.Errorf("fusion: column pattern keeps the E row-block resident (T_N=%d, N=%d): %w", fd.TN, p.N(), errs.ErrInvalidDataflow)
 		}
 	case PatternResident:
 		if fd.TM != p.M() || fd.TL != p.L() {
-			return fmt.Errorf("fusion: resident pattern requires C fully resident (T_M=%d/%d, T_L=%d/%d)",
-				fd.TM, p.M(), fd.TL, p.L())
+			return fmt.Errorf("fusion: resident pattern requires C fully resident (T_M=%d/%d, T_L=%d/%d): %w",
+				fd.TM, p.M(), fd.TL, p.L(), errs.ErrInvalidDataflow)
 		}
 		if fd.TN != p.N() {
-			return fmt.Errorf("fusion: resident pattern keeps E resident (T_N=%d, N=%d)", fd.TN, p.N())
+			return fmt.Errorf("fusion: resident pattern keeps E resident (T_N=%d, N=%d): %w", fd.TN, p.N(), errs.ErrInvalidDataflow)
 		}
 	}
 	return nil
@@ -254,7 +255,7 @@ func Evaluate(p Pair, fd FusedDataflow) (Access, error) {
 		consume := M*L + M*N + tl*tn
 		a.Footprint = maxInt64(produce, consume)
 	default:
-		return Access{}, fmt.Errorf("fusion: unknown pattern %v", fd.Pattern)
+		return Access{}, fmt.Errorf("fusion: unknown pattern %v: %w", fd.Pattern, errs.ErrInvalidDataflow)
 	}
 	a.Total = a.A + a.B + a.D + a.E
 	return a, nil

@@ -2,6 +2,8 @@ package fusion
 
 import (
 	"fmt"
+
+	"fusecu/internal/errs"
 )
 
 // TraceEvaluate executes fd's loop nest tile by tile, modelling the buffer
@@ -20,7 +22,7 @@ func TraceEvaluate(p Pair, fd FusedDataflow) (Access, error) {
 	case PatternResident:
 		return traceResident(p), nil
 	}
-	return Access{}, fmt.Errorf("fusion: unknown pattern %v", fd.Pattern)
+	return Access{}, fmt.Errorf("fusion: unknown pattern %v: %w", fd.Pattern, errs.ErrInvalidDataflow)
 }
 
 type coord struct{ a, b int }

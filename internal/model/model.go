@@ -9,6 +9,7 @@ package model
 import (
 	"fmt"
 
+	"fusecu/internal/errs"
 	"fusecu/internal/invariant"
 	"fusecu/internal/op"
 )
@@ -178,7 +179,7 @@ func ByName(name string) (Config, error) {
 			return c, nil
 		}
 	}
-	return Config{}, fmt.Errorf("model: unknown model %q", name)
+	return Config{}, fmt.Errorf("model: unknown model %q: %w", name, errs.ErrUnknownModel)
 }
 
 // LLaMA2WithSeq returns the LLaMA2 configuration at a specific sequence

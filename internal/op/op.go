@@ -6,9 +6,9 @@
 package op
 
 import (
-	"errors"
 	"fmt"
 
+	"fusecu/internal/errs"
 	"fusecu/internal/invariant"
 )
 
@@ -23,7 +23,7 @@ type MatMul struct {
 // Validate reports an error when any dimension is non-positive.
 func (m MatMul) Validate() error {
 	if m.M <= 0 || m.K <= 0 || m.L <= 0 {
-		return fmt.Errorf("op: %s has non-positive dims M=%d K=%d L=%d", m.label(), m.M, m.K, m.L)
+		return fmt.Errorf("op: %s has non-positive dims M=%d K=%d L=%d: %w", m.label(), m.M, m.K, m.L, errs.ErrInvalidOperator)
 	}
 	return nil
 }
@@ -111,8 +111,9 @@ type Chain struct {
 	Elementwise []Elementwise
 }
 
-// ErrEmptyChain is returned when a chain has no operators.
-var ErrEmptyChain = errors.New("op: empty chain")
+// ErrEmptyChain is returned when a chain has no operators. It wraps
+// errs.ErrInvalidChain, so errors.Is classification sees both.
+var ErrEmptyChain = fmt.Errorf("op: empty chain: %w", errs.ErrInvalidChain)
 
 // NewChain builds a chain and validates shape compatibility between
 // neighbours.
@@ -128,7 +129,7 @@ func NewChain(name string, ops ...MatMul) (*Chain, error) {
 // (between Ops[i] and Ops[i+1]).
 func (c *Chain) WithElementwise(i int, name string) (*Chain, error) {
 	if i < 0 || i >= len(c.Ops)-1 {
-		return nil, fmt.Errorf("op: elementwise index %d out of range for chain of %d ops", i, len(c.Ops))
+		return nil, fmt.Errorf("op: elementwise index %d out of range for chain of %d ops: %w", i, len(c.Ops), errs.ErrInvalidChain)
 	}
 	c.Elementwise[i] = Elementwise{Name: name, Rows: c.Ops[i].M, Cols: c.Ops[i].L}
 	return c, nil
@@ -147,20 +148,20 @@ func (c *Chain) Validate() error {
 	for i := 0; i+1 < len(c.Ops); i++ {
 		p, q := c.Ops[i], c.Ops[i+1]
 		if p.M != q.M || p.L != q.K {
-			return fmt.Errorf("op: chain %q link %d: producer C is %d×%d but consumer A is %d×%d",
-				c.Name, i, p.M, p.L, q.M, q.K)
+			return fmt.Errorf("op: chain %q link %d: producer C is %d×%d but consumer A is %d×%d: %w",
+				c.Name, i, p.M, p.L, q.M, q.K, errs.ErrInvalidChain)
 		}
 	}
 	if len(c.Elementwise) != len(c.Ops)-1 {
-		return fmt.Errorf("op: chain %q has %d elementwise slots, want %d", c.Name, len(c.Elementwise), len(c.Ops)-1)
+		return fmt.Errorf("op: chain %q has %d elementwise slots, want %d: %w", c.Name, len(c.Elementwise), len(c.Ops)-1, errs.ErrInvalidChain)
 	}
 	for i, e := range c.Elementwise {
 		if e.Name == "" {
 			continue
 		}
 		if e.Rows != c.Ops[i].M || e.Cols != c.Ops[i].L {
-			return fmt.Errorf("op: chain %q elementwise %d shape %d×%d does not match intermediate %d×%d",
-				c.Name, i, e.Rows, e.Cols, c.Ops[i].M, c.Ops[i].L)
+			return fmt.Errorf("op: chain %q elementwise %d shape %d×%d does not match intermediate %d×%d: %w",
+				c.Name, i, e.Rows, e.Cols, c.Ops[i].M, c.Ops[i].L, errs.ErrInvalidChain)
 		}
 	}
 	return nil

@@ -1,12 +1,14 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"fusecu/internal/cost"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/errs"
 	"fusecu/internal/invariant"
 	"fusecu/internal/op"
 )
@@ -75,6 +77,38 @@ func evalDataflow(mm op.MatMul, df dataflow.Dataflow, cache *EvalCache) (cost.Ac
 	return cost.MustEvaluate(mm, df), false
 }
 
+// cancelCheck polls a context's Done channel at a coarse stride, so the hot
+// enumeration loop pays one local counter increment per visit instead of a
+// synchronized ctx.Err() call. Each goroutine owns its own cancelCheck (the
+// counter is unsynchronized by design).
+type cancelCheck struct {
+	done <-chan struct{}
+	n    uint32
+}
+
+func newCancelCheck(ctx context.Context) *cancelCheck {
+	return &cancelCheck{done: ctx.Done()}
+}
+
+// stopped reports whether the scan's context was canceled, consulting the
+// channel once every 1024 calls. A Background context has a nil Done channel
+// and costs only the nil compare.
+func (c *cancelCheck) stopped() bool {
+	if c.done == nil {
+		return false
+	}
+	c.n++
+	if c.n&1023 != 0 {
+		return false
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // enumBest accumulates one scan's running optimum and cost counters.
 type enumBest struct {
 	best    Result
@@ -105,8 +139,10 @@ func (e *enumBest) merge(o enumBest) {
 // scanChunk enumerates the tilings gm[lo:hi] × gk × gl (each grid sorted
 // ascending) against every loop order, pruning by footprint monotonicity:
 // the innermost tl loop breaks on buffer overflow, and the tk and tm loops
-// break once even the smallest remaining partner tiles overflow.
-func scanChunk(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, lo, hi int, cache *EvalCache, acc *enumBest) {
+// break once even the smallest remaining partner tiles overflow. When stop
+// reports cancellation the scan abandons the chunk mid-lattice; the caller
+// is responsible for discarding the partial accumulator via ctx.Err().
+func scanChunk(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, lo, hi int, cache *EvalCache, stop *cancelCheck, acc *enumBest) {
 	minK, minL := gk[0], gl[0]
 	for _, tm := range gm[lo:hi] {
 		if tileFootprint(tm, minK, minL) > bufferSize {
@@ -119,6 +155,9 @@ func scanChunk(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, 
 			for _, tl := range gl {
 				if tileFootprint(tm, tk, tl) > bufferSize {
 					break
+				}
+				if stop.stopped() {
+					return
 				}
 				ti := dataflow.MustTiling(mm, tm, tk, tl)
 				for oi, o := range orders {
@@ -146,8 +185,11 @@ type enumState struct {
 
 // scanParallel shards the tm grid across a worker pool and merges the
 // chunk-local optima under the canonical tie-break, so the combined result
-// is identical to a sequential scan regardless of scheduling.
-func scanParallel(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, cache *EvalCache, workers int) enumBest {
+// is identical to a sequential scan regardless of scheduling. On ctx
+// cancellation dispatch stops, workers abandon their current chunk at the
+// next poll, and the (partial) accumulator is returned for the caller to
+// discard.
+func scanParallel(ctx context.Context, mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, cache *EvalCache, workers int) enumBest {
 	type span struct{ lo, hi int }
 	// Several chunks per worker load-balance the ragged pruning: small-tm
 	// chunks admit far more feasible (tk, tl) partners than large-tm ones.
@@ -163,20 +205,27 @@ func scanParallel(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, g
 		go func() {
 			defer wg.Done()
 			var local enumBest
+			stop := newCancelCheck(ctx)
 			for s := range ch {
-				scanChunk(mm, bufferSize, orders, gm, gk, gl, s.lo, s.hi, cache, &local)
+				scanChunk(mm, bufferSize, orders, gm, gk, gl, s.lo, s.hi, cache, stop, &local)
 			}
 			state.mu.Lock()
 			state.acc.merge(local)
 			state.mu.Unlock()
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for lo := 0; lo < len(gm); lo += chunk {
 		hi := lo + chunk
 		if hi > len(gm) {
 			hi = len(gm)
 		}
-		ch <- span{lo, hi}
+		select {
+		case ch <- span{lo, hi}:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
@@ -188,10 +237,15 @@ func scanParallel(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, g
 
 // enumerate runs the pruned scan over the given grids, sequentially for
 // workers == 1 and on a worker pool otherwise (workers ≤ 0 selects
-// GOMAXPROCS), and packages the optimum as a Result.
-func enumerate(mm op.MatMul, bufferSize int64, gm, gk, gl []int, cache *EvalCache, workers int, method string) (Result, error) {
+// GOMAXPROCS), and packages the optimum as a Result. Cancelling ctx stops
+// the scan promptly and surfaces ctx.Err(); a Background context restores
+// the historical non-cancellable behaviour at negligible cost.
+func enumerate(ctx context.Context, mm op.MatMul, bufferSize int64, gm, gk, gl []int, cache *EvalCache, workers int, method string) (Result, error) {
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
+	}
+	if bufferSize < 3 {
+		return Result{}, fmt.Errorf("search: buffer %d cannot hold 1×1 tiles: %w", bufferSize, errs.ErrBufferTooSmall)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -199,12 +253,17 @@ func enumerate(mm op.MatMul, bufferSize int64, gm, gk, gl []int, cache *EvalCach
 	orders := dataflow.AllOrders()
 	var acc enumBest
 	if workers == 1 {
-		scanChunk(mm, bufferSize, orders, gm, gk, gl, 0, len(gm), cache, &acc)
+		scanChunk(mm, bufferSize, orders, gm, gk, gl, 0, len(gm), cache, newCancelCheck(ctx), &acc)
 	} else {
-		acc = scanParallel(mm, bufferSize, orders, gm, gk, gl, cache, workers)
+		acc = scanParallel(ctx, mm, bufferSize, orders, gm, gk, gl, cache, workers)
+	}
+	// A canceled scan's accumulator is partial; discard it rather than
+	// return a non-optimal "optimum".
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("search: %s scan canceled: %w", method, err)
 	}
 	if !acc.found {
-		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d", mm, bufferSize)
+		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d: %w", mm, bufferSize, errs.ErrInfeasible)
 	}
 	acc.best.Method = method
 	return acc.best, nil

@@ -5,6 +5,7 @@ import (
 
 	"fusecu/internal/cost"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/errs"
 	"fusecu/internal/op"
 )
 
@@ -45,7 +46,7 @@ func ReferenceExhaustive(mm op.MatMul, bufferSize int64) (Result, error) {
 		}
 	}
 	if !found {
-		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d", mm, bufferSize)
+		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d: %w", mm, bufferSize, errs.ErrInfeasible)
 	}
 	best.Method = "exhaustive"
 	return best, nil
@@ -82,7 +83,7 @@ func ReferenceCoarse(mm op.MatMul, bufferSize int64) (Result, error) {
 		}
 	}
 	if !found {
-		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d", mm, bufferSize)
+		return Result{}, fmt.Errorf("search: no feasible dataflow for %v in buffer %d: %w", mm, bufferSize, errs.ErrInfeasible)
 	}
 	best.Method = "exhaustive-coarse"
 	return best, nil

@@ -22,6 +22,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,6 +30,7 @@ import (
 
 	"fusecu/internal/cost"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/errs"
 	"fusecu/internal/invariant"
 	"fusecu/internal/op"
 )
@@ -63,7 +65,7 @@ func ExhaustiveCached(mm op.MatMul, bufferSize int64, cache *EvalCache) (Result,
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
-	return enumerate(mm, bufferSize, fullRange(mm.M), fullRange(mm.K), fullRange(mm.L), cache, 1, "exhaustive")
+	return enumerate(context.Background(), mm, bufferSize, fullRange(mm.M), fullRange(mm.K), fullRange(mm.L), cache, 1, "exhaustive")
 }
 
 // TileGrid returns the candidate tile values for one dimension extent used
@@ -103,7 +105,7 @@ func ExhaustiveCoarseCached(mm op.MatMul, bufferSize int64, cache *EvalCache) (R
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
-	return enumerate(mm, bufferSize, TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L), cache, 1, "exhaustive-coarse")
+	return enumerate(context.Background(), mm, bufferSize, TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L), cache, 1, "exhaustive-coarse")
 }
 
 // ParallelExhaustive is Exhaustive sharded across a worker pool (workers ≤ 0
@@ -112,19 +114,33 @@ func ExhaustiveCoarseCached(mm op.MatMul, bufferSize int64, cache *EvalCache) (R
 // split between Evaluations and CacheHits can vary with scheduling when a
 // cache is shared.
 func ParallelExhaustive(mm op.MatMul, bufferSize int64, workers int, cache *EvalCache) (Result, error) {
+	return ParallelExhaustiveCtx(context.Background(), mm, bufferSize, workers, cache)
+}
+
+// ParallelExhaustiveCtx is ParallelExhaustive with cooperative cancellation:
+// when ctx is canceled the dispatcher stops sharding, every worker abandons
+// its chunk at the next poll (at most ~1024 candidate visits away), and the
+// call returns ctx.Err() instead of a partial optimum.
+func ParallelExhaustiveCtx(ctx context.Context, mm op.MatMul, bufferSize int64, workers int, cache *EvalCache) (Result, error) {
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
-	return enumerate(mm, bufferSize, fullRange(mm.M), fullRange(mm.K), fullRange(mm.L), cache, nonUnitWorkers(workers), "exhaustive-parallel")
+	return enumerate(ctx, mm, bufferSize, fullRange(mm.M), fullRange(mm.K), fullRange(mm.L), cache, nonUnitWorkers(workers), "exhaustive-parallel")
 }
 
 // ParallelCoarse is ExhaustiveCoarse sharded across a worker pool, with the
 // same bit-identical-result guarantee as ParallelExhaustive.
 func ParallelCoarse(mm op.MatMul, bufferSize int64, workers int, cache *EvalCache) (Result, error) {
+	return ParallelCoarseCtx(context.Background(), mm, bufferSize, workers, cache)
+}
+
+// ParallelCoarseCtx is ParallelCoarse with cooperative cancellation, under
+// the same promptness contract as ParallelExhaustiveCtx.
+func ParallelCoarseCtx(ctx context.Context, mm op.MatMul, bufferSize int64, workers int, cache *EvalCache) (Result, error) {
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
-	return enumerate(mm, bufferSize, TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L), cache, nonUnitWorkers(workers), "exhaustive-coarse-parallel")
+	return enumerate(ctx, mm, bufferSize, TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L), cache, nonUnitWorkers(workers), "exhaustive-coarse-parallel")
 }
 
 // nonUnitWorkers keeps an explicit workers=1 request on the sequential
@@ -207,11 +223,24 @@ func Genetic(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error
 // (which may be nil). The cache never alters the GA's trajectory — the RNG
 // stream is independent of it — only the Evaluations/CacheHits split.
 func GeneticCached(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache) (Result, error) {
+	return geneticCtx(context.Background(), mm, bufferSize, opts, cache)
+}
+
+// GeneticCtx is GeneticCached under a cancelable context: the generation
+// loop stops promptly when ctx is done, returning ctx's error.
+func GeneticCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache) (Result, error) {
+	return geneticCtx(ctx, mm, bufferSize, opts, cache)
+}
+
+// geneticCtx is the cancellation-aware GA core: the generation loop checks
+// ctx between generations (one generation is a bounded Population-sized
+// batch of closed-form evaluations, so the check cadence is milliseconds).
+func geneticCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache) (Result, error) {
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
 	if bufferSize < 3 {
-		return Result{}, fmt.Errorf("search: buffer %d cannot hold 1×1 tiles", bufferSize)
+		return Result{}, fmt.Errorf("search: buffer %d cannot hold 1×1 tiles: %w", bufferSize, errs.ErrBufferTooSmall)
 	}
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -333,6 +362,9 @@ func GeneticCached(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *E
 	var bestG genome
 	var bestF int64 = -1
 	for gen := 0; gen < opts.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("search: genetic search canceled at generation %d: %w", gen, err)
+		}
 		s := score()
 		if bestF < 0 || s[0].f < bestF {
 			bestF, bestG = s[0].f, s[0].g
@@ -360,7 +392,7 @@ func GeneticCached(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *E
 	// Evaluations semantics (fitness invocations only).
 	a := cost.MustEvaluate(mm, df)
 	if a.Footprint > bufferSize {
-		return Result{}, fmt.Errorf("search: genetic search found no feasible dataflow for %v in buffer %d", mm, bufferSize)
+		return Result{}, fmt.Errorf("search: genetic search found no feasible dataflow for %v in buffer %d: %w", mm, bufferSize, errs.ErrInfeasible)
 	}
 	return Result{Dataflow: df, Access: a, Evaluations: evals, CacheHits: hits, Method: "genetic"}, nil
 }
@@ -376,17 +408,27 @@ func Optimize(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, erro
 // cache (which may be nil) — the buffer-sweep entry point: across sweep
 // points the same candidates recur and are served as CacheHits.
 func OptimizeCached(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache) (Result, error) {
-	return optimize(mm, bufferSize, opts, cache, 1)
+	return optimize(context.Background(), mm, bufferSize, opts, cache, 1)
 }
 
 // OptimizeParallel is Optimize with the lattice stage sharded across
 // workers (workers ≤ 0 selects GOMAXPROCS); the genetic polish stays
 // sequential — it is a dependent chain by construction.
 func OptimizeParallel(mm op.MatMul, bufferSize int64, opts GeneticOptions, workers int, cache *EvalCache) (Result, error) {
-	return optimize(mm, bufferSize, opts, cache, workers)
+	return OptimizeParallelCtx(context.Background(), mm, bufferSize, opts, workers, cache)
 }
 
-func optimize(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache, workers int) (Result, error) {
+// OptimizeParallelCtx is OptimizeParallel with cooperative cancellation
+// threaded through both stages: the sharded lattice scan stops its worker
+// pool promptly (see ParallelExhaustiveCtx) and the genetic polish checks
+// between generations. When ctx is canceled the call returns an error
+// wrapping ctx.Err(); an uncancelled ctx changes nothing — results stay
+// bit-identical to OptimizeParallel.
+func OptimizeParallelCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, workers int, cache *EvalCache) (Result, error) {
+	return optimize(ctx, mm, bufferSize, opts, cache, workers)
+}
+
+func optimize(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache, workers int) (Result, error) {
 	lattice := int64(len(TileGrid(mm.M))) * int64(len(TileGrid(mm.K))) * int64(len(TileGrid(mm.L))) * 6
 	if lattice <= 200_000 {
 		var (
@@ -394,9 +436,9 @@ func optimize(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCa
 			err error
 		)
 		if workers == 1 {
-			r, err = ExhaustiveCoarseCached(mm, bufferSize, cache)
+			r, err = enumerate(ctx, mm, bufferSize, TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L), cache, 1, "exhaustive-coarse")
 		} else {
-			r, err = ParallelCoarse(mm, bufferSize, workers, cache)
+			r, err = ParallelCoarseCtx(ctx, mm, bufferSize, workers, cache)
 		}
 		if err != nil {
 			return Result{}, err
@@ -404,7 +446,7 @@ func optimize(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCa
 		// The coarse lattice can miss boundary tile values such as
 		// (BS−K)/(K+1); polish with the GA seeded from scratch and keep the
 		// better of the two, mirroring DAT's MIP+GA hybrid.
-		g, gerr := GeneticCached(mm, bufferSize, opts, cache)
+		g, gerr := geneticCtx(ctx, mm, bufferSize, opts, cache)
 		if gerr == nil && g.Access.Total < r.Access.Total {
 			g.Evaluations += r.Evaluations
 			g.CacheHits += r.CacheHits
@@ -415,7 +457,7 @@ func optimize(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCa
 		r.CacheHits += g.CacheHits
 		return r, nil
 	}
-	return GeneticCached(mm, bufferSize, opts, cache)
+	return geneticCtx(ctx, mm, bufferSize, opts, cache)
 }
 
 func clampT(v, hi int) int {

@@ -1,0 +1,289 @@
+package service
+
+import (
+	"context"
+	"runtime"
+
+	"fusecu/internal/arch"
+	"fusecu/internal/core"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/model"
+	"fusecu/internal/op"
+	"fusecu/internal/search"
+)
+
+// opSpec is the wire form of one matrix multiplication.
+type opSpec struct {
+	Name string `json:"name,omitempty"`
+	M    int    `json:"m"`
+	K    int    `json:"k"`
+	L    int    `json:"l"`
+}
+
+func (o opSpec) matmul() op.MatMul {
+	return op.MatMul{Name: o.Name, M: o.M, K: o.K, L: o.L}
+}
+
+// dataflowJSON is the wire form of a tiling + scheduling decision.
+type dataflowJSON struct {
+	Order  string   `json:"order"`
+	TM     int      `json:"tm"`
+	TK     int      `json:"tk"`
+	TL     int      `json:"tl"`
+	NRA    string   `json:"nra"`
+	MA     int64    `json:"memory_access"`
+	PerABC [3]int64 `json:"per_tensor"`
+}
+
+func dataflowOf(df dataflow.Dataflow, nra dataflow.NRAClass, total int64, per [3]int64) dataflowJSON {
+	return dataflowJSON{
+		Order:  df.Order.String(),
+		TM:     df.Tiling.TM,
+		TK:     df.Tiling.TK,
+		TL:     df.Tiling.TL,
+		NRA:    nra.String(),
+		MA:     total,
+		PerABC: per,
+	}
+}
+
+// --- /v1/optimize -----------------------------------------------------------
+
+type optimizeRequest struct {
+	Op        opSpec `json:"op"`
+	Buffer    int64  `json:"buffer"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+type optimizeResponse struct {
+	Regime     string       `json:"regime"`
+	Principle  int          `json:"principle"`
+	Note       string       `json:"note"`
+	Dataflow   dataflowJSON `json:"dataflow"`
+	Considered int          `json:"considered"`
+}
+
+func (s *Server) handleOptimize(ctx context.Context, body []byte) (any, error) {
+	var req optimizeRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	res, err := core.Optimize(req.Op.matmul(), req.Buffer)
+	if err != nil {
+		return nil, err
+	}
+	return optimizeResponse{
+		Regime:     res.Regime.String(),
+		Principle:  res.Principle,
+		Note:       res.Note,
+		Dataflow:   dataflowOf(res.Dataflow, res.Access.NRA, res.Access.Total, res.Access.PerTensor),
+		Considered: len(res.Considered),
+	}, nil
+}
+
+// --- /v1/plan ---------------------------------------------------------------
+
+type planRequest struct {
+	Name      string   `json:"name"`
+	Ops       []opSpec `json:"ops"`
+	Buffer    int64    `json:"buffer"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+type planGroup struct {
+	Start   int    `json:"start"`
+	Len     int    `json:"len"`
+	Fused   bool   `json:"fused"`
+	MA      int64  `json:"memory_access"`
+	Pattern string `json:"pattern,omitempty"`
+}
+
+type planDecision struct {
+	Pair      int   `json:"pair"`
+	SameNRA   bool  `json:"same_nra"`
+	Fuse      bool  `json:"fuse"`
+	UnfusedMA int64 `json:"unfused_ma"`
+	FusedMA   int64 `json:"fused_ma"`
+	Gain      int64 `json:"gain"`
+}
+
+type planResponse struct {
+	Chain     string         `json:"chain"`
+	Groups    []planGroup    `json:"groups"`
+	Decisions []planDecision `json:"decisions"`
+	TotalMA   int64          `json:"total_ma"`
+	UnfusedMA int64          `json:"unfused_ma"`
+	Saving    float64        `json:"saving"`
+}
+
+func (s *Server) handlePlan(ctx context.Context, body []byte) (any, error) {
+	var req planRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	ops := make([]op.MatMul, len(req.Ops))
+	for i, o := range req.Ops {
+		ops[i] = o.matmul()
+	}
+	chain, err := op.NewChain(req.Name, ops...)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.PlanChain(chain, req.Buffer)
+	if err != nil {
+		return nil, err
+	}
+	resp := planResponse{
+		Chain:     chain.Name,
+		TotalMA:   plan.TotalMA,
+		UnfusedMA: plan.UnfusedMA,
+		Saving:    plan.Saving(),
+	}
+	for _, g := range plan.Groups {
+		pg := planGroup{Start: g.Start, Len: g.Len, Fused: g.Fusedp(), MA: g.MA}
+		if g.Fusedp() {
+			pg.Pattern = g.Fused.Dataflow.Pattern.String()
+		}
+		resp.Groups = append(resp.Groups, pg)
+	}
+	for i, d := range plan.Decisions {
+		resp.Decisions = append(resp.Decisions, planDecision{
+			Pair: i, SameNRA: d.SameNRA, Fuse: d.Fuse,
+			UnfusedMA: d.UnfusedMA, FusedMA: d.FusedMA, Gain: d.Gain,
+		})
+	}
+	return resp, nil
+}
+
+// --- /v1/search -------------------------------------------------------------
+
+type searchRequest struct {
+	Op     opSpec `json:"op"`
+	Buffer int64  `json:"buffer"`
+	Seed   int64  `json:"seed,omitempty"`
+	// Workers sizes this request's scan pool; 0 inherits the server's
+	// configured pool size (which itself defaults to GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Engine selects the search strategy: "auto" (default — exhaustive on
+	// small lattices, coarse+genetic otherwise), "exhaustive", "coarse", or
+	// "genetic".
+	Engine    string `json:"engine,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+type searchResponse struct {
+	Method      string       `json:"method"`
+	Dataflow    dataflowJSON `json:"dataflow"`
+	Evaluations int64        `json:"evaluations"`
+	CacheHits   int64        `json:"cache_hits"`
+}
+
+func (s *Server) handleSearch(ctx context.Context, body []byte) (any, error) {
+	var req searchRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.SearchWorkers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mm := req.Op.matmul()
+	var res search.Result
+	var err error
+	switch req.Engine {
+	case "", "auto":
+		res, err = search.OptimizeParallelCtx(ctx, mm, req.Buffer, search.GeneticOptions{Seed: req.Seed}, workers, s.cache)
+	case "exhaustive":
+		res, err = search.ParallelExhaustiveCtx(ctx, mm, req.Buffer, workers, s.cache)
+	case "coarse":
+		res, err = search.ParallelCoarseCtx(ctx, mm, req.Buffer, workers, s.cache)
+	case "genetic":
+		res, err = search.GeneticCtx(ctx, mm, req.Buffer, search.GeneticOptions{Seed: req.Seed}, s.cache)
+	default:
+		return nil, badRequest("service: unknown engine %q (want auto, exhaustive, coarse or genetic)", req.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return searchResponse{
+		Method:      res.Method,
+		Dataflow:    dataflowOf(res.Dataflow, res.Access.NRA, res.Access.Total, res.Access.PerTensor),
+		Evaluations: res.Evaluations,
+		CacheHits:   res.CacheHits,
+	}, nil
+}
+
+// --- /v1/evaluate -----------------------------------------------------------
+
+type evaluateRequest struct {
+	// Model names a Table II configuration; Seq (optional, LLaMA2 only)
+	// overrides the sequence length as in the Fig. 11 sweep.
+	Model string `json:"model"`
+	Seq   int    `json:"seq,omitempty"`
+	// Platforms restricts evaluation; empty means all five.
+	Platforms []string `json:"platforms,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+type platformResult struct {
+	Platform    string  `json:"platform"`
+	MA          int64   `json:"memory_access"`
+	Cycles      int64   `json:"cycles"`
+	MACs        int64   `json:"macs"`
+	Utilization float64 `json:"utilization"`
+}
+
+type evaluateResponse struct {
+	Workload string           `json:"workload"`
+	Results  []platformResult `json:"results"`
+}
+
+func (s *Server) handleEvaluate(ctx context.Context, body []byte) (any, error) {
+	var req evaluateRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	cfg, err := model.ByName(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	if req.Seq > 0 {
+		cfg.SeqLen = req.Seq
+	}
+	w, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	platforms := arch.All()
+	if len(req.Platforms) > 0 {
+		platforms = platforms[:0:0]
+		for _, name := range req.Platforms {
+			p, err := arch.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			platforms = append(platforms, p)
+		}
+	}
+	resp := evaluateResponse{Workload: w.Name}
+	for _, p := range platforms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := p.EvaluateWorkload(w)
+		if err != nil {
+			return nil, err
+		}
+		resp.Results = append(resp.Results, platformResult{
+			Platform:    r.Platform,
+			MA:          r.MA,
+			Cycles:      r.Cycles,
+			MACs:        r.MACs,
+			Utilization: r.Utilization,
+		})
+	}
+	return resp, nil
+}

@@ -1,0 +1,286 @@
+// Package service is the HTTP/JSON façade of the FuseCU library: the
+// fusecu-serve daemon. It exposes the paper's four capabilities as REST
+// endpoints —
+//
+//   - POST /v1/optimize  — Principles 1–3, one-shot intra-operator optimum
+//   - POST /v1/plan      — Principle 4, chain-level fusion planning
+//   - POST /v1/search    — the DAT-style search baseline (parallel, memoized)
+//   - POST /v1/evaluate  — cross-platform workload evaluation (Fig. 10/11)
+//   - GET  /metrics      — Prometheus-style text exposition
+//   - GET  /healthz      — liveness probe
+//
+// plus the operational substrate an accelerator-compiler service needs:
+// strict request validation mapped onto the library's unified error
+// sentinels, per-request deadlines whose cancellation is threaded into the
+// search worker pools, a bounded-concurrency admission gate (429 +
+// Retry-After on saturation), and a process-wide shared evaluation cache so
+// repeated operators across requests hit memoized cost evaluations.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fusecu/internal/errs"
+	"fusecu/internal/metrics"
+	"fusecu/internal/search"
+)
+
+// Config tunes a Server. The zero value selects production defaults.
+type Config struct {
+	// MaxInFlight caps concurrently admitted /v1/* requests; excess
+	// requests are rejected with 429 + Retry-After. Default 64.
+	MaxInFlight int
+	// DefaultTimeout bounds each request when the client does not pass a
+	// tighter timeout_ms. Default 30s.
+	DefaultTimeout time.Duration
+	// SearchWorkers sizes the per-request search worker pool; 0 means
+	// GOMAXPROCS (the search package's default).
+	SearchWorkers int
+	// RetryAfter is the Retry-After hint (seconds) on 429. Default 1.
+	RetryAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	return c
+}
+
+// Server holds the shared state of the service: the evaluation cache every
+// search request feeds, the metrics registry, and the admission gate.
+type Server struct {
+	cfg   Config
+	cache *search.EvalCache
+	reg   *metrics.Registry
+	gate  chan struct{}
+}
+
+// New builds a Server with cfg (zero value → defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		cache: search.NewEvalCache(),
+		reg:   metrics.NewRegistry(),
+		gate:  make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Cache exposes the process-wide evaluation cache (tests assert hit rates).
+func (s *Server) Cache() *search.EvalCache { return s.cache }
+
+// Registry exposes the metrics registry (tests assert counters and the
+// in-flight high-water mark).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the service's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/optimize", s.endpoint("optimize", s.handleOptimize))
+	mux.HandleFunc("/v1/plan", s.endpoint("plan", s.handlePlan))
+	mux.HandleFunc("/v1/search", s.endpoint("search", s.handleSearch))
+	mux.HandleFunc("/v1/evaluate", s.endpoint("evaluate", s.handleEvaluate))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// apiError is a handler failure bound to a transport status. Handlers
+// normally return bare library errors; toAPIError classifies them.
+type apiError struct {
+	status int
+	code   string
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+// badRequest wraps a request-shape error (malformed JSON, missing field)
+// that no library sentinel covers.
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: "invalid_request", err: fmt.Errorf(format, args...)}
+}
+
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// aborted by the client; net/http has no named constant for it.
+const statusClientClosedRequest = 499
+
+// toAPIError maps any handler error onto the unified error model: library
+// sentinels decide the status; context errors map to timeout/cancellation
+// statuses; everything else is a 500.
+func toAPIError(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	switch {
+	case errors.Is(err, errs.ErrInvalidOperator),
+		errors.Is(err, errs.ErrInvalidChain),
+		errors.Is(err, errs.ErrInvalidDataflow):
+		return &apiError{status: http.StatusBadRequest, code: "invalid_request", err: err}
+	case errors.Is(err, errs.ErrBufferTooSmall):
+		return &apiError{status: http.StatusUnprocessableEntity, code: "buffer_too_small", err: err}
+	case errors.Is(err, errs.ErrInfeasible):
+		return &apiError{status: http.StatusUnprocessableEntity, code: "infeasible", err: err}
+	case errors.Is(err, errs.ErrUnknownPlatform),
+		errors.Is(err, errs.ErrUnknownModel):
+		return &apiError{status: http.StatusNotFound, code: "not_found", err: err}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{status: http.StatusGatewayTimeout, code: "deadline_exceeded", err: err}
+	case errors.Is(err, context.Canceled):
+		return &apiError{status: statusClientClosedRequest, code: "client_closed_request", err: err}
+	}
+	return &apiError{status: http.StatusInternalServerError, code: "internal", err: err}
+}
+
+// errorEnvelope is the uniform JSON error body.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// handlerFunc is a typed endpoint body: decode already done, context
+// already deadline-bound; return a JSON-marshalable response or an error.
+type handlerFunc func(ctx context.Context, body []byte) (any, error)
+
+// endpoint wraps h with the service middleware: method check, admission
+// gate, per-request deadline, metrics, and the error envelope.
+func (s *Server) endpoint(name string, h handlerFunc) http.HandlerFunc {
+	latency := s.reg.Histogram("http_latency_ms:"+name, nil)
+	inflight := s.reg.Gauge("http_inflight")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			s.writeError(w, name, &apiError{
+				status: http.StatusMethodNotAllowed,
+				code:   "method_not_allowed",
+				err:    fmt.Errorf("service: %s requires POST", r.URL.Path),
+			})
+			return
+		}
+		select {
+		case s.gate <- struct{}{}:
+		default:
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+			s.reg.Counter("http_rejected_total").Inc()
+			s.writeError(w, name, &apiError{
+				status: http.StatusTooManyRequests,
+				code:   "overloaded",
+				err:    fmt.Errorf("service: %d requests already in flight", s.cfg.MaxInFlight),
+			})
+			return
+		}
+		defer func() { <-s.gate }()
+		inflight.Add(1)
+		defer inflight.Add(-1)
+
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			s.writeError(w, name, badRequest("service: reading body: %v", err))
+			return
+		}
+		timeout := s.cfg.DefaultTimeout
+		if ms := requestTimeoutMS(body); ms > 0 && time.Duration(ms)*time.Millisecond < timeout {
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		start := time.Now()
+		resp, herr := h(ctx, body)
+		latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		if herr != nil {
+			s.writeError(w, name, herr)
+			return
+		}
+		s.reg.Counter(fmt.Sprintf("http_requests_total:%s:%d", name, http.StatusOK)).Inc()
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// Headers are gone; nothing useful to send. Count it.
+			s.reg.Counter("http_encode_errors_total").Inc()
+		}
+	}
+}
+
+// writeError renders the error envelope and bumps the per-status counter.
+func (s *Server) writeError(w http.ResponseWriter, name string, err error) {
+	ae := toAPIError(err)
+	s.reg.Counter(fmt.Sprintf("http_requests_total:%s:%d", name, ae.status)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ae.status)
+	if encErr := json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: ae.code, Message: ae.err.Error()}}); encErr != nil {
+		s.reg.Counter("http_encode_errors_total").Inc()
+	}
+}
+
+// requestTimeoutMS peeks the optional timeout_ms field shared by every
+// request schema, before strict decoding runs.
+func requestTimeoutMS(body []byte) int64 {
+	var peek struct {
+		TimeoutMS int64 `json:"timeout_ms"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		return 0
+	}
+	return peek.TimeoutMS
+}
+
+// decodeStrict unmarshals body into v rejecting unknown fields and
+// trailing garbage — the validation layer of the error model.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("service: bad request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("service: trailing data after JSON body")
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Fold the shared cache's counters in at scrape time so operators see
+	// hit rate without a background updater.
+	st := s.cache.Stats()
+	setCounter(s.reg.Counter("search_cache_hits_total"), st.Hits)
+	setCounter(s.reg.Counter("search_cache_misses_total"), st.Misses)
+	setCounter(s.reg.Counter("search_cache_entries"), st.Entries)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WriteText(w); err != nil {
+		s.reg.Counter("http_encode_errors_total").Inc()
+	}
+}
+
+// setCounter forces a counter to an absolute externally-tracked value.
+func setCounter(c *metrics.Counter, v int64) {
+	if d := v - c.Value(); d > 0 {
+		c.Add(d)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := io.WriteString(w, `{"status":"ok"}`+"\n"); err != nil {
+		s.reg.Counter("http_encode_errors_total").Inc()
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fusecu/internal/dataflow"
+	"fusecu/internal/tensor"
+)
+
+func ctxSweepJobs(t *testing.T, n, count int) []SweepJob {
+	t.Helper()
+	jobs := make([]SweepJob, count)
+	for i := range jobs {
+		jobs[i] = SweepJob{
+			Name: "job",
+			Run: func(f *Fabric) error {
+				a := tensor.New(2*n, n).Seq(1)
+				b := tensor.New(n, 2*n).Seq(2)
+				_, err := f.MatMul(a, b, dataflow.WS)
+				return err
+			},
+		}
+	}
+	return jobs
+}
+
+func TestParallelSweepCtxUncancelled(t *testing.T) {
+	jobs := ctxSweepJobs(t, 4, 6)
+	res, err := ParallelSweepCtx(context.Background(), 4, 2, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != len(jobs) {
+		t.Fatalf("Jobs = %d, want %d", res.Jobs, len(jobs))
+	}
+}
+
+func TestParallelSweepCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ParallelSweepCtx(ctx, 4, 2, ctxSweepJobs(t, 4, 64))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A pre-canceled sweep may still complete at most the jobs that were
+	// claimed before the workers observed cancellation — with a canceled
+	// dispatcher that is zero.
+	if res.Jobs != 0 {
+		t.Fatalf("Jobs = %d, want 0 for a pre-canceled sweep", res.Jobs)
+	}
+}

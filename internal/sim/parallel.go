@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -54,6 +55,17 @@ type sweepState struct {
 // without stopping the sweep; the result aggregates the jobs that
 // succeeded.
 func ParallelSweep(n, workers int, jobs []SweepJob) (SweepResult, error) {
+	return ParallelSweepCtx(context.Background(), n, workers, jobs)
+}
+
+// ParallelSweepCtx is ParallelSweep with cooperative cancellation: when ctx
+// is canceled, dispatch stops and idle workers skip every remaining job, so
+// the sweep winds down after at most one in-flight simulation per worker
+// (jobs themselves are not interruptible — they own a private fabric and no
+// context). A canceled sweep returns the aggregate of the jobs that did
+// complete plus an error wrapping ctx.Err() (joined after any job errors),
+// classifiable with errors.Is(err, context.Canceled).
+func ParallelSweepCtx(ctx context.Context, n, workers int, jobs []SweepJob) (SweepResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -83,6 +95,13 @@ func ParallelSweep(n, workers int, jobs []SweepJob) (SweepResult, error) {
 				return
 			}
 			for job := range ch {
+				select {
+				case <-ctx.Done():
+					// Drain without simulating so a blocked dispatcher (if
+					// it raced past its own Done check) can always finish.
+					continue
+				default:
+				}
 				fab.ResetTraffic()
 				fab.ResetCycles()
 				before := fab.BusyCycles()
@@ -108,8 +127,14 @@ func ParallelSweep(n, workers int, jobs []SweepJob) (SweepResult, error) {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for _, job := range jobs {
-		ch <- job
+		select {
+		case ch <- job:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
@@ -126,9 +151,12 @@ func ParallelSweep(n, workers int, jobs []SweepJob) (SweepResult, error) {
 		}
 		return state.errs[i].err.Error() < state.errs[j].err.Error()
 	})
-	joined := make([]error, len(state.errs))
-	for i, e := range state.errs {
-		joined[i] = e.err
+	joined := make([]error, 0, len(state.errs)+1)
+	for _, e := range state.errs {
+		joined = append(joined, e.err)
+	}
+	if err := ctx.Err(); err != nil {
+		joined = append(joined, fmt.Errorf("sim: sweep canceled: %w", err))
 	}
 	return state.res, errors.Join(joined...)
 }
