@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fusecu-vet test test-race test-race-service test-checks bench bench-serve bench-full check
+.PHONY: build vet fusecu-vet test test-race test-race-service test-checks fuzz-smoke bench bench-serve bench-full check
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ test-race-service:
 test-checks:
 	$(GO) test -tags=fusecuchecks ./...
 
+## fuzz-smoke runs each native fuzz target briefly: the request-decode
+## strictness invariants and the tiling-constructor contracts. Failing
+## inputs are minimized into testdata/fuzz corpora for regression.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzDecodeOptimizeRequest$$' -fuzztime=20s -run='^$$' ./internal/service
+	$(GO) test -fuzz='^FuzzDecodeSearchRequest$$' -fuzztime=20s -run='^$$' ./internal/service
+	$(GO) test -fuzz='^FuzzNewTiling$$' -fuzztime=20s -run='^$$' ./internal/dataflow
+
 ## bench is the CI smoke pass: every benchmark runs once, then fusecu-bench
 ## times the Fig. 9 search engines against the frozen reference and writes
 ## BENCH_search.json (verifying all engines return identical results).
@@ -48,4 +56,4 @@ bench-full:
 	$(GO) run ./cmd/fusecu-bench -full -out BENCH_search.json
 
 ## check is the full CI gate.
-check: build vet fusecu-vet test test-race test-race-service test-checks bench bench-serve
+check: build vet fusecu-vet test test-race test-race-service test-checks fuzz-smoke bench bench-serve

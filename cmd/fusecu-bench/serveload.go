@@ -3,15 +3,15 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
-	"strings"
 	"sync"
 	"time"
 
+	"fusecu/client"
 	"fusecu/internal/op"
 	"fusecu/internal/search"
 	"fusecu/internal/service"
@@ -19,16 +19,28 @@ import (
 
 // serveReport is the machine-readable result of the service load benchmark
 // (BENCH_serve.json): a wave of concurrent /v1/search requests against an
-// in-process fusecu-serve instance, every accepted answer checked against
-// the frozen sequential reference engine.
+// in-process fusecu-serve instance, driven through the public retrying
+// client, every accepted answer checked against the frozen sequential
+// reference engine.
 type serveReport struct {
 	Benchmark   string `json:"benchmark"`
 	Clients     int    `json:"clients"`
 	MaxInFlight int    `json:"max_inflight"`
-	// OK / Shed / Failed partition the wave: 200s, 429s, anything else.
+	// OK / Shed / Failed partition the wave after retries: 200s, calls
+	// still shed (429) when the retry budget ran out, anything else.
 	OK     int `json:"ok"`
 	Shed   int `json:"shed"`
 	Failed int `json:"failed"`
+	// Resilience-layer counters from the client: attempts beyond the first
+	// (mostly Retry-After-honoring retries of shed requests), responses
+	// served by the server's principle-based degraded fallback, and calls
+	// rejected client-side by the open circuit breaker.
+	Retried     int64 `json:"retried"`
+	Degraded    int64 `json:"degraded"`
+	BreakerOpen int64 `json:"breaker_open"`
+	// ShedResponses is the server-side count of 429s issued during the
+	// wave (each may have been retried into an eventual 200).
+	ShedResponses int64 `json:"shed_responses"`
 	// InflightHighWater is the service's own gauge of the peak number of
 	// simultaneously admitted requests.
 	InflightHighWater int64   `json:"inflight_high_water"`
@@ -51,8 +63,10 @@ var serveLoadOp = op.MatMul{Name: "bench", M: 32, K: 24, L: 28}
 const serveLoadBuffer = 4096
 
 // serveLoad boots an in-process fusecu-serve, fires clients concurrent
-// /v1/search requests at it, verifies every accepted answer against the
-// sequential reference engine, and writes the report to out.
+// /v1/search calls at it through the public retrying client (so shed
+// requests honor Retry-After instead of being dropped), verifies every
+// accepted answer against the sequential reference engine, and writes the
+// report to out.
 func serveLoad(out string, clients, maxInFlight, workers int) error {
 	want, err := search.ReferenceExhaustive(serveLoadOp, serveLoadBuffer)
 	if err != nil {
@@ -75,10 +89,24 @@ func serveLoad(out string, clients, maxInFlight, workers int) error {
 		}
 		<-serveErr
 	}()
-	base := "http://" + ln.Addr().String()
 
-	body := fmt.Sprintf(`{"op":{"name":%q,"m":%d,"k":%d,"l":%d},"buffer":%d,"engine":"exhaustive","workers":1}`,
-		serveLoadOp.Name, serveLoadOp.M, serveLoadOp.K, serveLoadOp.L, serveLoadBuffer)
+	cl, err := client.New(client.Config{
+		BaseURL:     "http://" + ln.Addr().String(),
+		MaxAttempts: 4,
+		// The wave intentionally sheds ~(clients - maxInFlight) requests, and
+		// consecutive 429s don't trip the breaker; keep the threshold high so
+		// a transient flurry of transport hiccups doesn't abort the bench.
+		BreakerThreshold: 64,
+	})
+	if err != nil {
+		return err
+	}
+	req := client.SearchRequest{
+		Op:      client.OpSpec{Name: serveLoadOp.Name, M: serveLoadOp.M, K: serveLoadOp.K, L: serveLoadOp.L},
+		Buffer:  serveLoadBuffer,
+		Engine:  "exhaustive",
+		Workers: 1,
+	}
 
 	rep := serveReport{
 		Benchmark:        "serve-search-load",
@@ -93,40 +121,20 @@ func serveLoad(out string, clients, maxInFlight, workers int) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := http.Post(base+"/v1/search", "application/json", strings.NewReader(body))
-			if err != nil {
-				mu.Lock()
-				rep.Failed++
-				mu.Unlock()
-				return
-			}
-			raw, rerr := io.ReadAll(resp.Body)
-			if cerr := resp.Body.Close(); cerr != nil && rerr == nil {
-				rerr = cerr
-			}
+			sr, err := cl.Search(context.Background(), req)
 			mu.Lock()
 			defer mu.Unlock()
+			var apiErr *client.APIError
 			switch {
-			case rerr != nil:
-				rep.Failed++
-			case resp.StatusCode == http.StatusOK:
+			case err == nil:
 				rep.OK++
-				var sr struct {
-					Dataflow struct {
-						TM int   `json:"tm"`
-						TK int   `json:"tk"`
-						TL int   `json:"tl"`
-						MA int64 `json:"memory_access"`
-					} `json:"dataflow"`
-				}
-				if err := json.Unmarshal(raw, &sr); err != nil ||
-					sr.Dataflow.MA != want.Access.Total ||
+				if sr.Dataflow.MemoryAccess != want.Access.Total ||
 					sr.Dataflow.TM != want.Dataflow.Tiling.TM ||
 					sr.Dataflow.TK != want.Dataflow.Tiling.TK ||
 					sr.Dataflow.TL != want.Dataflow.Tiling.TL {
 					rep.IdenticalResults = false
 				}
-			case resp.StatusCode == http.StatusTooManyRequests:
+			case errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests:
 				rep.Shed++
 			default:
 				rep.Failed++
@@ -140,7 +148,12 @@ func serveLoad(out string, clients, maxInFlight, workers int) error {
 	if wall > 0 {
 		rep.ThroughputRPS = float64(rep.OK) / wall.Seconds()
 	}
+	stats := cl.Stats()
+	rep.Retried = stats.Retries
+	rep.Degraded = stats.Degraded
+	rep.BreakerOpen = stats.BreakerOpen
 	rep.InflightHighWater = svc.Registry().Gauge("http_inflight").High()
+	rep.ShedResponses = svc.Registry().Counter("http_responses_total:429").Value()
 	snap := svc.Registry().Snapshot()
 	rep.LatencyP50Ms = snap["http_latency_ms:search_p50"]
 	rep.LatencyP95Ms = snap["http_latency_ms:search_p95"]
@@ -158,8 +171,9 @@ func serveLoad(out string, clients, maxInFlight, workers int) error {
 	if err := writeServe(out, rep); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d ok / %d shed in %.1fms (%.0f rps), peak in-flight %d, p95 %.2fms, cache %d/%d hits, identical=%v\n",
+	fmt.Printf("wrote %s: %d ok / %d shed in %.1fms (%.0f rps), %d retried (%d server 429s), %d degraded, peak in-flight %d, p95 %.2fms, cache %d/%d hits, identical=%v\n",
 		out, rep.OK, rep.Shed, rep.WallMs, rep.ThroughputRPS,
+		rep.Retried, rep.ShedResponses, rep.Degraded,
 		rep.InflightHighWater, rep.LatencyP95Ms, rep.CacheHits, rep.CacheHits+rep.CacheMisses, rep.IdenticalResults)
 	return nil
 }

@@ -1,12 +1,16 @@
 // Command fusecu-serve runs the FuseCU optimization service: an HTTP/JSON
 // daemon exposing principle-based optimization (/v1/optimize), chain fusion
 // planning (/v1/plan), the DAT-style search baseline (/v1/search), and
-// cross-platform workload evaluation (/v1/evaluate), plus /metrics and
-// /healthz.
+// cross-platform workload evaluation (/v1/evaluate), plus /metrics, the
+// /healthz liveness probe and the /readyz readiness probe.
 //
 //	fusecu-serve -addr :8080 -max-inflight 64 -timeout 30s
 //
-// The server drains in-flight requests on SIGINT/SIGTERM before exiting.
+// On SIGINT/SIGTERM the server first flips /readyz to 503 and answers new
+// requests with a fast 503 (Connection: close) while the listener stays open
+// — so load balancers stop routing without seeing connection resets — waits
+// up to -drain-grace for in-flight requests to finish, then closes the
+// listener and drains the remainder within -drain.
 package main
 
 import (
@@ -41,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 		workers     = fs.Int("workers", 0, "search workers per request (0 = GOMAXPROCS)")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		drainGrace  = fs.Duration("drain-grace", 500*time.Millisecond,
+			"after a signal, keep the listener open this long (rejecting new requests with fast 503s) while in-flight requests finish")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -50,8 +56,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fs.Usage()
 		return 2
 	}
-	if *maxInflight <= 0 || *timeout <= 0 || *drain <= 0 {
-		fmt.Fprintln(stderr, "fusecu-serve: -max-inflight, -timeout and -drain must be positive")
+	if *maxInflight <= 0 || *timeout <= 0 || *drain <= 0 || *drainGrace < 0 {
+		fmt.Fprintln(stderr, "fusecu-serve: -max-inflight, -timeout and -drain must be positive and -drain-grace non-negative")
 		fs.Usage()
 		return 2
 	}
@@ -68,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "fusecu-serve:", err)
 		return 1
 	}
+	svc.SetReady(true)
 	fmt.Fprintf(stdout, "fusecu-serve: listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
@@ -87,7 +94,19 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	case <-ctx.Done():
 	}
 
+	// Phase 1: stop admitting work but keep the listener open, so late
+	// arrivals get a clean fast 503 (Connection: close) instead of a reset,
+	// and /readyz tells load balancers to route elsewhere. The grace window
+	// ends early once nothing is in flight.
+	svc.BeginDrain()
 	fmt.Fprintln(stdout, "fusecu-serve: draining in-flight requests")
+	inflight := svc.Registry().Gauge("http_inflight")
+	graceDeadline := time.Now().Add(*drainGrace)
+	for inflight.Value() > 0 && time.Now().Before(graceDeadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 2: close the listener and drain whatever is left.
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

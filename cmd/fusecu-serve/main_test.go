@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -144,6 +145,133 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	// The listener is really gone.
 	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
 		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestDrainRejectsNewRequestsWith503 is the regression test for the drain
+// race: a request arriving after SIGTERM but before the listener closes must
+// get a fast 503 draining envelope with Connection: close — not hang, not a
+// connection reset. A long in-flight search pins the grace window open while
+// the probe runs; cancelling it lets the window end early so the test exits
+// fast.
+func TestDrainRejectsNewRequestsWith503(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-timeout", "60s", "-drain-grace", "30s"},
+			&stdout, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	// Readiness is up once the listener is announced.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", resp.StatusCode)
+	}
+
+	// Pin the grace window open with a search too big to finish.
+	slowCtx, cancelSlow := context.WithCancel(context.Background())
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		req, err := http.NewRequestWithContext(slowCtx, http.MethodPost, base+"/v1/search",
+			strings.NewReader(`{"op":{"m":224,"k":224,"l":224},"buffer":1048576,"engine":"exhaustive"}`))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			if cerr := resp.Body.Close(); cerr != nil {
+				t.Error(cerr)
+			}
+		}
+	}()
+	waitDeadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(scrape(t, base), "http_inflight 1") {
+		if time.Now().After(waitDeadline) {
+			t.Fatal("pinning search never became in-flight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	// The readiness flip is the deterministic signal that the drain began.
+	flipDeadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("readyz during drain: %v", err)
+		}
+		code := resp.StatusCode
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(flipDeadline) {
+			t.Fatal("readyz never flipped to 503 after SIGTERM")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The race under test: a new request during the grace window.
+	resp, err = http.Post(base+"/v1/optimize", "application/json",
+		strings.NewReader(`{"op":{"m":8,"k":8,"l":8},"buffer":64}`))
+	if err != nil {
+		t.Fatalf("request during drain was dropped: %v", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatalf("read drain response: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status during drain = %d, want 503 (%s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), `"draining"`) {
+		t.Fatalf("drain rejection missing draining code: %s", raw)
+	}
+	if !resp.Close && !strings.EqualFold(resp.Header.Get("Connection"), "close") {
+		t.Fatalf("drain rejection did not close the connection (headers %v)", resp.Header)
+	}
+	// Liveness stays up through the drain.
+	if hz, err := http.Get(base + "/healthz"); err != nil || hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain: %v %v", hz, err)
+	} else if cerr := hz.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+
+	// Release the pin; in-flight hits zero, the grace window ends early and
+	// the process exits cleanly well before the 30s grace budget.
+	cancelSlow()
+	<-slowDone
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never exited after the drain pin was released")
 	}
 }
 

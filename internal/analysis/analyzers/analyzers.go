@@ -1,6 +1,6 @@
-// Package analyzers registers the fusecu-vet analyzer suite: the four
-// invariant linters that keep the optimizer's validity assumptions
-// machine-enforced as the codebase grows.
+// Package analyzers registers the fusecu-vet analyzer suite: the five
+// invariant linters that keep the optimizer's validity and resilience
+// assumptions machine-enforced as the codebase grows.
 package analyzers
 
 import (
@@ -8,6 +8,7 @@ import (
 	"fusecu/internal/analysis/droppederror"
 	"fusecu/internal/analysis/lockedsimstate"
 	"fusecu/internal/analysis/uncheckedmul"
+	"fusecu/internal/analysis/unrecoveredhandler"
 	"fusecu/internal/analysis/unvalidatedconstruct"
 )
 
@@ -17,6 +18,7 @@ func All() []*analysis.Analyzer {
 		droppederror.Analyzer,
 		lockedsimstate.Analyzer,
 		uncheckedmul.Analyzer,
+		unrecoveredhandler.Analyzer,
 		unvalidatedconstruct.Analyzer,
 	}
 }

@@ -1,0 +1,61 @@
+// Package fixture exercises the unrecoveredhandler analyzer: every
+// ServeMux.Handle/HandleFunc registration (and the default-mux package
+// forms) must wrap its handler in recovered(...); direct registrations are
+// findings. Registration-shaped methods on non-mux types are out of scope.
+package fixture
+
+import "net/http"
+
+func raw(w http.ResponseWriter, r *http.Request) {}
+
+// recovered mimics the service middleware: the analyzer matches by name.
+func recovered(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() { _ = recover() }()
+		h(w, r)
+	}
+}
+
+type server struct{}
+
+func (server) recovered(name string, h http.HandlerFunc) http.HandlerFunc {
+	return recovered(name, h)
+}
+
+func flaggedDirect(mux *http.ServeMux) {
+	mux.HandleFunc("/bad", raw) // want "\"/bad\" is registered without panic-isolation middleware"
+}
+
+func flaggedHandle(mux *http.ServeMux) {
+	mux.Handle("/bad2", http.HandlerFunc(raw)) // want "\"/bad2\" is registered without panic-isolation middleware"
+}
+
+func flaggedDefaultMux() {
+	http.HandleFunc("/bad3", raw) // want "\"/bad3\" is registered without panic-isolation middleware"
+}
+
+func flaggedLambda(mux *http.ServeMux) {
+	mux.HandleFunc("/bad4", func(w http.ResponseWriter, r *http.Request) {}) // want "\"/bad4\" is registered without panic-isolation middleware"
+}
+
+func cleanWrapped(mux *http.ServeMux) {
+	mux.HandleFunc("/good", recovered("good", raw))
+}
+
+func cleanMethodWrapped(mux *http.ServeMux, s server) {
+	mux.HandleFunc("/good2", s.recovered("good2", raw))
+}
+
+func cleanConvertedWrap(mux *http.ServeMux) {
+	mux.Handle("/good3", http.HandlerFunc(recovered("good3", raw)))
+}
+
+// notAMux has registration-shaped methods but is not an http.ServeMux: the
+// analyzer must leave it alone.
+type notAMux struct{}
+
+func (notAMux) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {}
+
+func cleanOtherType(m notAMux) {
+	m.HandleFunc("/elsewhere", raw)
+}

@@ -1,0 +1,104 @@
+// Package unrecoveredhandler defines an analyzer that flags HTTP handler
+// registrations which bypass the service's panic-isolation middleware.
+//
+// The resilience layer's contract is that every route answers the uniform
+// error envelope even when the handler panics: internal/service wraps each
+// registration in recovered(...), which converts a panic into a 500
+// internal_error response and a panics_recovered metric instead of a torn
+// connection. A new route registered directly — mux.HandleFunc(pattern,
+// rawHandler) — silently opts out of that contract; nothing fails until the
+// first panic in production. This analyzer makes the wrapper mandatory at
+// lint time: the handler argument of ServeMux.Handle/HandleFunc (and the
+// default-mux http.Handle/http.HandleFunc) must be a call to a function or
+// method named recovered or Recovered.
+package unrecoveredhandler
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fusecu/internal/analysis"
+)
+
+// Analyzer flags handler registrations not wrapped by the panic-isolation
+// middleware.
+var Analyzer = &analysis.Analyzer{
+	Name: "unrecoveredhandler",
+	Doc: "flag ServeMux.Handle/HandleFunc registrations whose handler is not wrapped in the " +
+		"recovered(...) panic-isolation middleware, so every route keeps the 500-envelope contract",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 || !isRegistration(pass, call) {
+				return true
+			}
+			if wrapsRecovered(pass, call.Args[1]) {
+				return true
+			}
+			pattern := "handler"
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				pattern = lit.Value
+			}
+			pass.Reportf(call.Args[1].Pos(),
+				"%s is registered without panic-isolation middleware; wrap the handler in recovered(...)",
+				pattern)
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistration reports whether call is (*net/http.ServeMux).Handle or
+// .HandleFunc, or the default-mux package functions http.Handle/HandleFunc.
+func isRegistration(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return false
+	}
+	if fn.Name() != "Handle" && fn.Name() != "HandleFunc" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv == nil || isServeMuxPtr(recv.Type())
+}
+
+func isServeMuxPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ServeMux"
+}
+
+// wrapsRecovered reports whether the handler expression is (possibly via a
+// type conversion like http.HandlerFunc(...)) a call to a function or method
+// named recovered or Recovered.
+func wrapsRecovered(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	// Look through conversions: http.HandlerFunc(recovered(...)).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return wrapsRecovered(pass, call.Args[0])
+	}
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return name == "recovered" || name == "Recovered"
+}

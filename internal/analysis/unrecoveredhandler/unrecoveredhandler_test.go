@@ -1,0 +1,12 @@
+package unrecoveredhandler_test
+
+import (
+	"testing"
+
+	"fusecu/internal/analysis/analysistest"
+	"fusecu/internal/analysis/unrecoveredhandler"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", unrecoveredhandler.Analyzer)
+}

@@ -1,0 +1,63 @@
+package dataflow
+
+import (
+	"testing"
+
+	"fusecu/internal/op"
+)
+
+// FuzzNewTiling pins the constructor contracts for arbitrary (operator,
+// tile) integers: NewTiling never panics and accepts exactly the tilings
+// that validate; MustTiling panics exactly when NewTiling errors; and for
+// any valid operator, ClampedTiling always lands in range and agrees with
+// NewTiling wherever the raw sizes were already legal.
+func FuzzNewTiling(f *testing.F) {
+	seeds := [][6]int{
+		{8, 8, 8, 1, 1, 1},
+		{8, 8, 8, 8, 8, 8},
+		{8, 8, 8, 0, 1, 1},   // below range
+		{8, 8, 8, 9, 1, 1},   // above range
+		{0, 8, 8, 1, 1, 1},   // degenerate operator
+		{-4, -4, -4, -4, -4, -4},
+		{1 << 30, 1 << 30, 1 << 30, 1 << 30, 1, 1},
+		{48, 32, 40, 24, 16, 20},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], s[4], s[5])
+	}
+	f.Fuzz(func(t *testing.T, m, k, l, tm, tk, tl int) {
+		mm := op.MatMul{Name: "fuzz", M: m, K: k, L: l}
+		got, err := NewTiling(mm, tm, tk, tl)
+		if err == nil {
+			if got != (Tiling{TM: tm, TK: tk, TL: tl}) {
+				t.Fatalf("NewTiling rewrote the sizes: %+v", got)
+			}
+			if verr := got.Validate(mm); verr != nil {
+				t.Fatalf("NewTiling accepted an invalid tiling: %v", verr)
+			}
+		}
+		if panicked := didPanic(func() { MustTiling(mm, tm, tk, tl) }); panicked != (err != nil) {
+			t.Fatalf("MustTiling panic=%v disagrees with NewTiling err=%v", panicked, err)
+		}
+		if mm.Validate() != nil {
+			return // Clamp's contract only covers valid operators
+		}
+		clamped := ClampedTiling(mm, tm, tk, tl)
+		if verr := clamped.Validate(mm); verr != nil {
+			t.Fatalf("ClampedTiling(%d,%d,%d) out of range for %v: %v", tm, tk, tl, mm, verr)
+		}
+		if err == nil && clamped != got {
+			t.Fatalf("ClampedTiling changed an already-legal tiling: %+v vs %+v", clamped, got)
+		}
+	})
+}
+
+func didPanic(fn func()) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	fn()
+	return false
+}

@@ -23,6 +23,10 @@
 //     dataflow exists in the searched/constructed space for this buffer.
 //   - ErrUnknownPlatform — a platform name outside Table III.
 //   - ErrUnknownModel    — a model name outside Table II.
+//   - ErrInternal        — an engine failed in a way valid inputs never
+//     should: a panic contained at a worker-pool or generation-loop boundary
+//     (organic or fault-injected). The inputs may be fine; retrying or
+//     falling back to the principle optimizer is legitimate.
 package errs
 
 import "errors"
@@ -36,4 +40,5 @@ var (
 	ErrInfeasible      = errors.New("no feasible dataflow")
 	ErrUnknownPlatform = errors.New("unknown platform")
 	ErrUnknownModel    = errors.New("unknown model")
+	ErrInternal        = errors.New("internal engine failure")
 )

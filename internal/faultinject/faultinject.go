@@ -1,0 +1,231 @@
+// Package faultinject is the repository's deterministic fault injector:
+// named injection points ("sites") scattered through the service and search
+// hot paths fire configured faults — errors, panics, or latency — on a
+// schedule the test armed in advance. Chaos tests use it to make every
+// failure mode reproducible on demand: "panic on request 7 of the wave" or
+// "add 5ms to every third cost evaluation" are plans, not races.
+//
+// Determinism comes from counting, not clocks: each site keeps a visit
+// counter under the injector's mutex, and counter-based plans (Every /
+// Offset / Times) fire on exact visit ordinals regardless of which goroutine
+// arrives. Probabilistic plans draw from a seeded RNG, so a single-threaded
+// replay is bit-reproducible and a concurrent run is statistically pinned.
+//
+// The disarmed hot path costs one atomic pointer load and a nil compare —
+// no build tags, no branches on configuration structs. Production binaries
+// simply never call Activate.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so tests and
+// resilience code can tell a synthetic fault from an organic one.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Panic is the payload of every injected panic; the panic-isolation
+// boundaries recognize it (and anything else) but tests can assert the
+// recovered value was synthetic.
+type Panic struct {
+	Site string
+}
+
+func (p Panic) String() string { return fmt.Sprintf("faultinject: injected panic at %s", p.Site) }
+
+// Mode selects what a firing plan does to the caller.
+type Mode uint8
+
+const (
+	// ModeError makes Fire return the plan's error (ErrInjected-wrapped).
+	ModeError Mode = iota
+	// ModePanic makes Fire panic with a Panic{Site} payload.
+	ModePanic
+	// ModeLatency makes Fire sleep for the plan's Delay before returning nil.
+	ModeLatency
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeLatency:
+		return "latency"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Plan arms one fault at one site. The zero schedule (Every 0, Offset 0,
+// Times 0, Prob 0) fires on every visit forever; set the fields to narrow it.
+type Plan struct {
+	// Site names the injection point, e.g. "service.search" or "search.eval".
+	Site string
+	// Mode selects the fault kind.
+	Mode Mode
+	// Every fires on every Nth eligible visit (1 = every visit). Values < 1
+	// are treated as 1.
+	Every int
+	// Offset skips the first Offset visits of the site before the schedule
+	// starts counting.
+	Offset int
+	// Times caps the number of firings; 0 means unlimited.
+	Times int
+	// Prob, when non-zero, gates each scheduled firing on a draw from the
+	// injector's seeded RNG: the plan fires with probability Prob. Combined
+	// with Every/Offset/Times the counters only advance on actual firings.
+	Prob float64
+	// Err is the error returned by ModeError firings; nil selects a default
+	// message. Either way the returned error wraps ErrInjected.
+	Err error
+	// Delay is the sleep applied by ModeLatency firings.
+	Delay time.Duration
+}
+
+// armed is one plan plus its firing counter.
+type armed struct {
+	plan  Plan
+	fired int
+}
+
+// Injector holds armed plans and per-site visit/fire accounting. The zero
+// value is not usable; construct with New. A nil *Injector is fully disarmed
+// and safe to Fire.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	sites  map[string][]*armed
+	visits map[string]int64
+	fires  map[string]int64
+}
+
+// New builds an injector with the given RNG seed and plans. The seed only
+// matters for Prob-gated plans.
+func New(seed int64, plans ...Plan) *Injector {
+	in := &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		sites:  make(map[string][]*armed),
+		visits: make(map[string]int64),
+		fires:  make(map[string]int64),
+	}
+	for _, p := range plans {
+		in.sites[p.Site] = append(in.sites[p.Site], &armed{plan: p})
+	}
+	return in
+}
+
+// Fire visits a site: it returns nil fast when the receiver is nil or the
+// site is unarmed, and otherwise applies the first still-eligible plan —
+// returning an injected error, panicking with a Panic payload, or sleeping
+// for the plan's delay. Latency sleeps happen outside the injector's lock.
+func (in *Injector) Fire(site string) error {
+	if in == nil {
+		return nil
+	}
+	mode, err, delay, fired := in.decide(site)
+	if !fired {
+		return nil
+	}
+	switch mode {
+	case ModePanic:
+		panic(Panic{Site: site})
+	case ModeLatency:
+		time.Sleep(delay)
+		return nil
+	default:
+		return err
+	}
+}
+
+// decide advances the site's visit counter and resolves which plan (if any)
+// fires on this visit, under the lock.
+func (in *Injector) decide(site string) (mode Mode, err error, delay time.Duration, fired bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	plans, ok := in.sites[site]
+	in.visits[site]++
+	if !ok {
+		return 0, nil, 0, false
+	}
+	visit := in.visits[site]
+	for _, a := range plans {
+		if !a.due(visit) {
+			continue
+		}
+		if a.plan.Prob > 0 && in.rng.Float64() >= a.plan.Prob {
+			continue
+		}
+		a.fired++
+		in.fires[site]++
+		switch a.plan.Mode {
+		case ModeError:
+			err = a.plan.Err
+			if err == nil {
+				err = fmt.Errorf("site %s visit %d: %w", site, visit, ErrInjected)
+			} else if !errors.Is(err, ErrInjected) {
+				err = fmt.Errorf("site %s visit %d: %v: %w", site, visit, a.plan.Err, ErrInjected)
+			}
+		case ModeLatency:
+			delay = a.plan.Delay
+		}
+		return a.plan.Mode, err, delay, true
+	}
+	return 0, nil, 0, false
+}
+
+// due reports whether the plan's counter schedule selects this visit.
+func (a *armed) due(visit int64) bool {
+	if a.plan.Times > 0 && a.fired >= a.plan.Times {
+		return false
+	}
+	eligible := visit - int64(a.plan.Offset)
+	if eligible <= 0 {
+		return false
+	}
+	every := int64(a.plan.Every)
+	if every < 1 {
+		every = 1
+	}
+	return eligible%every == 0
+}
+
+// Visits returns how many times the site was visited (armed or not).
+func (in *Injector) Visits(site string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.visits[site]
+}
+
+// Fires returns how many faults the site actually injected.
+func (in *Injector) Fires(site string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires[site]
+}
+
+// active is the process-global injector consulted by Fire sites that have no
+// natural way to receive a per-instance injector (the search engines'
+// evaluation path). Tests arm it with Activate and must Deactivate when done.
+var active atomic.Pointer[Injector]
+
+// Activate installs in as the process-global injector (nil deactivates).
+func Activate(in *Injector) { active.Store(in) }
+
+// Deactivate removes the process-global injector.
+func Deactivate() { active.Store(nil) }
+
+// Active returns the process-global injector, or nil when disarmed. The
+// returned value is safe to Fire either way.
+func Active() *Injector { return active.Load() }

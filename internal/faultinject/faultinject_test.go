@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsDisarmed(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("anywhere"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Visits("anywhere") != 0 || in.Fires("anywhere") != 0 {
+		t.Fatal("nil injector reported accounting")
+	}
+}
+
+func TestUnarmedSiteCountsVisitsOnly(t *testing.T) {
+	in := New(1, Plan{Site: "armed", Mode: ModeError})
+	for i := 0; i < 5; i++ {
+		if err := in.Fire("other"); err != nil {
+			t.Fatalf("unarmed site fired: %v", err)
+		}
+	}
+	if got := in.Visits("other"); got != 5 {
+		t.Fatalf("visits = %d, want 5", got)
+	}
+	if got := in.Fires("other"); got != 0 {
+		t.Fatalf("fires = %d, want 0", got)
+	}
+}
+
+func TestErrorEveryNthWithOffsetAndTimes(t *testing.T) {
+	in := New(1, Plan{Site: "s", Mode: ModeError, Every: 3, Offset: 2, Times: 2})
+	var firedAt []int
+	for visit := 1; visit <= 14; visit++ {
+		if err := in.Fire("s"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("visit %d: error does not wrap ErrInjected: %v", visit, err)
+			}
+			firedAt = append(firedAt, visit)
+		}
+	}
+	// Eligible visits are 3,4,5,... (offset 2); every 3rd eligible → visits
+	// 5, 8, 11, ...; Times 2 caps it at the first two.
+	want := []int{5, 8}
+	if len(firedAt) != len(want) || firedAt[0] != want[0] || firedAt[1] != want[1] {
+		t.Fatalf("fired at %v, want %v", firedAt, want)
+	}
+	if got := in.Fires("s"); got != 2 {
+		t.Fatalf("fires = %d, want 2", got)
+	}
+}
+
+func TestCustomErrorWrapsSentinel(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1, Plan{Site: "s", Mode: ModeError, Err: boom})
+	err := in.Fire("s")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("custom error lost the sentinel: %v", err)
+	}
+}
+
+func TestPanicModePanicsWithPayload(t *testing.T) {
+	in := New(1, Plan{Site: "s", Mode: ModePanic})
+	defer func() {
+		r := recover()
+		p, ok := r.(Panic)
+		if !ok || p.Site != "s" {
+			t.Fatalf("recovered %#v, want Panic{Site: s}", r)
+		}
+	}()
+	_ = in.Fire("s") // only the panic path is reachable on this plan
+	t.Fatal("Fire returned instead of panicking")
+}
+
+func TestLatencyModeSleeps(t *testing.T) {
+	in := New(1, Plan{Site: "s", Mode: ModeLatency, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire("s"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency firing returned after %v, want ≥ 10ms", d)
+	}
+}
+
+func TestProbIsSeededDeterministic(t *testing.T) {
+	run := func() []int {
+		in := New(42, Plan{Site: "s", Mode: ModeError, Prob: 0.5})
+		var fired []int
+		for visit := 1; visit <= 32; visit++ {
+			if err := in.Fire("s"); err != nil {
+				fired = append(fired, visit)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 32 {
+		t.Fatalf("degenerate probabilistic schedule: %v", a)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced different schedules: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different schedules: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestConcurrentFiringIsExactlyCounted(t *testing.T) {
+	// 1-in-8 error injection over 400 concurrent visits must fire exactly
+	// 400/8 times no matter how goroutines interleave.
+	const visits, every = 400, 8
+	in := New(1, Plan{Site: "s", Mode: ModeError, Every: every})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var injected int
+	for i := 0; i < visits; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := in.Fire("s"); err != nil {
+				mu.Lock()
+				injected++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if injected != visits/every {
+		t.Fatalf("injected %d faults, want exactly %d", injected, visits/every)
+	}
+	if in.Visits("s") != visits || in.Fires("s") != visits/every {
+		t.Fatalf("accounting: visits=%d fires=%d", in.Visits("s"), in.Fires("s"))
+	}
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("global injector armed at test start")
+	}
+	in := New(1, Plan{Site: "s", Mode: ModeError})
+	Activate(in)
+	defer Deactivate()
+	if err := Active().Fire("s"); err == nil {
+		t.Fatal("activated injector did not fire")
+	}
+	Deactivate()
+	if Active() != nil {
+		t.Fatal("Deactivate left the injector armed")
+	}
+	if err := Active().Fire("s"); err != nil {
+		t.Fatalf("deactivated global fired: %v", err)
+	}
+}

@@ -9,9 +9,16 @@ import (
 	"fusecu/internal/cost"
 	"fusecu/internal/dataflow"
 	"fusecu/internal/errs"
+	"fusecu/internal/faultinject"
 	"fusecu/internal/invariant"
 	"fusecu/internal/op"
 )
+
+// SiteEval is the fault-injection point visited once per candidate cost
+// evaluation, across every engine (enumeration and genetic). Chaos tests arm
+// it via faultinject.Activate to prove the panic-containment boundaries
+// below; the disarmed cost is one atomic load per visit.
+const SiteEval = "search.eval"
 
 // This file is the shared enumeration core behind Exhaustive,
 // ExhaustiveCoarse and their Parallel variants. All of them walk the same
@@ -71,10 +78,40 @@ func fullRange(n int) []int {
 // The boolean reports a cache hit, which callers count separately from
 // Evaluations so the paper's search-cost metric stays honest.
 func evalDataflow(mm op.MatMul, df dataflow.Dataflow, cache *EvalCache) (cost.Access, bool) {
+	if err := faultinject.Active().Fire(SiteEval); err != nil {
+		// The evaluation path has no error return; the scan-level recover
+		// boundary (guardScan / geneticCtx) converts this into ErrInternal.
+		panic(err)
+	}
 	if cache != nil {
 		return cache.Evaluate(mm, df)
 	}
 	return cost.MustEvaluate(mm, df), false
+}
+
+// panicError converts a recovered panic value into the taxonomy's
+// ErrInternal class, preserving error payloads (so an injected fault stays
+// classifiable as faultinject.ErrInjected).
+func panicError(r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("search: panic during scan: %w: %w", err, errs.ErrInternal)
+	}
+	return fmt.Errorf("search: panic during scan: %v: %w", r, errs.ErrInternal)
+}
+
+// guardScan is the panic-containment boundary of the enumeration engines: a
+// panic escaping fn — an injected fault or an organic bug in the cost model —
+// becomes an ErrInternal error instead of killing the process (which, on the
+// parallel path, a worker-goroutine panic otherwise would; net/http's own
+// recover only shields the request goroutine).
+func guardScan(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicError(r)
+		}
+	}()
+	fn()
+	return nil
 }
 
 // cancelCheck polls a context's Done channel at a coarse stride, so the hot
@@ -177,10 +214,12 @@ func scanChunk(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, 
 
 // enumState is the mutex-guarded shared state of one parallel scan; worker
 // goroutines merge their chunk-local accumulators under mu (enforced by the
-// lockedsimstate analyzer, backstopped by the -race CI run).
+// lockedsimstate analyzer, backstopped by the -race CI run). err records the
+// first contained worker panic; when set the scan's accumulator is invalid.
 type enumState struct {
 	mu  sync.Mutex
 	acc enumBest
+	err error
 }
 
 // scanParallel shards the tm grid across a worker pool and merges the
@@ -189,7 +228,7 @@ type enumState struct {
 // cancellation dispatch stops, workers abandon their current chunk at the
 // next poll, and the (partial) accumulator is returned for the caller to
 // discard.
-func scanParallel(ctx context.Context, mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, cache *EvalCache, workers int) enumBest {
+func scanParallel(ctx context.Context, mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, cache *EvalCache, workers int) (enumBest, error) {
 	type span struct{ lo, hi int }
 	// Several chunks per worker load-balance the ragged pruning: small-tm
 	// chunks admit far more feasible (tk, tl) partners than large-tm ones.
@@ -205,12 +244,27 @@ func scanParallel(ctx context.Context, mm op.MatMul, bufferSize int64, orders []
 		go func() {
 			defer wg.Done()
 			var local enumBest
+			var failed error
 			stop := newCancelCheck(ctx)
 			for s := range ch {
-				scanChunk(mm, bufferSize, orders, gm, gk, gl, s.lo, s.hi, cache, stop, &local)
+				if failed != nil {
+					continue // keep draining so the dispatcher never blocks
+				}
+				s := s
+				failed = guardScan(func() {
+					scanChunk(mm, bufferSize, orders, gm, gk, gl, s.lo, s.hi, cache, stop, &local)
+				})
 			}
 			state.mu.Lock()
-			state.acc.merge(local)
+			if failed != nil {
+				// A panic aborted this worker mid-chunk; its local counters
+				// and optimum are partial, so record the failure and drop them.
+				if state.err == nil {
+					state.err = failed
+				}
+			} else {
+				state.acc.merge(local)
+			}
 			state.mu.Unlock()
 		}()
 	}
@@ -232,7 +286,7 @@ dispatch:
 
 	state.mu.Lock()
 	defer state.mu.Unlock()
-	return state.acc
+	return state.acc, state.err
 }
 
 // enumerate runs the pruned scan over the given grids, sequentially for
@@ -253,9 +307,17 @@ func enumerate(ctx context.Context, mm op.MatMul, bufferSize int64, gm, gk, gl [
 	orders := dataflow.AllOrders()
 	var acc enumBest
 	if workers == 1 {
-		scanChunk(mm, bufferSize, orders, gm, gk, gl, 0, len(gm), cache, newCancelCheck(ctx), &acc)
+		if err := guardScan(func() {
+			scanChunk(mm, bufferSize, orders, gm, gk, gl, 0, len(gm), cache, newCancelCheck(ctx), &acc)
+		}); err != nil {
+			return Result{}, err
+		}
 	} else {
-		acc = scanParallel(ctx, mm, bufferSize, orders, gm, gk, gl, cache, workers)
+		var err error
+		acc, err = scanParallel(ctx, mm, bufferSize, orders, gm, gk, gl, cache, workers)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 	// A canceled scan's accumulator is partial; discard it rather than
 	// return a non-optimal "optimum".

@@ -235,7 +235,15 @@ func GeneticCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts Geneti
 // geneticCtx is the cancellation-aware GA core: the generation loop checks
 // ctx between generations (one generation is a bounded Population-sized
 // batch of closed-form evaluations, so the check cadence is milliseconds).
-func geneticCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache) (Result, error) {
+// Like the enumeration engines it is a panic-containment boundary: a panic
+// escaping a fitness evaluation (injected or organic) is returned as an
+// ErrInternal error instead of unwinding into the caller.
+func geneticCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = Result{}, panicError(r)
+		}
+	}()
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}

@@ -2,11 +2,14 @@ package service
 
 import (
 	"context"
+	"errors"
 	"runtime"
+	"time"
 
 	"fusecu/internal/arch"
 	"fusecu/internal/core"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/errs"
 	"fusecu/internal/model"
 	"fusecu/internal/op"
 	"fusecu/internal/search"
@@ -176,6 +179,11 @@ type searchResponse struct {
 	Dataflow    dataflowJSON `json:"dataflow"`
 	Evaluations int64        `json:"evaluations"`
 	CacheHits   int64        `json:"cache_hits"`
+	// Degraded marks an answer produced by the principle-based fallback
+	// after the scan exhausted its deadline budget or failed internally;
+	// DegradedReason says which ("deadline" or "engine_failure").
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 func (s *Server) handleSearch(ctx context.Context, body []byte) (any, error) {
@@ -191,21 +199,43 @@ func (s *Server) handleSearch(ctx context.Context, body []byte) (any, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	mm := req.Op.matmul()
+
+	// The scan gets only DegradeFraction of the remaining deadline budget:
+	// if it cannot finish inside that, the leftover slack is spent producing
+	// the principle-based one-shot answer instead of a 504. The paper's
+	// closed-form optimizer runs in microseconds, so the fallback always
+	// fits the reserve.
+	scanCtx := ctx
+	degradable := !s.cfg.DisableDegrade
+	if deadline, ok := ctx.Deadline(); ok && degradable {
+		budget := time.Until(deadline)
+		var cancel context.CancelFunc
+		scanCtx, cancel = context.WithTimeout(ctx, time.Duration(float64(budget)*s.cfg.DegradeFraction))
+		defer cancel()
+	}
+
 	var res search.Result
 	var err error
 	switch req.Engine {
 	case "", "auto":
-		res, err = search.OptimizeParallelCtx(ctx, mm, req.Buffer, search.GeneticOptions{Seed: req.Seed}, workers, s.cache)
+		res, err = search.OptimizeParallelCtx(scanCtx, mm, req.Buffer, search.GeneticOptions{Seed: req.Seed}, workers, s.cache)
 	case "exhaustive":
-		res, err = search.ParallelExhaustiveCtx(ctx, mm, req.Buffer, workers, s.cache)
+		res, err = search.ParallelExhaustiveCtx(scanCtx, mm, req.Buffer, workers, s.cache)
 	case "coarse":
-		res, err = search.ParallelCoarseCtx(ctx, mm, req.Buffer, workers, s.cache)
+		res, err = search.ParallelCoarseCtx(scanCtx, mm, req.Buffer, workers, s.cache)
 	case "genetic":
-		res, err = search.GeneticCtx(ctx, mm, req.Buffer, search.GeneticOptions{Seed: req.Seed}, s.cache)
+		res, err = search.GeneticCtx(scanCtx, mm, req.Buffer, search.GeneticOptions{Seed: req.Seed}, s.cache)
 	default:
 		return nil, badRequest("service: unknown engine %q (want auto, exhaustive, coarse or genetic)", req.Engine)
 	}
 	if err != nil {
+		if reason, ok := s.degradeReason(ctx, err, degradable); ok {
+			if resp, derr := s.degradedAnswer(mm, req.Buffer, reason); derr == nil {
+				return resp, nil
+			}
+			// The fallback itself failed (e.g. infeasible buffer): report
+			// the scan's original error, which carries the better story.
+		}
 		return nil, err
 	}
 	return searchResponse{
@@ -213,6 +243,42 @@ func (s *Server) handleSearch(ctx context.Context, body []byte) (any, error) {
 		Dataflow:    dataflowOf(res.Dataflow, res.Access.NRA, res.Access.Total, res.Access.PerTensor),
 		Evaluations: res.Evaluations,
 		CacheHits:   res.CacheHits,
+	}, nil
+}
+
+// degradeReason decides whether a failed scan should fall back to the
+// principle optimizer: yes when the scan ran out of its deadline budget or
+// failed internally (a contained panic). Only a client disconnect refuses
+// the fallback — even if pool teardown overran the reserve and the request
+// deadline itself has lapsed, a slightly late degraded answer still beats a
+// 504, and the connection is alive to carry it.
+func (s *Server) degradeReason(ctx context.Context, err error, degradable bool) (string, bool) {
+	if !degradable || errors.Is(ctx.Err(), context.Canceled) {
+		return "", false
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline", true
+	case errors.Is(err, errs.ErrInternal):
+		return "engine_failure", true
+	}
+	return "", false
+}
+
+// degradedAnswer produces the principle-based fallback response — the
+// paper's Principle 1–3 optimum, always feasible and never worse than any
+// search result the abandoned scan could have returned.
+func (s *Server) degradedAnswer(mm op.MatMul, buffer int64, reason string) (searchResponse, error) {
+	pr, err := core.Optimize(mm, buffer)
+	if err != nil {
+		return searchResponse{}, err
+	}
+	s.reg.Counter("degraded_responses").Inc()
+	return searchResponse{
+		Method:         "principle",
+		Dataflow:       dataflowOf(pr.Dataflow, pr.Access.NRA, pr.Access.Total, pr.Access.PerTensor),
+		Degraded:       true,
+		DegradedReason: reason,
 	}, nil
 }
 

@@ -7,7 +7,9 @@
 //   - POST /v1/search    — the DAT-style search baseline (parallel, memoized)
 //   - POST /v1/evaluate  — cross-platform workload evaluation (Fig. 10/11)
 //   - GET  /metrics      — Prometheus-style text exposition
-//   - GET  /healthz      — liveness probe
+//   - GET  /healthz      — liveness probe (200 while the process lives)
+//   - GET  /readyz       — readiness probe (503 before SetReady and during
+//     graceful drain, so load balancers stop routing to a dying instance)
 //
 // plus the operational substrate an accelerator-compiler service needs:
 // strict request validation mapped onto the library's unified error
@@ -15,6 +17,20 @@
 // search worker pools, a bounded-concurrency admission gate (429 +
 // Retry-After on saturation), and a process-wide shared evaluation cache so
 // repeated operators across requests hit memoized cost evaluations.
+//
+// The resilience layer on top:
+//
+//   - Every registered handler runs inside the recovered panic-isolation
+//     middleware: a panic maps to a 500 internal_error envelope and a
+//     panics_recovered counter, and the process keeps serving.
+//   - /v1/search degrades gracefully: when the scan has consumed the
+//     configured fraction of its deadline budget — or the engine itself
+//     failed with errs.ErrInternal — the handler answers with the
+//     principle-based one-shot optimum and "degraded": true instead of a
+//     504, turning the paper's closed-form result into the service's
+//     always-available fallback.
+//   - Config.Injector arms deterministic fault-injection sites
+//     ("service.<endpoint>") in the request path for chaos testing.
 package service
 
 import (
@@ -26,9 +42,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"fusecu/internal/errs"
+	"fusecu/internal/faultinject"
 	"fusecu/internal/metrics"
 	"fusecu/internal/search"
 )
@@ -46,6 +64,18 @@ type Config struct {
 	SearchWorkers int
 	// RetryAfter is the Retry-After hint (seconds) on 429. Default 1.
 	RetryAfter int
+	// DegradeFraction is the fraction of a /v1/search request's deadline
+	// budget the scan may consume before the handler abandons it and answers
+	// with the principle-based one-shot optimum ("degraded": true). Default
+	// 0.9; must stay in (0, 1). DisableDegrade turns the fallback off.
+	DegradeFraction float64
+	// DisableDegrade forces deadline-pressured searches to 504 instead of
+	// falling back to the principle optimizer.
+	DisableDegrade bool
+	// Injector arms this server's fault-injection sites ("service.optimize",
+	// "service.search", …), fired once per admitted request before the
+	// handler body. nil (the default) leaves every site disarmed.
+	Injector *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -58,19 +88,32 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 1
 	}
+	if c.DegradeFraction <= 0 || c.DegradeFraction >= 1 {
+		c.DegradeFraction = 0.9
+	}
 	return c
 }
 
 // Server holds the shared state of the service: the evaluation cache every
-// search request feeds, the metrics registry, and the admission gate.
+// search request feeds, the metrics registry, the admission gate, and the
+// readiness/drain state machine.
 type Server struct {
 	cfg   Config
 	cache *search.EvalCache
 	reg   *metrics.Registry
 	gate  chan struct{}
+	// ready gates /readyz only: the daemon flips it true once the listener
+	// is up and false when draining, so load balancers steer traffic away
+	// without affecting requests already routed here.
+	ready atomic.Bool
+	// draining makes every /v1/* request fail fast with 503 + Connection:
+	// close; probes and /metrics keep answering so operators can watch the
+	// drain.
+	draining atomic.Bool
 }
 
-// New builds a Server with cfg (zero value → defaults).
+// New builds a Server with cfg (zero value → defaults). The server starts
+// not-ready; call SetReady(true) once the listener is accepting.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
@@ -81,6 +124,21 @@ func New(cfg Config) *Server {
 	}
 }
 
+// SetReady flips the readiness probe. Liveness (/healthz) is unaffected.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// BeginDrain moves the server into drain mode: /readyz turns 503, and every
+// subsequently arriving /v1/* request is rejected fast with 503 +
+// Connection: close instead of being accepted into a process that is about
+// to stop. Requests already in flight are unaffected.
+func (s *Server) BeginDrain() {
+	s.ready.Store(false)
+	s.draining.Store(true)
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Cache exposes the process-wide evaluation cache (tests assert hit rates).
 func (s *Server) Cache() *search.EvalCache { return s.cache }
 
@@ -88,16 +146,44 @@ func (s *Server) Cache() *search.EvalCache { return s.cache }
 // in-flight high-water mark).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
-// Handler returns the service's routing table.
+// Handler returns the service's routing table. Every registration is
+// wrapped in the recovered panic-isolation middleware — enforced by the
+// fusecu-vet unrecoveredhandler analyzer.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/optimize", s.endpoint("optimize", s.handleOptimize))
-	mux.HandleFunc("/v1/plan", s.endpoint("plan", s.handlePlan))
-	mux.HandleFunc("/v1/search", s.endpoint("search", s.handleSearch))
-	mux.HandleFunc("/v1/evaluate", s.endpoint("evaluate", s.handleEvaluate))
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/optimize", s.recovered("optimize", s.endpoint("optimize", s.handleOptimize)))
+	mux.HandleFunc("/v1/plan", s.recovered("plan", s.endpoint("plan", s.handlePlan)))
+	mux.HandleFunc("/v1/search", s.recovered("search", s.endpoint("search", s.handleSearch)))
+	mux.HandleFunc("/v1/evaluate", s.recovered("evaluate", s.endpoint("evaluate", s.handleEvaluate)))
+	mux.HandleFunc("/metrics", s.recovered("metrics", s.handleMetrics))
+	mux.HandleFunc("/healthz", s.recovered("healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.recovered("readyz", s.handleReadyz))
 	return mux
+}
+
+// recovered is the panic-isolation middleware: a panic anywhere below it —
+// an injected fault, a handler bug, a library invariant violation — is
+// mapped to a 500 internal_error envelope and counted in panics_recovered,
+// and the process keeps serving. (net/http's own recover would also keep the
+// process alive for request-goroutine panics, but it kills the connection
+// without a response; this boundary keeps the wire contract.)
+func (s *Server) recovered(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec) // deliberate connection abort; not a fault
+				}
+				s.reg.Counter("panics_recovered").Inc()
+				s.writeError(w, name, &apiError{
+					status: http.StatusInternalServerError,
+					code:   "internal_error",
+					err:    fmt.Errorf("service: panic in %s handler: %v", name, rec),
+				})
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // apiError is a handler failure bound to a transport status. Handlers
@@ -141,6 +227,8 @@ func toAPIError(err error) *apiError {
 	case errors.Is(err, errs.ErrUnknownPlatform),
 		errors.Is(err, errs.ErrUnknownModel):
 		return &apiError{status: http.StatusNotFound, code: "not_found", err: err}
+	case errors.Is(err, errs.ErrInternal):
+		return &apiError{status: http.StatusInternalServerError, code: "internal_error", err: err}
 	case errors.Is(err, context.DeadlineExceeded):
 		return &apiError{status: http.StatusGatewayTimeout, code: "deadline_exceeded", err: err}
 	case errors.Is(err, context.Canceled):
@@ -169,6 +257,18 @@ func (s *Server) endpoint(name string, h handlerFunc) http.HandlerFunc {
 	latency := s.reg.Histogram("http_latency_ms:"+name, nil)
 	inflight := s.reg.Gauge("http_inflight")
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			// A request that raced the drain gets a fast, explicit 503 with
+			// Connection: close so the client re-resolves to a live instance
+			// instead of queueing behind a server that is about to stop.
+			w.Header().Set("Connection", "close")
+			s.writeError(w, name, &apiError{
+				status: http.StatusServiceUnavailable,
+				code:   "draining",
+				err:    fmt.Errorf("service: draining, not accepting new requests"),
+			})
+			return
+		}
 		if r.Method != http.MethodPost {
 			s.writeError(w, name, &apiError{
 				status: http.StatusMethodNotAllowed,
@@ -193,6 +293,15 @@ func (s *Server) endpoint(name string, h handlerFunc) http.HandlerFunc {
 		inflight.Add(1)
 		defer inflight.Add(-1)
 
+		// The per-endpoint fault-injection site: chaos tests arm it to
+		// return errors (mapped through the envelope), panic (recovered by
+		// the middleware above), or stall (exercising deadlines and client
+		// retries). Disarmed it is a nil-receiver no-op.
+		if err := s.cfg.Injector.Fire("service." + name); err != nil {
+			s.writeError(w, name, fmt.Errorf("service: %s: %w: %w", name, err, errs.ErrInternal))
+			return
+		}
+
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
 			s.writeError(w, name, badRequest("service: reading body: %v", err))
@@ -213,6 +322,7 @@ func (s *Server) endpoint(name string, h handlerFunc) http.HandlerFunc {
 			return
 		}
 		s.reg.Counter(fmt.Sprintf("http_requests_total:%s:%d", name, http.StatusOK)).Inc()
+		s.reg.Counter(fmt.Sprintf("http_responses_total:%d", http.StatusOK)).Inc()
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			// Headers are gone; nothing useful to send. Count it.
@@ -221,10 +331,13 @@ func (s *Server) endpoint(name string, h handlerFunc) http.HandlerFunc {
 	}
 }
 
-// writeError renders the error envelope and bumps the per-status counter.
+// writeError renders the error envelope and bumps the per-endpoint and
+// per-code counters (the latter aggregate 400/422/429/499/500/503/504 across
+// endpoints for the /metrics dashboard).
 func (s *Server) writeError(w http.ResponseWriter, name string, err error) {
 	ae := toAPIError(err)
 	s.reg.Counter(fmt.Sprintf("http_requests_total:%s:%d", name, ae.status)).Inc()
+	s.reg.Counter(fmt.Sprintf("http_responses_total:%d", ae.status)).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(ae.status)
 	if encErr := json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: ae.code, Message: ae.err.Error()}}); encErr != nil {
@@ -281,6 +394,23 @@ func setCounter(c *metrics.Counter, v int64) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := io.WriteString(w, `{"status":"ok"}`+"\n"); err != nil {
+		s.reg.Counter("http_encode_errors_total").Inc()
+	}
+}
+
+// handleReadyz is the readiness probe: 200 only between SetReady(true) and
+// BeginDrain. Unlike /healthz it is a routing signal, not a liveness one.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status, body := http.StatusOK, `{"status":"ready"}`
+	switch {
+	case s.draining.Load():
+		status, body = http.StatusServiceUnavailable, `{"status":"draining"}`
+	case !s.ready.Load():
+		status, body = http.StatusServiceUnavailable, `{"status":"not_ready"}`
+	}
+	w.WriteHeader(status)
+	if _, err := io.WriteString(w, body+"\n"); err != nil {
 		s.reg.Counter("http_encode_errors_total").Inc()
 	}
 }

@@ -226,7 +226,10 @@ func TestMethodNotAllowed(t *testing.T) {
 }
 
 func TestDeadlineMapsToGatewayTimeout(t *testing.T) {
-	_, ts := newTestServer(t, Config{DefaultTimeout: 20 * time.Millisecond})
+	// DisableDegrade pins the raw 504 mapping; with degradation on (the
+	// default) a deadline-pressured search answers 200 degraded instead —
+	// see resilience_test.go.
+	_, ts := newTestServer(t, Config{DefaultTimeout: 20 * time.Millisecond, DisableDegrade: true})
 	// 192³ exhaustive takes far longer than 20ms.
 	code, raw := post(t, ts, "/v1/search",
 		`{"op":{"m":192,"k":192,"l":192},"buffer":1048576,"engine":"exhaustive"}`, nil)
