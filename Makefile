@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fusecu-vet test test-race test-race-service test-checks fuzz-smoke bench bench-serve bench-full check
+.PHONY: build vet fusecu-vet test test-race test-race-service test-checks fuzz-smoke bench bench-serve bench-full bench-compare bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,23 @@ bench:
 ## quantiles, cache hit-rate, and bit-identity against the reference engine).
 bench-serve:
 	$(GO) run ./cmd/fusecu-bench -serve-load -serve-out BENCH_serve.json
+
+## bench-compare reruns the search-layer microbenchmarks and diffs the
+## medians against the committed baseline with the stdlib-only
+## fusecu-benchstat (CI has no network for x/perf's benchstat). The target
+## never fails on a slowdown — the comparison is advisory and CI uploads it
+## as an artifact for the reviewer.
+BENCH_BASELINE ?= bench/baseline_search.txt
+bench-compare:
+	mkdir -p bench
+	$(GO) test -run='^$$' -bench=. -benchmem -count=5 -benchtime=0.1s ./internal/search > bench/current_search.txt
+	$(GO) run ./cmd/fusecu-benchstat $(BENCH_BASELINE) bench/current_search.txt | tee bench/compare_search.txt
+
+## bench-baseline refreshes the committed baseline bench-compare diffs
+## against. Run it on a quiet machine and commit the result.
+bench-baseline:
+	mkdir -p bench
+	$(GO) test -run='^$$' -bench=. -benchmem -count=5 -benchtime=0.1s ./internal/search > $(BENCH_BASELINE)
 
 ## bench-full is the measurement pass: statistically meaningful benchmark
 ## iterations plus the paper's full 32KiB-32MiB Fig. 9 sweep.

@@ -7,6 +7,9 @@
 //     cache shared across the buffer sweep (experiments.Fig9).
 //   - parallel: the same, with (operator, buffer) points fanned across a
 //     worker pool (experiments.Fig9Parallel).
+//   - search-sweep-table: one footprint-indexed candidate table per operator,
+//     answering every buffer point by binary search over the table
+//     (experiments.Fig9Sweep).
 //
 // The report (default BENCH_search.json) records wall time, cost-model
 // invocations, and cache hits per engine, plus whether all three produced
@@ -49,6 +52,7 @@ type report struct {
 	// engine's wall time.
 	SpeedupPrunedCached float64 `json:"speedup_pruned_cached"`
 	SpeedupParallel     float64 `json:"speedup_parallel"`
+	SpeedupTable        float64 `json:"speedup_table"`
 	// IdenticalResults is true iff every (operator, buffer) point's
 	// principle MA, search MA, and total candidate-visit count agree across
 	// all three engines.
@@ -64,10 +68,11 @@ func main() {
 		loadOut = flag.String("serve-out", "BENCH_serve.json", "output report path (-serve-load mode)")
 		clients = flag.Int("clients", 96, "concurrent clients for -serve-load")
 		maxInFl = flag.Int("max-inflight", 64, "service admission ceiling for -serve-load")
+		pprofAt = flag.String("pprof", "", "expose net/http/pprof on this separate listener during -serve-load (empty = disabled)")
 	)
 	flag.Parse()
 	if *load {
-		if err := serveLoad(*loadOut, *clients, *maxInFl, *workers); err != nil {
+		if err := serveLoad(*loadOut, *clients, *maxInFl, *workers, *pprofAt); err != nil {
 			fmt.Fprintln(os.Stderr, "fusecu-bench:", err)
 			os.Exit(1)
 		}
@@ -82,12 +87,19 @@ func main() {
 func run(out string, full bool, workers int) error {
 	ops, buffers := sweep(full)
 
+	// Cores is the schedulable parallelism (GOMAXPROCS may be capped below
+	// NumCPU in containers); Workers is the pool size the parallel engine
+	// actually ran with, after the 0-means-GOMAXPROCS default resolves.
+	effectiveWorkers := workers
+	if effectiveWorkers <= 0 {
+		effectiveWorkers = runtime.GOMAXPROCS(0)
+	}
 	rep := report{
 		Benchmark:    "fig9-search-sweep",
 		FullSweep:    full,
 		BufferPoints: len(buffers),
-		Cores:        runtime.NumCPU(),
-		Workers:      workers,
+		Cores:        runtime.GOMAXPROCS(0),
+		Workers:      effectiveWorkers,
 	}
 	for _, mm := range ops {
 		rep.Ops = append(rep.Ops, mm.String())
@@ -114,14 +126,23 @@ func run(out string, full bool, workers int) error {
 	}
 	parWall := time.Since(parStart)
 
+	tabStart := time.Now()
+	tab, err := experiments.Fig9Sweep(ops, buffers, 1)
+	if err != nil {
+		return fmt.Errorf("table-sweep engine: %w", err)
+	}
+	tabWall := time.Since(tabStart)
+
 	rep.Engines = []engineReport{
 		tally("reference-sequential", refWall, ref),
 		tally("pruned-cached", prunedWall, pruned),
 		tally("parallel", parWall, par),
+		tally("search-sweep-table", tabWall, tab),
 	}
 	rep.SpeedupPrunedCached = ratio(refWall, prunedWall)
 	rep.SpeedupParallel = ratio(refWall, parWall)
-	rep.IdenticalResults = identical(ref, pruned) && identical(ref, par)
+	rep.SpeedupTable = ratio(refWall, tabWall)
+	rep.IdenticalResults = identical(ref, pruned) && identical(ref, par) && identical(ref, tab)
 	if !rep.IdenticalResults {
 		// Still write the report, but fail loudly: equivalence is the whole
 		// contract of the optimized engines.
@@ -133,9 +154,9 @@ func run(out string, full bool, workers int) error {
 	if err := write(out, rep); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: reference %.1fms, pruned+cached %.1fms (%.2fx), parallel %.1fms (%.2fx), identical=%v\n",
+	fmt.Printf("wrote %s: reference %.1fms, pruned+cached %.1fms (%.2fx), parallel %.1fms (%.2fx), table %.1fms (%.2fx), identical=%v\n",
 		out, ms(refWall), ms(prunedWall), rep.SpeedupPrunedCached,
-		ms(parWall), rep.SpeedupParallel, rep.IdenticalResults)
+		ms(parWall), rep.SpeedupParallel, ms(tabWall), rep.SpeedupTable, rep.IdenticalResults)
 	return nil
 }
 
@@ -191,8 +212,7 @@ func referenceFig9(ops []op.MatMul, buffers []int64, seed int64) ([]experiments.
 // wins — using the frozen ReferenceCoarse scan and the uncached GA.
 func referenceOptimize(mm op.MatMul, bufferSize, seed int64) (search.Result, error) {
 	opts := search.GeneticOptions{Seed: seed}
-	lattice := int64(len(search.TileGrid(mm.M))) * int64(len(search.TileGrid(mm.K))) * int64(len(search.TileGrid(mm.L))) * 6
-	if lattice > 200_000 {
+	if search.CoarseLattice(mm) > search.CoarseLatticeLimit {
 		return search.Genetic(mm, bufferSize, opts)
 	}
 	r, err := search.ReferenceCoarse(mm, bufferSize)

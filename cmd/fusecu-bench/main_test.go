@@ -23,8 +23,14 @@ func TestRunWritesConsistentReport(t *testing.T) {
 	if !rep.IdenticalResults {
 		t.Fatal("engines disagreed on the sweep")
 	}
-	if len(rep.Engines) != 3 {
+	if len(rep.Engines) != 4 {
 		t.Fatalf("engines = %d", len(rep.Engines))
+	}
+	if rep.Engines[3].Name != "search-sweep-table" {
+		t.Fatalf("fourth engine = %q, want search-sweep-table", rep.Engines[3].Name)
+	}
+	if rep.Cores <= 0 || rep.Workers <= 0 {
+		t.Fatalf("cores/workers not resolved: %d/%d", rep.Cores, rep.Workers)
 	}
 	refEvals := rep.Engines[0].Evaluations + rep.Engines[0].CacheHits
 	for _, e := range rep.Engines {
@@ -43,7 +49,7 @@ func TestRunWritesConsistentReport(t *testing.T) {
 	if rep.Engines[1].CacheHits == 0 {
 		t.Error("cached engine reported no cache hits")
 	}
-	if rep.SpeedupPrunedCached <= 0 || rep.SpeedupParallel <= 0 {
+	if rep.SpeedupPrunedCached <= 0 || rep.SpeedupParallel <= 0 || rep.SpeedupTable <= 0 {
 		t.Errorf("degenerate speedups: %+v", rep)
 	}
 }
@@ -62,7 +68,7 @@ func TestSweepSelection(t *testing.T) {
 
 func TestServeLoadWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "serve.json")
-	if err := serveLoad(out, 24, 16, 1); err != nil {
+	if err := serveLoad(out, 24, 16, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -82,8 +88,13 @@ func TestServeLoadWritesReport(t *testing.T) {
 	if rep.InflightHighWater <= 0 || rep.InflightHighWater > int64(rep.MaxInFlight) {
 		t.Fatalf("in-flight high water %d outside (0, %d]", rep.InflightHighWater, rep.MaxInFlight)
 	}
-	if rep.OK > 1 && rep.CacheHits == 0 {
-		t.Error("repeated identical operators produced zero cache hits")
+	// The wave's single shape builds one candidate table; every later request
+	// answers from it (the eval cache now only sees the build's misses).
+	if rep.TableBuilds != 1 || rep.TableHits != int64(rep.OK)-1 {
+		t.Errorf("table builds/hits = %d/%d, want 1/%d", rep.TableBuilds, rep.TableHits, rep.OK-1)
+	}
+	if rep.CacheMisses == 0 {
+		t.Error("table build did not populate the shared eval cache")
 	}
 	if rep.WallMs <= 0 || rep.LatencyP50Ms <= 0 {
 		t.Errorf("degenerate timing: %+v", rep)

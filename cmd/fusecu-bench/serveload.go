@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"time"
@@ -51,6 +52,11 @@ type serveReport struct {
 	LatencyP99Ms      float64 `json:"latency_p99_ms"`
 	CacheHits         int64   `json:"cache_hits"`
 	CacheMisses       int64   `json:"cache_misses"`
+	// TableBuilds / TableHits count the candidate-table registry's activity:
+	// the wave's single shape builds one footprint-indexed table, and every
+	// subsequent request answers from it without touching the eval cache.
+	TableBuilds int64 `json:"table_builds"`
+	TableHits   int64 `json:"table_hits"`
 	// IdenticalResults is true iff every 200 response carried the reference
 	// engine's exact optimum (tiling and memory access).
 	IdenticalResults bool `json:"identical_results"`
@@ -66,11 +72,32 @@ const serveLoadBuffer = 4096
 // /v1/search calls at it through the public retrying client (so shed
 // requests honor Retry-After instead of being dropped), verifies every
 // accepted answer against the sequential reference engine, and writes the
-// report to out.
-func serveLoad(out string, clients, maxInFlight, workers int) error {
+// report to out. A non-empty pprofAddr additionally serves net/http/pprof
+// on its own listener for the duration of the wave, so the hot path can be
+// profiled under real load without exposing pprof on the service address.
+func serveLoad(out string, clients, maxInFlight, workers int, pprofAddr string) error {
 	want, err := search.ReferenceExhaustive(serveLoadOp, serveLoadBuffer)
 	if err != nil {
 		return fmt.Errorf("reference engine: %w", err)
+	}
+
+	if pprofAddr != "" {
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		psrv := &http.Server{Handler: pprofMux()}
+		go func() {
+			if serr := psrv.Serve(pln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "fusecu-bench: pprof:", serr)
+			}
+		}()
+		defer func() {
+			if cerr := psrv.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "fusecu-bench: pprof close:", cerr)
+			}
+		}()
+		fmt.Printf("pprof on %s\n", pln.Addr())
 	}
 
 	svc := service.New(service.Config{MaxInFlight: maxInFlight, SearchWorkers: workers})
@@ -160,6 +187,8 @@ func serveLoad(out string, clients, maxInFlight, workers int) error {
 	rep.LatencyP99Ms = snap["http_latency_ms:search_p99"]
 	st := svc.Cache().Stats()
 	rep.CacheHits, rep.CacheMisses = st.Hits, st.Misses
+	rep.TableBuilds = svc.Registry().Counter("table_builds").Value()
+	rep.TableHits = svc.Registry().Counter("table_hits").Value()
 
 	if rep.OK == 0 || rep.Failed > 0 || !rep.IdenticalResults {
 		if werr := writeServe(out, rep); werr != nil {
@@ -171,11 +200,37 @@ func serveLoad(out string, clients, maxInFlight, workers int) error {
 	if err := writeServe(out, rep); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d ok / %d shed in %.1fms (%.0f rps), %d retried (%d server 429s), %d degraded, peak in-flight %d, p95 %.2fms, cache %d/%d hits, identical=%v\n",
+	fmt.Printf("wrote %s: %d ok / %d shed in %.1fms (%.0f rps), %d retried (%d server 429s), %d degraded, peak in-flight %d, p95 %.2fms, cache %d/%d hits, table %d built / %d hits, identical=%v\n",
 		out, rep.OK, rep.Shed, rep.WallMs, rep.ThroughputRPS,
 		rep.Retried, rep.ShedResponses, rep.Degraded,
-		rep.InflightHighWater, rep.LatencyP95Ms, rep.CacheHits, rep.CacheHits+rep.CacheMisses, rep.IdenticalResults)
+		rep.InflightHighWater, rep.LatencyP95Ms, rep.CacheHits, rep.CacheHits+rep.CacheMisses,
+		rep.TableBuilds, rep.TableHits, rep.IdenticalResults)
 	return nil
+}
+
+// pprofMux mounts the net/http/pprof handlers on a fresh mux so profiling
+// stays off the benchmarked service listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", recovered(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", recovered(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", recovered(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", recovered(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", recovered(pprof.Trace))
+	return mux
+}
+
+// recovered keeps the panic-isolation contract on the profiling mux: a
+// panicking pprof handler answers 500 and the bench keeps running.
+func recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+			}
+		}()
+		h(w, r)
+	}
 }
 
 func writeServe(path string, rep serveReport) error {

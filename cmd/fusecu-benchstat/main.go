@@ -1,0 +1,239 @@
+// Command fusecu-benchstat compares two `go test -bench` outputs without
+// any dependency outside the standard library (CI has no network access to
+// fetch golang.org/x/perf/cmd/benchstat).
+//
+//	go test -run='^$' -bench=. -benchmem -count=5 ./internal/search > new.txt
+//	fusecu-benchstat bench/baseline_search.txt new.txt
+//
+// For every benchmark present in both files it prints the median ns/op of
+// each side and the relative delta (negative = the new side is faster),
+// plus allocs/op when -benchmem was on, and a closing geomean over the
+// per-benchmark time ratios. Benchmarks present on only one side are listed
+// separately so a vanished benchmark can't silently hide a regression.
+//
+// The exit code is 0 even when things got slower: the tool measures, the
+// reviewer judges. Only unreadable or unparseable inputs exit non-zero.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// sample is one benchmark line's measurements.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// runs collects every sample for one benchmark name, in file order.
+type runs struct {
+	name    string
+	samples []sample
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fusecu-benchstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: fusecu-benchstat OLD NEW (two `go test -bench` output files)")
+	}
+	old, err := parseFile(args[0])
+	if err != nil {
+		return err
+	}
+	cur, err := parseFile(args[1])
+	if err != nil {
+		return err
+	}
+	return compare(w, args[0], args[1], old, cur)
+}
+
+func parseFile(path string) ([]runs, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "fusecu-benchstat:", cerr)
+		}
+	}()
+	rs, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return rs, nil
+}
+
+// parse reads `go test -bench` output, returning one runs per benchmark
+// name in first-seen order. The per-GOMAXPROCS suffix (Benchmark...-8) is
+// stripped so baselines recorded on a different core count still align.
+func parse(r io.Reader) ([]runs, error) {
+	var order []runs
+	index := map[string]int{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		s := sample{}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q on line %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp, seen = v, true
+			case "allocs/op":
+				s.allocsPerOp, s.hasAllocs = v, true
+			}
+		}
+		if !seen {
+			continue
+		}
+		name := stripProcs(fields[0])
+		i, ok := index[name]
+		if !ok {
+			i = len(order)
+			index[name] = i
+			order = append(order, runs{name: name})
+		}
+		order[i].samples = append(order[i].samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix go test appends.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func medianNs(r runs) float64 {
+	vals := make([]float64, len(r.samples))
+	for i, s := range r.samples {
+		vals[i] = s.nsPerOp
+	}
+	return median(vals)
+}
+
+func medianAllocs(r runs) (float64, bool) {
+	var vals []float64
+	for _, s := range r.samples {
+		if s.hasAllocs {
+			vals = append(vals, s.allocsPerOp)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	return median(vals), true
+}
+
+func compare(w io.Writer, oldPath, newPath string, old, cur []runs) error {
+	oldIdx := map[string]runs{}
+	for _, r := range old {
+		oldIdx[r.name] = r
+	}
+	curIdx := map[string]runs{}
+	for _, r := range cur {
+		curIdx[r.name] = r
+	}
+
+	fmt.Fprintf(w, "old: %s\nnew: %s\n\n", oldPath, newPath)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs/op\t")
+
+	var logRatios []float64
+	for _, o := range old {
+		n, ok := curIdx[o.name]
+		if !ok {
+			continue
+		}
+		om, nm := medianNs(o), medianNs(n)
+		delta := "n/a"
+		if om > 0 {
+			delta = fmt.Sprintf("%+.2f%%", (nm-om)/om*100)
+			if nm > 0 {
+				logRatios = append(logRatios, math.Log(nm/om))
+			}
+		}
+		allocs := ""
+		if oa, ook := medianAllocs(o); ook {
+			if na, nok := medianAllocs(n); nok {
+				allocs = fmt.Sprintf("%.0f → %.0f", oa, na)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%s\t%s\t\n", o.name, om, nm, delta, allocs)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(logRatios) > 0 {
+		var sum float64
+		for _, lr := range logRatios {
+			sum += lr
+		}
+		geo := math.Exp(sum / float64(len(logRatios)))
+		fmt.Fprintf(w, "\ngeomean time ratio (new/old): %.3f over %d benchmarks\n", geo, len(logRatios))
+	}
+
+	var onlyOld, onlyNew []string
+	for _, o := range old {
+		if _, ok := curIdx[o.name]; !ok {
+			onlyOld = append(onlyOld, o.name)
+		}
+	}
+	for _, n := range cur {
+		if _, ok := oldIdx[n.name]; !ok {
+			onlyNew = append(onlyNew, n.name)
+		}
+	}
+	if len(onlyOld) > 0 {
+		fmt.Fprintf(w, "only in old: %s\n", strings.Join(onlyOld, ", "))
+	}
+	if len(onlyNew) > 0 {
+		fmt.Fprintf(w, "only in new: %s\n", strings.Join(onlyNew, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldBench = `goos: linux
+goarch: amd64
+pkg: fusecu/internal/search
+cpu: whatever
+BenchmarkEvalHotPath-8     	15990022	        73.86 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEvalHotPath-8     	15990022	        75.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEvalHotPath-8     	15990022	        74.10 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTableSweep-8      	     340	   3440000 ns/op	  120000 B/op	      40 allocs/op
+BenchmarkGoneInNew-8       	     100	     10000 ns/op
+PASS
+ok  	fusecu/internal/search	12.3s
+`
+
+const newBench = `BenchmarkEvalHotPath-16    	20000000	        70.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEvalHotPath-16    	20000000	        71.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEvalHotPath-16    	20000000	        69.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTableSweep-16     	     400	   3000000 ns/op	  118000 B/op	      38 allocs/op
+BenchmarkBrandNew-16       	    1000	      5000 ns/op
+`
+
+func TestParseAggregatesAndStripsProcs(t *testing.T) {
+	rs, err := parse(strings.NewReader(oldBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(rs))
+	}
+	if rs[0].name != "BenchmarkEvalHotPath" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix not stripped?)", rs[0].name)
+	}
+	if len(rs[0].samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(rs[0].samples))
+	}
+	if got := medianNs(rs[0]); got != 74.10 {
+		t.Fatalf("median ns/op = %v, want 74.10", got)
+	}
+	if a, ok := medianAllocs(rs[1]); !ok || a != 40 {
+		t.Fatalf("TableSweep allocs median = %v/%v, want 40/true", a, ok)
+	}
+	if _, ok := medianAllocs(rs[2]); ok {
+		t.Fatal("benchmark without -benchmem reported allocs")
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+}
+
+func TestRunComparesFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(oldPath, []byte(oldBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkEvalHotPath", // present in both → compared
+		"-5.53%",               // (70.00-74.10)/74.10
+		"BenchmarkTableSweep",
+		"-12.79%", // (3.0e6-3.44e6)/3.44e6
+		"40 → 38", // allocs/op delta
+		"geomean time ratio",
+		"only in old: BenchmarkGoneInNew",
+		"only in new: BenchmarkBrandNew",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"one-arg"}, &out); err == nil {
+		t.Fatal("single argument accepted")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty, empty}, &out); err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("empty input error = %v", err)
+	}
+}

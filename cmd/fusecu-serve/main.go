@@ -6,6 +6,11 @@
 //
 //	fusecu-serve -addr :8080 -max-inflight 64 -timeout 30s
 //
+// With -pprof ADDR the daemon additionally serves net/http/pprof on a
+// separate listener (never on the public address), e.g.:
+//
+//	fusecu-serve -addr :8080 -pprof 127.0.0.1:6060
+//
 // On SIGINT/SIGTERM the server first flips /readyz to 503 and answers new
 // requests with a fast 503 (Connection: close) while the listener stays open
 // — so load balancers stop routing without seeing connection resets — waits
@@ -21,6 +26,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		drainGrace  = fs.Duration("drain-grace", 500*time.Millisecond,
 			"after a signal, keep the listener open this long (rejecting new requests with fast 503s) while in-flight requests finish")
+		pprofAddr = fs.String("pprof", "",
+			"serve net/http/pprof on this separate listener (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,10 +82,44 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "fusecu-serve:", err)
 		return 1
 	}
+
+	// Profiling stays off the service listener: pprof handlers are mounted
+	// only on their own mux behind -pprof, so the public surface never
+	// exposes /debug/pprof/ and the profiler survives service drain.
+	var pprofSrv *http.Server
+	var pprofBound string
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "fusecu-serve: pprof:", err)
+			if cerr := ln.Close(); cerr != nil {
+				fmt.Fprintln(stderr, "fusecu-serve:", cerr)
+			}
+			return 1
+		}
+		pprofSrv = &http.Server{Handler: pprofMux()}
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(stderr, "fusecu-serve: pprof:", err)
+			}
+		}()
+		defer func() {
+			if err := pprofSrv.Close(); err != nil {
+				fmt.Fprintln(stderr, "fusecu-serve: pprof close:", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "fusecu-serve: pprof on %s\n", pln.Addr())
+		pprofBound = pln.Addr().String()
+	}
+
 	svc.SetReady(true)
 	fmt.Fprintf(stdout, "fusecu-serve: listening on %s\n", ln.Addr())
 	if ready != nil {
+		// Main address first, then the pprof address when enabled.
 		ready <- ln.Addr().String()
+		if pprofBound != "" {
+			ready <- pprofBound
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -119,4 +161,30 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	fmt.Fprintln(stdout, "fusecu-serve: drained, exiting")
 	return 0
+}
+
+// pprofMux mounts the net/http/pprof handlers on a fresh mux, so the
+// profiling endpoints exist only on the -pprof listener and never leak onto
+// the public service listener (which does not use http.DefaultServeMux).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", recovered(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", recovered(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", recovered(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", recovered(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", recovered(pprof.Trace))
+	return mux
+}
+
+// recovered keeps the panic-isolation contract on the profiling mux: a
+// panicking pprof handler answers 500 and the daemon keeps serving.
+func recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+			}
+		}()
+		h(w, r)
+	}
 }

@@ -275,6 +275,81 @@ func TestDrainRejectsNewRequestsWith503(t *testing.T) {
 	}
 }
 
+// TestPprofListener boots the daemon with -pprof, verifies the profiling
+// endpoints answer on the dedicated listener (including a short CPU
+// profile), and — the isolation half of the contract — that the public
+// service listener does NOT serve /debug/pprof/.
+func TestPprofListener(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 2)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0"}, &stdout, &stderr, ready)
+	}()
+	var addr, paddr string
+	for _, dst := range []*string{&addr, &paddr} {
+		select {
+		case *dst = <-ready:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("server never became ready (stderr: %s)", stderr.String())
+		}
+	}
+
+	get := func(url string) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		if _, rerr := io.ReadAll(resp.Body); rerr != nil {
+			t.Fatalf("GET %s: read: %v", url, rerr)
+		}
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		return resp.StatusCode
+	}
+
+	// The pprof listener answers the index, cmdline, and a 1-second CPU
+	// profile (seconds must be ≥ 1: net/http/pprof treats seconds<=0 as the
+	// 30-second default, which would stall the test).
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/profile?seconds=1"} {
+		if code := get("http://" + paddr + path); code != http.StatusOK {
+			t.Errorf("pprof listener %s = %d, want 200", path, code)
+		}
+	}
+	// Isolation: the public listener serves the API but not pprof.
+	if code := get("http://" + addr + "/healthz"); code != http.StatusOK {
+		t.Errorf("main listener /healthz = %d, want 200", code)
+	}
+	if code := get("http://" + addr + "/debug/pprof/"); code == http.StatusOK {
+		t.Error("main listener serves /debug/pprof/ — profiling leaked onto the public surface")
+	}
+	// And the pprof listener does not expose the service API.
+	if code := get("http://" + paddr + "/healthz"); code == http.StatusOK {
+		t.Error("pprof listener serves /healthz — service leaked onto the profiling surface")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never exited after SIGTERM")
+	}
+	// The pprof listener is torn down with the daemon.
+	if _, err := http.Get("http://" + paddr + "/debug/pprof/"); err == nil {
+		t.Error("pprof listener still accepting after shutdown")
+	}
+	if !strings.Contains(stdout.String(), "pprof on") {
+		t.Errorf("stdout missing pprof announcement:\n%s", stdout.String())
+	}
+}
+
 // scrape fetches the /metrics text exposition.
 func scrape(t *testing.T, base string) string {
 	t.Helper()

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"fusecu/internal/op"
+)
+
+// TestFig9SweepMatchesFig9 pins the fast path's contract: every
+// paper-facing value — and even the per-point candidate-visit total — is
+// bit-identical to the plain per-point-scan harness.
+func TestFig9SweepMatchesFig9(t *testing.T) {
+	ops := []op.MatMul{
+		{Name: "proj", M: 256, K: 192, L: 192},
+		{Name: "QKt", M: 256, K: 32, L: 256},
+		{Name: "attnV", M: 256, K: 256, L: 32},
+	}
+	buffers := []int64{4 << 10, 16 << 10, 64 << 10}
+	want, err := Fig9(ops, buffers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fig9Sweep(ops, buffers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op {
+			t.Fatalf("op order changed: %v vs %v", got[i].Op, want[i].Op)
+		}
+		for j := range want[i].Points {
+			gp, wp := got[i].Points[j], want[i].Points[j]
+			if gp.BufferElems != wp.BufferElems || gp.PrincipleMA != wp.PrincipleMA ||
+				gp.SearchMA != wp.SearchMA || gp.Ideal != wp.Ideal {
+				t.Errorf("%v BS=%d: point diverged: %+v vs %+v", want[i].Op, wp.BufferElems, gp, wp)
+			}
+			// The table serves each point's lattice stage without invoking
+			// the cost model, but the visit accounting must be conserved
+			// point for point, not just in aggregate.
+			if gp.SearchEvals+gp.SearchCacheHits != wp.SearchEvals+wp.SearchCacheHits {
+				t.Errorf("%v BS=%d: visits %d+%d, scan path %d+%d", want[i].Op, wp.BufferElems,
+					gp.SearchEvals, gp.SearchCacheHits, wp.SearchEvals, wp.SearchCacheHits)
+			}
+		}
+	}
+}
+
+// TestFig9SweepDeterministic double-runs the fast path.
+func TestFig9SweepDeterministic(t *testing.T) {
+	ops := []op.MatMul{{Name: "QKt", M: 256, K: 32, L: 256}}
+	buffers := []int64{4 << 10, 64 << 10}
+	a, err := Fig9Sweep(ops, buffers, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig9Sweep(ops, buffers, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFig11SearchSweep checks the table-backed LLaMA2 validation: the
+// principle optimum never loses to the coarse-lattice search, tables are
+// shared across a layer's identically shaped operators, and the sweep is
+// deterministic.
+func TestFig11SearchSweep(t *testing.T) {
+	seqs := []int{256, 512}
+	buffers := []int64{16 << 10, 256 << 10}
+	rows, stats, err := Fig11Search(seqs, buffers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each LLaMA2 layer contributes five distinct shapes: the shared
+	// projection shape (×4 chains), QKt, SV, and the two FFN halves.
+	wantRows := len(seqs) * 5 * len(buffers)
+	if len(rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rows), wantRows)
+	}
+	if stats.ShapeRefs != int64(len(seqs)*5) {
+		t.Errorf("ShapeRefs = %d, want %d", stats.ShapeRefs, len(seqs)*5)
+	}
+	// Shapes depend on the sequence length, so nothing collapses across
+	// seqs here — but every reference must have been built exactly once.
+	if stats.TableBuilds != stats.ShapeRefs {
+		t.Errorf("TableBuilds = %d, want %d (no cross-seq sharing at these lengths)", stats.TableBuilds, stats.ShapeRefs)
+	}
+	if stats.BuildEvals == 0 {
+		t.Error("no build evaluations recorded")
+	}
+	var projCount int64
+	for _, r := range rows {
+		if r.SearchMA < r.PrincipleMA {
+			t.Errorf("seq=%d %v BS=%d: search %d beats principles %d", r.SeqLen, r.Op, r.BufferElems, r.SearchMA, r.PrincipleMA)
+		}
+		if r.Visits <= 0 {
+			t.Errorf("seq=%d %v BS=%d: no candidate visits recorded", r.SeqLen, r.Op, r.BufferElems)
+		}
+		if r.SeqLen == seqs[0] && r.Op.Name == "proj-q" {
+			projCount = r.Count
+		}
+	}
+	if projCount != 4 {
+		t.Errorf("projection shape count = %d, want 4 (q/k/v/out share one table)", projCount)
+	}
+
+	again, stats2, err := Fig11Search(seqs, buffers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) || stats2 != stats {
+		t.Fatal("two identical Fig11Search runs diverged")
+	}
+}

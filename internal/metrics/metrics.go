@@ -52,6 +52,17 @@ func (g *Gauge) Add(delta int64) int64 {
 	return g.v
 }
 
+// Set pins the gauge to an absolute level (e.g. resident-entry counts
+// maintained by a cache), updating the high-water mark like Add.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+	if g.v > g.high {
+		g.high = g.v
+	}
+}
+
 // Value returns the current level.
 func (g *Gauge) Value() int64 {
 	g.mu.Lock()

@@ -3,6 +3,8 @@ package search
 import (
 	"testing"
 
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
 	"fusecu/internal/op"
 )
 
@@ -75,6 +77,109 @@ func BenchmarkExhaustiveParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ParallelExhaustive(mm, 512, 0, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalHotPath is the cached-hit evaluation — the inner loop of
+// every warm sweep and of serving traffic on a hot shape. The acceptance
+// bar is 0 allocs/op: one atomic pointer load, one immutable map read, one
+// counter bump, no mutex.
+func BenchmarkEvalHotPath(b *testing.B) {
+	mm := op.MatMul{Name: "hot", M: 48, K: 32, L: 40}
+	cache := NewEvalCache()
+	df := dataflow.Must(mm, dataflow.AllOrders()[2], dataflow.MustTiling(mm, 8, 4, 5))
+	for i := 0; i < publishPressure+2; i++ {
+		cache.Evaluate(mm, df) // warm through publication
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit := cache.Evaluate(mm, df); !hit {
+			b.Fatal("warmed key missed")
+		}
+	}
+}
+
+// BenchmarkEvalHotPathParallel is the same hit under reader concurrency —
+// the serving profile where the old single-tier design serialized on the
+// shard mutex.
+func BenchmarkEvalHotPathParallel(b *testing.B) {
+	mm := op.MatMul{Name: "hot", M: 48, K: 32, L: 40}
+	cache := NewEvalCache()
+	dfs := cacheTestDataflows(b, mm)
+	for _, df := range dfs {
+		cache.Evaluate(mm, df)
+		cache.Evaluate(mm, df)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			df := dfs[i%len(dfs)]
+			i++
+			if _, hit := cache.Evaluate(mm, df); !hit {
+				b.Fatal("warmed key missed")
+			}
+		}
+	})
+}
+
+// BenchmarkCostEvaluate is the uncached cost model itself; also 0 allocs/op
+// — the scan path allocates only per-scan constants, nothing per candidate.
+func BenchmarkCostEvaluate(b *testing.B) {
+	mm := op.MatMul{Name: "raw", M: 48, K: 32, L: 40}
+	df := dataflow.Must(mm, dataflow.AllOrders()[0], dataflow.MustTiling(mm, 8, 4, 5))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cost.Evaluate(mm, df); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableBuild prices the one-time per-shape cost the candidate
+// table amortizes away.
+func BenchmarkTableBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCandTable(benchOp, GridCoarse, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableBest is one sweep point served from a prebuilt table — the
+// O(log n) query that replaces an O(lattice) scan. 0 allocs/op.
+func BenchmarkTableBest(b *testing.B) {
+	tab, err := NewCandTable(benchOp, GridCoarse, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Best(benchBuffer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableSweep is the Fig. 9 access pattern over the table API:
+// build once, query every buffer point. Compare against
+// BenchmarkCoarseCachedSweep, which rescans the lattice per point.
+func BenchmarkTableSweep(b *testing.B) {
+	buffers := []int64{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := NewCandTable(benchOp, GridCoarse, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bs := range buffers {
+			if _, err := tab.Best(bs); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package search
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fusecu/internal/cost"
 	"fusecu/internal/dataflow"
@@ -23,21 +24,58 @@ import (
 // parallel engines. Operator names are not part of the key — cost depends
 // only on the dimensions — so a cache may be shared across identically
 // shaped operators.
+//
+// Each shard is a read-mostly two-tier structure: an immutable snapshot map
+// behind an atomic.Pointer serves hits without any lock (one pointer load,
+// one map read, one striped atomic counter bump), while misses go through
+// the shard mutex into a small dirty overlay that is merged into a fresh
+// snapshot once it grows past a fraction of the published map (or once
+// enough reads land on it, signalling the write burst has ended). Steady
+// state — the 100:1 hit-dominated traffic of a warm sweep or a hot serving
+// shape — therefore never contends on a mutex.
 type EvalCache struct {
 	shards [evalCacheShards]evalCacheShard
 }
 
-// evalCacheShards trades map contention against footprint; 64 keeps the
-// worker pools (≤ GOMAXPROCS) mostly collision-free.
+// evalCacheShards trades publish granularity against footprint; 64 keeps the
+// worker pools (≤ GOMAXPROCS) mostly collision-free on the miss path and
+// bounds each snapshot republish to 1/64th of the resident candidates.
 const evalCacheShards = 64
 
-// evalCacheShard is one mutex-guarded slice of the cache.
+// evalCacheShard is one two-tier slice of the cache. The first cache line
+// holds the read path (snapshot pointer + hit counter); the mutex-guarded
+// write tier follows, padded so neighbouring shards' hit counters do not
+// false-share.
 type evalCacheShard struct {
-	mu     sync.Mutex
-	m      map[evalKey]cost.Access
-	hits   int64
-	misses int64
+	// snap is the immutable read tier. The map it points to is never
+	// mutated after publication; misses build a replacement and swap the
+	// pointer under mu.
+	snap atomic.Pointer[map[evalKey]cost.Access]
+	// hits counts served-from-cache evaluations. Written with a plain
+	// atomic add on the lock-free path.
+	hits atomic.Int64
+
+	mu        sync.Mutex
+	dirty     map[evalKey]cost.Access // entries not yet in snap; disjoint from it
+	dirtyHits int64                   // hits served from dirty since the last publish
+	misses    int64
+
+	_ [24]byte // pad shards apart (struct ≈ 104B → 128B, two lines)
 }
+
+// publishPressure is the number of mutex-path hits on the dirty tier that
+// force a snapshot republish even below the size threshold: reads landing on
+// dirty mean the write burst is over and the residue should move to the
+// lock-free tier.
+const publishPressure = 64
+
+// publishFloor is the minimum dirty size for a size-triggered republish.
+// Below it a miss burst accumulates in the overlay at plain map-insert cost
+// (exactly the old single-tier cache's price) and is promoted wholesale by
+// read pressure once the burst ends; publishing on every small growth step
+// instead measurably slowed miss-heavy sweeps (each republish copies the
+// snapshot).
+const publishFloor = 256
 
 // evalKey is the complete input of one cost evaluation.
 type evalKey struct {
@@ -46,28 +84,40 @@ type evalKey struct {
 	tm, tk, tl int
 }
 
-// shard hashes the key (FNV-1a over its coordinates) to a shard index.
+// shard hashes the key to a shard index. Each field is folded together with
+// its position (so transposed keys — (m=a,k=b) vs (m=b,k=a) with swapped
+// tiles, common for square operators — hash independently), and a
+// splitmix64-style finalizer avalanches high bits into the low bits the
+// shard index is taken from. The previous word-wise FNV-1a had no field
+// separation and, because multiplication mod 2^64 never carries information
+// downward, its low 6 bits depended only on the low 6 bits of every field —
+// power-of-two tile grids collapsed onto a handful of shards.
 func (k evalKey) shard() int {
 	h := uint64(14695981039346656037)
-	for _, v := range [...]int{k.m, k.k, k.l, int(k.order[0]), int(k.order[1]), int(k.order[2]), k.tm, k.tk, k.tl} {
-		h ^= uint64(v)
+	for i, v := range [...]int{k.m, k.k, k.l, int(k.order[0]), int(k.order[1]), int(k.order[2]), k.tm, k.tk, k.tl} {
+		h ^= uint64(i+1)<<56 ^ uint64(v)
 		h *= 1099511628211
 	}
-	return int(h % evalCacheShards)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h & (evalCacheShards - 1))
 }
 
 // NewEvalCache returns an empty cache.
 func NewEvalCache() *EvalCache {
-	c := &EvalCache{}
-	for i := range c.shards {
-		c.shards[i].m = make(map[evalKey]cost.Access)
-	}
-	return c
+	return &EvalCache{}
 }
 
 // Evaluate returns the exact cost of df on mm, computing it at most once
 // per (shape, order, tiling) over the cache's lifetime. The boolean reports
 // whether this call was served from the cache.
+//
+// This is the search engines' hot loop: a hit costs one atomic pointer
+// load, one immutable map read and one atomic counter add — no mutex, no
+// defer, zero allocations (pinned by TestEvalHotPathZeroAllocs).
 func (c *EvalCache) Evaluate(mm op.MatMul, df dataflow.Dataflow) (cost.Access, bool) {
 	key := evalKey{
 		m: mm.M, k: mm.K, l: mm.L,
@@ -75,23 +125,164 @@ func (c *EvalCache) Evaluate(mm op.MatMul, df dataflow.Dataflow) (cost.Access, b
 		tm:    df.Tiling.TM, tk: df.Tiling.TK, tl: df.Tiling.TL,
 	}
 	sh := &c.shards[key.shard()]
+	if snap := sh.snap.Load(); snap != nil {
+		if a, ok := (*snap)[key]; ok {
+			sh.hits.Add(1)
+			return a, true
+		}
+	}
+	return sh.evaluateSlow(mm, df, key)
+}
+
+// evaluateSlow is the miss/publish path, taken when the immutable snapshot
+// does not hold the key. It re-checks both tiers under the shard mutex (a
+// concurrent miss may have inserted or republished since the lock-free
+// read), evaluates on a true miss, and republishes the snapshot when the
+// dirty overlay has grown past half the published size or absorbed enough
+// reads.
+func (sh *evalCacheShard) evaluateSlow(mm op.MatMul, df dataflow.Dataflow, key evalKey) (cost.Access, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if a, ok := sh.m[key]; ok {
-		sh.hits++
+	snapLen := 0
+	if snap := sh.snap.Load(); snap != nil {
+		snapLen = len(*snap)
+		if a, ok := (*snap)[key]; ok {
+			sh.hits.Add(1)
+			return a, true
+		}
+	}
+	if a, ok := sh.dirty[key]; ok {
+		sh.hits.Add(1)
+		sh.dirtyHits++
+		if sh.dirtyHits >= publishPressure {
+			sh.publishLocked()
+		}
 		return a, true
 	}
 	a := cost.MustEvaluate(mm, df)
-	sh.m[key] = a
+	if sh.dirty == nil {
+		sh.dirty = make(map[evalKey]cost.Access)
+	}
+	sh.dirty[key] = a
 	sh.misses++
+	// Growth-factor publication keeps the merge work amortized O(1) per
+	// insert while guaranteeing the overlay never exceeds ~half the
+	// snapshot beyond the floor, so at most a bounded residue is ever
+	// served under the lock.
+	if len(sh.dirty) >= publishFloor+snapLen/2 {
+		sh.publishLocked()
+	}
 	return a, false
+}
+
+// lookup is the read-only probe of the miss path: it checks both tiers but
+// never evaluates. A hit counts exactly like an Evaluate hit; a miss counts
+// nothing — the caller owns the evaluation and reports it back through
+// insertBulk. Table builds use this pair so 10⁴–10⁶ consecutive misses pay
+// one lock and one snapshot republish per shard instead of one each.
+func (c *EvalCache) lookup(key evalKey) (cost.Access, bool) {
+	sh := &c.shards[key.shard()]
+	if snap := sh.snap.Load(); snap != nil {
+		if a, ok := (*snap)[key]; ok {
+			sh.hits.Add(1)
+			return a, true
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if snap := sh.snap.Load(); snap != nil {
+		if a, ok := (*snap)[key]; ok {
+			sh.hits.Add(1)
+			return a, true
+		}
+	}
+	if a, ok := sh.dirty[key]; ok {
+		sh.hits.Add(1)
+		sh.dirtyHits++
+		if sh.dirtyHits >= publishPressure {
+			sh.publishLocked()
+		}
+		return a, true
+	}
+	return cost.Access{}, false
+}
+
+// bulkEntry is one evaluated candidate handed to insertBulk.
+type bulkEntry struct {
+	key    evalKey
+	access cost.Access
+}
+
+// insertBulk merges externally evaluated entries into the cache with one
+// lock acquisition and at most one snapshot republish per touched shard.
+// Keys that raced in through the normal miss path since the caller's lookup
+// are skipped; every entry actually inserted counts as one miss, keeping
+// Entries == Misses exact.
+func (c *EvalCache) insertBulk(entries []bulkEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	var buckets [evalCacheShards][]bulkEntry
+	for _, e := range entries {
+		s := e.key.shard()
+		buckets[s] = append(buckets[s], e)
+	}
+	for s := range buckets {
+		if len(buckets[s]) == 0 {
+			continue
+		}
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		var old map[evalKey]cost.Access
+		if snap := sh.snap.Load(); snap != nil {
+			old = *snap
+		}
+		next := make(map[evalKey]cost.Access, len(old)+len(sh.dirty)+len(buckets[s]))
+		for k, v := range old {
+			next[k] = v
+		}
+		for k, v := range sh.dirty {
+			next[k] = v
+		}
+		for _, e := range buckets[s] {
+			if _, ok := next[e.key]; ok {
+				continue
+			}
+			next[e.key] = e.access
+			sh.misses++
+		}
+		sh.snap.Store(&next)
+		sh.dirty = nil
+		sh.dirtyHits = 0
+		sh.mu.Unlock()
+	}
+}
+
+// publishLocked merges the dirty overlay into a fresh immutable snapshot and
+// swaps it in. Callers hold sh.mu.
+func (sh *evalCacheShard) publishLocked() {
+	var old map[evalKey]cost.Access
+	if snap := sh.snap.Load(); snap != nil {
+		old = *snap
+	}
+	next := make(map[evalKey]cost.Access, len(old)+len(sh.dirty))
+	for k, v := range old {
+		next[k] = v
+	}
+	for k, v := range sh.dirty {
+		next[k] = v
+	}
+	sh.snap.Store(&next)
+	sh.dirty = nil
+	sh.dirtyHits = 0
 }
 
 // CacheStats summarizes an EvalCache's traffic.
 type CacheStats struct {
 	// Hits counts evaluations served from the cache; Misses counts actual
 	// cost-model invocations. Entries is the resident candidate count
-	// (equal to Misses: each miss inserts exactly one entry).
+	// (equal to Misses: each miss inserts exactly one entry, into exactly
+	// one tier).
 	Hits, Misses, Entries int64
 }
 
@@ -101,9 +292,12 @@ func (c *EvalCache) Stats() CacheStats {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		s.Hits += sh.hits
+		s.Hits += sh.hits.Load()
 		s.Misses += sh.misses
-		s.Entries += int64(len(sh.m))
+		if snap := sh.snap.Load(); snap != nil {
+			s.Entries += int64(len(*snap))
+		}
+		s.Entries += int64(len(sh.dirty))
 		sh.mu.Unlock()
 	}
 	return s

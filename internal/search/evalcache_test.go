@@ -1,0 +1,244 @@
+package search
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fusecu/internal/cost"
+	"fusecu/internal/dataflow"
+	"fusecu/internal/op"
+)
+
+// cacheTestDataflows builds every coarse-lattice dataflow of mm — a
+// realistic key population: exactly what a sweep or serving burst inserts.
+func cacheTestDataflows(t testing.TB, mm op.MatMul) []dataflow.Dataflow {
+	t.Helper()
+	var dfs []dataflow.Dataflow
+	for _, tm := range TileGrid(mm.M) {
+		for _, tk := range TileGrid(mm.K) {
+			for _, tl := range TileGrid(mm.L) {
+				ti := dataflow.MustTiling(mm, tm, tk, tl)
+				for _, o := range dataflow.AllOrders() {
+					dfs = append(dfs, dataflow.Must(mm, o, ti))
+				}
+			}
+		}
+	}
+	return dfs
+}
+
+// TestEvalCacheSharedAcrossIdenticallyShapedOps pins the documented claim
+// that operator names are not part of the cache key: a sweep warmed under
+// one name serves an identically shaped operator under another name
+// entirely from cache, with zero additional cost-model invocations.
+func TestEvalCacheSharedAcrossIdenticallyShapedOps(t *testing.T) {
+	cache := NewEvalCache()
+	qkt := op.MatMul{Name: "QKt-head0", M: 48, K: 32, L: 48}
+	head7 := op.MatMul{Name: "QKt-head7", M: 48, K: 32, L: 48}
+
+	cold, err := ExhaustiveCoarseCached(qkt, 4096, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Evaluations == 0 {
+		t.Fatal("cold sweep reported no evaluations")
+	}
+	missesAfterCold := cache.Stats().Misses
+
+	warm, err := ExhaustiveCoarseCached(head7, 4096, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Evaluations != 0 {
+		t.Errorf("identically shaped op under a different name re-evaluated %d candidates, want 0", warm.Evaluations)
+	}
+	if warm.CacheHits != cold.Evaluations+cold.CacheHits {
+		t.Errorf("warm visits %d != cold visits %d", warm.CacheHits, cold.Evaluations+cold.CacheHits)
+	}
+	if got := cache.Stats().Misses; got != missesAfterCold {
+		t.Errorf("misses grew %d → %d across the renamed rerun", missesAfterCold, got)
+	}
+	if warm.Dataflow != cold.Dataflow || warm.Access != cold.Access {
+		t.Errorf("renamed op optimum %v %+v != original %v %+v", warm.Dataflow, warm.Access, cold.Dataflow, cold.Access)
+	}
+
+	// Direct single-key check, including both tiers (pre- and post-publish).
+	mmA := op.MatMul{Name: "a", M: 5, K: 6, L: 7}
+	mmB := op.MatMul{Name: "b", M: 5, K: 6, L: 7}
+	df := dataflow.Must(mmA, dataflow.AllOrders()[0], dataflow.MustTiling(mmA, 2, 3, 4))
+	if _, hit := cache.Evaluate(mmA, df); hit {
+		t.Fatal("first evaluation reported a hit")
+	}
+	if a, hit := cache.Evaluate(mmB, df); !hit || a != cost.MustEvaluate(mmB, df) {
+		t.Fatalf("renamed re-evaluation hit=%v access=%+v", hit, a)
+	}
+}
+
+// TestEvalCacheEntriesEqualMissesConcurrent drives mixed hit/miss traffic
+// from racing goroutines (run under -race in CI) and asserts the accounting
+// invariant the docs promise: every miss inserts exactly one entry into
+// exactly one tier, so Entries == Misses regardless of publish timing, and
+// Hits + Misses equals the total evaluation count.
+func TestEvalCacheEntriesEqualMissesConcurrent(t *testing.T) {
+	mm := op.MatMul{Name: "conc", M: 24, K: 18, L: 20}
+	dfs := cacheTestDataflows(t, mm)
+	cache := NewEvalCache()
+	const goroutines = 8
+	const opsEach = 4000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				df := dfs[rng.Intn(len(dfs))]
+				if a, _ := cache.Evaluate(mm, df); a != cost.MustEvaluate(mm, df) {
+					t.Errorf("cached access for %v diverged", df)
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+
+	st := cache.Stats()
+	if st.Entries != st.Misses {
+		t.Errorf("Entries %d != Misses %d after concurrent mixed load", st.Entries, st.Misses)
+	}
+	if st.Hits+st.Misses != goroutines*opsEach {
+		t.Errorf("Hits %d + Misses %d != %d evaluations", st.Hits, st.Misses, goroutines*opsEach)
+	}
+	if st.Misses > int64(len(dfs)) {
+		t.Errorf("Misses %d exceed the %d distinct candidates", st.Misses, len(dfs))
+	}
+
+	// Complete the population sequentially, then a full revisit must be all
+	// hits, add no entries, and keep Entries == Misses == |population|.
+	for _, df := range dfs {
+		cache.Evaluate(mm, df)
+	}
+	filled := cache.Stats()
+	if filled.Entries != filled.Misses || filled.Misses != int64(len(dfs)) {
+		t.Errorf("after full fill: Entries %d, Misses %d, want both %d", filled.Entries, filled.Misses, len(dfs))
+	}
+	for _, df := range dfs {
+		if _, hit := cache.Evaluate(mm, df); !hit {
+			t.Fatalf("revisit of %v missed", df)
+		}
+	}
+	if after := cache.Stats(); after.Entries != filled.Entries || after.Misses != filled.Misses {
+		t.Errorf("revisit changed entries/misses: %+v → %+v", filled, after)
+	}
+}
+
+// TestEvalKeyShardDistribution is the regression test for the shard-hash
+// bugfix: the old word-folded FNV had no per-field separation, and because
+// multiplication mod 2^64 never carries information toward the low bits,
+// `h % 64` saw only the low 6 bits of each field — power-of-two dims and
+// tile grids (and transposed square-op keys) collapsed onto a handful of
+// shards. The fixed hash must spread realistic populations evenly: a
+// chi-square statistic over 64 bins with ~63 expected under uniformity must
+// stay below a generous 200 (the old hash lands in the thousands), and no
+// shard may sit empty on populations much larger than the shard count.
+func TestEvalKeyShardDistribution(t *testing.T) {
+	populations := map[string][]evalKey{}
+
+	add := func(name string, mm op.MatMul) {
+		for _, df := range cacheTestDataflows(t, mm) {
+			populations[name] = append(populations[name], evalKey{
+				m: mm.M, k: mm.K, l: mm.L,
+				order: df.Order,
+				tm:    df.Tiling.TM, tk: df.Tiling.TK, tl: df.Tiling.TL,
+			})
+		}
+	}
+	// Square power-of-two op: every dim and tile ≡ 0 mod 64-friendly values —
+	// the exact population the old hash collapsed.
+	add("square-pow2", op.MatMul{Name: "sq", M: 64, K: 64, L: 64})
+	// Transposed pair of a rectangular op: (m=a,k=b) and (m=b,k=a) keys with
+	// swapped tiles must not pile onto the same shards.
+	add("transposed", op.MatMul{Name: "ab", M: 128, K: 32, L: 64})
+	add("transposed", op.MatMul{Name: "ba", M: 32, K: 128, L: 64})
+	// The Fig. 9 sweep shapes (reduced), the serving benchmark's hot shape.
+	add("fig9", op.MatMul{Name: "proj", M: 256, K: 192, L: 192})
+	add("fig9", op.MatMul{Name: "qkt", M: 256, K: 32, L: 256})
+	add("serve", op.MatMul{Name: "bench", M: 32, K: 24, L: 28})
+
+	for name, keys := range populations {
+		var counts [evalCacheShards]int
+		for _, k := range keys {
+			counts[k.shard()]++
+		}
+		exp := float64(len(keys)) / evalCacheShards
+		chi2 := 0.0
+		empty := 0
+		for _, c := range counts {
+			d := float64(c) - exp
+			chi2 += d * d / exp
+			if c == 0 {
+				empty++
+			}
+		}
+		t.Logf("%s: %d keys, chi2 %.1f, %d empty shards", name, len(keys), chi2, empty)
+		if chi2 > 200 {
+			t.Errorf("%s: shard distribution chi2 %.1f over %d keys (expected ≈63 under uniformity, bound 200): %v", name, chi2, len(keys), counts)
+		}
+		if len(keys) >= 8*evalCacheShards && empty > 0 {
+			t.Errorf("%s: %d of %d shards empty across %d keys", name, empty, evalCacheShards, len(keys))
+		}
+	}
+}
+
+// TestEvalHotPathZeroAllocs pins the lock-free hit path's allocation budget
+// at zero: key construction, snapshot load, map read and counter bump must
+// all stay on the stack.
+func TestEvalHotPathZeroAllocs(t *testing.T) {
+	mm := op.MatMul{Name: "alloc", M: 16, K: 12, L: 8}
+	cache := NewEvalCache()
+	dfs := cacheTestDataflows(t, mm)
+	for _, df := range dfs {
+		cache.Evaluate(mm, df) // warm: insert...
+		cache.Evaluate(mm, df) // ...and pressure the overlay toward publish
+	}
+	df := dfs[len(dfs)/2]
+	if _, hit := cache.Evaluate(mm, df); !hit {
+		t.Fatal("warmed key missed")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, hit := cache.Evaluate(mm, df); !hit {
+			t.Fatal("warmed key missed")
+		}
+	}); n != 0 {
+		t.Fatalf("cached-hit evaluation allocates %v objects, want 0", n)
+	}
+}
+
+// TestEvalCachePublishMovesResidue checks the read-pressure publication
+// rule: entries stranded in the mutex-guarded dirty overlay migrate to the
+// lock-free snapshot once enough reads land on them, so steady-state
+// traffic stops taking the mutex entirely.
+func TestEvalCachePublishMovesResidue(t *testing.T) {
+	mm := op.MatMul{Name: "pub", M: 3, K: 3, L: 3}
+	cache := NewEvalCache()
+	df := dataflow.Must(mm, dataflow.AllOrders()[0], dataflow.MustTiling(mm, 1, 1, 1))
+	cache.Evaluate(mm, df)
+	sh := &cache.shards[(evalKey{m: 3, k: 3, l: 3, order: dataflow.AllOrders()[0], tm: 1, tk: 1, tl: 1}).shard()]
+	for i := 0; i < publishPressure+1; i++ {
+		if _, hit := cache.Evaluate(mm, df); !hit {
+			t.Fatal("warmed key missed")
+		}
+	}
+	snap := sh.snap.Load()
+	if snap == nil || len(*snap) == 0 {
+		t.Fatal("read pressure did not publish the dirty overlay into the snapshot")
+	}
+	sh.mu.Lock()
+	residue := len(sh.dirty)
+	sh.mu.Unlock()
+	if residue != 0 {
+		t.Fatalf("dirty overlay still holds %d entries after publish", residue)
+	}
+}

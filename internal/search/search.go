@@ -436,9 +436,75 @@ func OptimizeParallelCtx(ctx context.Context, mm op.MatMul, bufferSize int64, op
 	return optimize(ctx, mm, bufferSize, opts, cache, workers)
 }
 
+// CoarseLatticeLimit is the coarse-lattice size up to which Optimize runs
+// the exact enumeration stage (plus genetic polish); above it only the
+// genetic engine runs. Exported so table-backed callers can reproduce the
+// engine selection exactly.
+const CoarseLatticeLimit = 200_000
+
+// CoarseLattice returns the size of mm's coarse candidate lattice — the
+// quantity Optimize compares against CoarseLatticeLimit.
+func CoarseLattice(mm op.MatMul) int64 {
+	return int64(len(TileGrid(mm.M))) * int64(len(TileGrid(mm.K))) * int64(len(TileGrid(mm.L))) * 6
+}
+
+// OptimizeTable is OptimizeTableCtx without cancellation.
+func OptimizeTable(mm op.MatMul, bufferSize int64, opts GeneticOptions, table *CandTable, cache *EvalCache) (Result, error) {
+	return OptimizeTableCtx(context.Background(), mm, bufferSize, opts, table, cache)
+}
+
+// OptimizeTableCtx is Optimize with the coarse lattice stage served by a
+// prebuilt candidate table instead of a per-call scan: an O(log n) step
+// lookup replaces the O(lattice) enumeration, and the genetic polish runs
+// unchanged. Results are bit-identical to OptimizeParallelCtx for the same
+// inputs (property-tested), including the Evaluations+CacheHits accounting.
+//
+// table must cover mm's shape over GridCoarse when mm's coarse lattice is
+// within CoarseLatticeLimit; above the limit the lattice stage is skipped —
+// exactly as in Optimize — and table may be nil.
+func OptimizeTableCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, table *CandTable, cache *EvalCache) (Result, error) {
+	if err := mm.Validate(); err != nil {
+		return Result{}, err
+	}
+	if CoarseLattice(mm) > CoarseLatticeLimit {
+		return geneticCtx(ctx, mm, bufferSize, opts, cache)
+	}
+	if table == nil {
+		return Result{}, fmt.Errorf("search: OptimizeTable needs a coarse candidate table for %v: %w", mm, errs.ErrInternal)
+	}
+	if tm := table.Op(); tm.M != mm.M || tm.K != mm.K || tm.L != mm.L || table.Grid() != GridCoarse {
+		return Result{}, fmt.Errorf("search: candidate table covers %v over %s grid, want %v coarse: %w", table.Op(), table.Grid(), mm, errs.ErrInternal)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("search: canceled: %w", err)
+	}
+	r, err := table.Best(bufferSize)
+	if err != nil {
+		return Result{}, err
+	}
+	// Same polish-and-keep-better rule as optimize(); the genetic trajectory
+	// is cache-independent, so the combined result matches the scan path
+	// bit for bit. The polish deliberately runs uncached: GA candidates are
+	// off-lattice tilings that almost never repeat, so memoizing them costs
+	// more than it saves and floods the shared cache with dead entries —
+	// the cacheable (lattice) work already lives in the table. The visit
+	// accounting only moves between Evaluations and CacheHits; the sum the
+	// equivalence tests pin is unchanged.
+	g, gerr := geneticCtx(ctx, mm, bufferSize, opts, nil)
+	if gerr == nil && g.Access.Total < r.Access.Total {
+		g.Evaluations += r.Evaluations
+		g.CacheHits += r.CacheHits
+		g.Method = "table+genetic"
+		return g, nil
+	}
+	r.Evaluations += g.Evaluations
+	r.CacheHits += g.CacheHits
+	return r, nil
+}
+
 func optimize(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache, workers int) (Result, error) {
-	lattice := int64(len(TileGrid(mm.M))) * int64(len(TileGrid(mm.K))) * int64(len(TileGrid(mm.L))) * 6
-	if lattice <= 200_000 {
+	lattice := CoarseLattice(mm)
+	if lattice <= CoarseLatticeLimit {
 		var (
 			r   Result
 			err error

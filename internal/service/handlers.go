@@ -214,15 +214,40 @@ func (s *Server) handleSearch(ctx context.Context, body []byte) (any, error) {
 		defer cancel()
 	}
 
+	// Exact engines first try the shared candidate table for the shape: the
+	// per-point scan collapses to an O(log n) footprint lookup, bit-identical
+	// to the scan's answer. Shapes above the table cap — and every request
+	// when DisableTables is set — keep the scan path. A failed build (e.g. an
+	// injected fault in the cost model) flows into the normal error handling
+	// below, so the degraded fallback and error mapping are unchanged.
 	var res search.Result
 	var err error
 	switch req.Engine {
 	case "", "auto":
-		res, err = search.OptimizeParallelCtx(scanCtx, mm, req.Buffer, search.GeneticOptions{Seed: req.Seed}, workers, s.cache)
+		opts := search.GeneticOptions{Seed: req.Seed}
+		if tab, used, terr := s.searchTable(mm, search.GridCoarse, search.CoarseLattice(mm) <= search.CoarseLatticeLimit); terr != nil {
+			err = terr
+		} else if used {
+			res, err = search.OptimizeTableCtx(scanCtx, mm, req.Buffer, opts, tab, s.cache)
+		} else {
+			res, err = search.OptimizeParallelCtx(scanCtx, mm, req.Buffer, opts, workers, s.cache)
+		}
 	case "exhaustive":
-		res, err = search.ParallelExhaustiveCtx(scanCtx, mm, req.Buffer, workers, s.cache)
+		if tab, used, terr := s.searchTable(mm, search.GridFull, true); terr != nil {
+			err = terr
+		} else if used {
+			res, err = tab.Best(req.Buffer)
+		} else {
+			res, err = search.ParallelExhaustiveCtx(scanCtx, mm, req.Buffer, workers, s.cache)
+		}
 	case "coarse":
-		res, err = search.ParallelCoarseCtx(scanCtx, mm, req.Buffer, workers, s.cache)
+		if tab, used, terr := s.searchTable(mm, search.GridCoarse, true); terr != nil {
+			err = terr
+		} else if used {
+			res, err = tab.Best(req.Buffer)
+		} else {
+			res, err = search.ParallelCoarseCtx(scanCtx, mm, req.Buffer, workers, s.cache)
+		}
 	case "genetic":
 		res, err = search.GeneticCtx(scanCtx, mm, req.Buffer, search.GeneticOptions{Seed: req.Seed}, s.cache)
 	default:
@@ -244,6 +269,27 @@ func (s *Server) handleSearch(ctx context.Context, body []byte) (any, error) {
 		Evaluations: res.Evaluations,
 		CacheHits:   res.CacheHits,
 	}, nil
+}
+
+// searchTable resolves the shared candidate table for mm over grid.
+// used=false means the fast path does not apply (disabled, the extra
+// eligible condition is false, or the lattice exceeds the configured cap)
+// and the caller should scan; used=true with a non-nil error means the
+// table path was selected but the build failed — the error carries the
+// build failure (typically errs.ErrInternal from a contained panic) into
+// the handler's normal degradation/error mapping.
+func (s *Server) searchTable(mm op.MatMul, grid search.Grid, eligible bool) (*search.CandTable, bool, error) {
+	if !eligible || s.cfg.DisableTables {
+		return nil, false, nil
+	}
+	if n := search.TableCandidates(mm, grid); n <= 0 || n > s.cfg.TableMaxCandidates {
+		return nil, false, nil
+	}
+	tab, err := s.tables.get(mm, grid)
+	if err != nil {
+		return nil, true, err
+	}
+	return tab, true, nil
 }
 
 // degradeReason decides whether a failed scan should fall back to the

@@ -76,6 +76,17 @@ type Config struct {
 	// "service.search", …), fired once per admitted request before the
 	// handler body. nil (the default) leaves every site disarmed.
 	Injector *faultinject.Injector
+	// TableCapacity bounds the number of per-shape candidate tables kept
+	// resident for /v1/search (LRU-evicted beyond it). Default 64.
+	TableCapacity int
+	// TableMaxCandidates caps the lattice size a request may materialize as
+	// a footprint-indexed candidate table; shapes above it use the scan
+	// engines (and, under deadline pressure, the degraded fallback) as
+	// before. Default 2^21 candidates (~16 MB resident per table bound).
+	TableMaxCandidates int64
+	// DisableTables turns the candidate-table fast path off entirely,
+	// restoring the per-request scan behaviour for every shape.
+	DisableTables bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.DegradeFraction <= 0 || c.DegradeFraction >= 1 {
 		c.DegradeFraction = 0.9
 	}
+	if c.TableCapacity <= 0 {
+		c.TableCapacity = 64
+	}
+	if c.TableMaxCandidates <= 0 {
+		c.TableMaxCandidates = 1 << 21
+	}
 	return c
 }
 
@@ -101,7 +118,10 @@ type Server struct {
 	cfg   Config
 	cache *search.EvalCache
 	reg   *metrics.Registry
-	gate  chan struct{}
+	// tables shares footprint-indexed candidate tables across requests for
+	// identically shaped operators (metrics: table_builds/hits/evictions).
+	tables *tableRegistry
+	gate   chan struct{}
 	// ready gates /readyz only: the daemon flips it true once the listener
 	// is up and false when draining, so load balancers steer traffic away
 	// without affecting requests already routed here.
@@ -116,12 +136,14 @@ type Server struct {
 // not-ready; call SetReady(true) once the listener is accepting.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		cache: search.NewEvalCache(),
 		reg:   metrics.NewRegistry(),
 		gate:  make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.tables = newTableRegistry(cfg.TableCapacity, s.cache, s.reg)
+	return s
 }
 
 // SetReady flips the readiness probe. Liveness (/healthz) is unaffected.

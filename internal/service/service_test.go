@@ -145,8 +145,14 @@ func TestSearchEndpointCacheHitsOnRepeat(t *testing.T) {
 	if first.Dataflow != second.Dataflow {
 		t.Fatalf("cache changed the result: %+v vs %+v", first.Dataflow, second.Dataflow)
 	}
-	if st := s.Cache().Stats(); st.Hits == 0 {
-		t.Fatal("shared cache reports zero hits after identical requests")
+	// Identical shapes are now served by the shared candidate table: the
+	// repeat request must have hit the table registry (the cache fills once
+	// during the build and is not touched per query).
+	if th := s.Registry().Counter("table_hits").Value(); th == 0 {
+		t.Fatalf("repeat request did not hit the table registry (cache %+v)", s.Cache().Stats())
+	}
+	if tb := s.Registry().Counter("table_builds").Value(); tb != 1 {
+		t.Fatalf("table_builds = %d, want 1 (one shape, one build)", tb)
 	}
 }
 
@@ -441,8 +447,11 @@ func TestConcurrentSearchLoad(t *testing.T) {
 	if ok200 == 0 || bad != 0 || ok200+ok429 != clients {
 		t.Fatalf("load outcome: %d ok, %d rejected, %d bad", ok200, ok429, bad)
 	}
-	if st := s.Cache().Stats(); st.Hits == 0 {
-		t.Fatalf("repeated identical operators produced zero cache hits: %+v", st)
+	// Repeated identical operators share one candidate table: exactly one
+	// build, every other admitted request a registry hit.
+	if tb, th := s.Registry().Counter("table_builds").Value(), s.Registry().Counter("table_hits").Value(); tb != 1 || th != int64(ok200-1) {
+		t.Fatalf("table sharing broke: %d builds, %d hits for %d accepted requests (cache %+v)",
+			tb, th, ok200, s.Cache().Stats())
 	}
 	// A 429 is only issued while all 64 slots are occupied, so any shed
 	// request proves the server sustained its full admission ceiling.

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"fusecu/internal/metrics"
+	"fusecu/internal/op"
+	"fusecu/internal/search"
+)
+
+// tableRegistry is the server's bounded per-shape candidate-table store:
+// concurrent /v1/search traffic for identically shaped operators shares one
+// footprint-indexed table, built exactly once (duplicate concurrent
+// requests block on the build instead of racing it) and evicted LRU when
+// the capacity bound is hit. Operator names are not part of the key — cost
+// depends only on the dimensions and the lattice.
+//
+// Eviction only unlinks the registry's reference; requests already holding
+// a table keep using it (tables are immutable), and the next request for an
+// evicted shape rebuilds through the shared EvalCache, which typically
+// still holds the candidates' evaluations.
+type tableRegistry struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // of tableKey; front = most recently used
+	entries map[tableKey]*tableEntry
+	cache   *search.EvalCache
+
+	builds, hits, errors, evictions *metrics.Counter
+	resident                        *metrics.Gauge
+}
+
+// tableKey identifies one table by operator shape and lattice.
+type tableKey struct {
+	m, k, l int
+	grid    search.Grid
+}
+
+// tableEntry is one registry slot. The once gate makes the build
+// single-flight: every request for the shape observes the same build
+// outcome.
+type tableEntry struct {
+	once  sync.Once
+	table *search.CandTable
+	err   error
+	elem  *list.Element
+}
+
+func newTableRegistry(capacity int, cache *search.EvalCache, reg *metrics.Registry) *tableRegistry {
+	return &tableRegistry{
+		cap:       capacity,
+		lru:       list.New(),
+		entries:   map[tableKey]*tableEntry{},
+		cache:     cache,
+		builds:    reg.Counter("table_builds"),
+		hits:      reg.Counter("table_hits"),
+		errors:    reg.Counter("table_build_errors"),
+		evictions: reg.Counter("table_evictions"),
+		resident:  reg.Gauge("tables_resident"),
+	}
+}
+
+// get returns the shared table for mm's shape over grid, building it on
+// first use. A build failure (e.g. an injected fault reaching the cost
+// model) is returned to every request that waited on it, then the slot is
+// discarded so the next request retries instead of pinning a transient
+// error forever.
+func (r *tableRegistry) get(mm op.MatMul, grid search.Grid) (*search.CandTable, error) {
+	key := tableKey{m: mm.M, k: mm.K, l: mm.L, grid: grid}
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if ok {
+		r.lru.MoveToFront(e.elem)
+		r.hits.Inc()
+	} else {
+		e = &tableEntry{}
+		e.elem = r.lru.PushFront(key)
+		r.entries[key] = e
+		r.builds.Inc()
+		for r.lru.Len() > r.cap {
+			back := r.lru.Back()
+			delete(r.entries, back.Value.(tableKey))
+			r.lru.Remove(back)
+			r.evictions.Inc()
+		}
+		r.resident.Set(int64(r.lru.Len()))
+	}
+	r.mu.Unlock()
+
+	e.once.Do(func() {
+		e.table, e.err = search.NewCandTable(mm, grid, r.cache)
+	})
+	if e.err != nil {
+		r.errors.Inc()
+		r.mu.Lock()
+		if cur, ok := r.entries[key]; ok && cur == e {
+			delete(r.entries, key)
+			r.lru.Remove(e.elem)
+			r.resident.Set(int64(r.lru.Len()))
+		}
+		r.mu.Unlock()
+		return nil, e.err
+	}
+	return e.table, nil
+}
+
+// len reports the resident table count (tests).
+func (r *tableRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
