@@ -1,16 +1,37 @@
 GO ?= go
 
-.PHONY: build vet fusecu-vet test test-race test-race-service test-checks fuzz-smoke bench bench-serve bench-full bench-compare bench-baseline check
+.PHONY: build fmt-check vet fusecu-vet vet-fix-list test test-race test-race-service serve-load-race test-checks fuzz-smoke bench bench-serve bench-full bench-compare bench-baseline check
 
 build:
 	$(GO) build ./...
 
+## fmt-check fails (listing the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
 vet:
 	$(GO) vet ./...
 
-## fusecu-vet runs the repo's own invariant analyzers (internal/analysis).
+## fusecu-vet runs the repo's own invariant analyzers (internal/analysis)
+## over the default and the fusecuchecks-tagged file sets. Findings are
+## captured in fusecu-vet.txt (uploaded as a CI artifact) and always echoed
+## in full before a non-zero exit aborts the build.
 fusecu-vet:
-	$(GO) run ./cmd/fusecu-vet ./...
+	@$(GO) run ./cmd/fusecu-vet ./... > fusecu-vet.txt 2>&1; s=$$?; \
+	$(GO) run ./cmd/fusecu-vet -tags fusecuchecks ./... >> fusecu-vet.txt 2>&1 || s=$$?; \
+	cat fusecu-vet.txt; \
+	if [ $$s -eq 0 ]; then echo "fusecu-vet: clean"; fi; \
+	exit $$s
+
+## vet-fix-list renders current findings grouped by analyzer (largest bucket
+## first) for triage sweeps. Reporting only: always exits 0.
+vet-fix-list:
+	$(GO) run ./cmd/fusecu-vet -group ./...
 
 test:
 	$(GO) test ./...
@@ -22,6 +43,12 @@ test-race:
 ## (admission gate, shared EvalCache, metrics registry, graceful shutdown).
 test-race-service:
 	$(GO) test -race ./internal/service ./internal/metrics ./cmd/fusecu-serve
+
+## serve-load-race runs the in-process serve-load smoke under the race
+## detector: concurrent /v1/search waves against the shared EvalCache and
+## admission gate, the configuration most likely to surface a data race.
+serve-load-race:
+	$(GO) run -race ./cmd/fusecu-bench -serve-load -serve-out BENCH_serve_race.json
 
 ## test-checks builds with the fusecuchecks tag so internal/invariant
 ## assertions (checked multiplies, MA lower-bound checks) panic on violation.
@@ -72,5 +99,7 @@ bench-full:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 	$(GO) run ./cmd/fusecu-bench -full -out BENCH_search.json
 
-## check is the full CI gate.
-check: build vet fusecu-vet test test-race test-race-service test-checks fuzz-smoke bench bench-serve
+## check is the full CI gate. Ordering matters: the cheap formatting and
+## lint gates run first so their findings print before any long test phase,
+## and fusecu-vet always echoes its full finding list before aborting.
+check: fmt-check build vet fusecu-vet test test-race test-race-service test-checks fuzz-smoke bench bench-serve

@@ -387,4 +387,3 @@ func TestSearchSurfacesDegradedAnswers(t *testing.T) {
 		t.Fatalf("Degraded counter = %d, want 1", got.Degraded)
 	}
 }
-

@@ -5,12 +5,21 @@
 //
 // Usage:
 //
-//	fusecu-vet [packages]
+//	fusecu-vet [-tags tags] [-group] [packages]
 //
 // With no arguments it checks ./.... The exit status is 0 when the tree is
 // clean, 1 when any analyzer reported findings, and 2 on loader or analyzer
-// failure. Test files are not checked (tests legitimately build invalid
-// values to exercise validation); run `go vet` and the test suite alongside.
+// failure. -tags applies extra build tags (e.g. fusecuchecks) when
+// enumerating package files. -group prints findings grouped by analyzer for
+// triage and always exits 0 — it is a reporting mode, not a gate.
+//
+// Findings can be suppressed per line with a justified annotation:
+//
+//	//fusecu:allow <analyzer>: <justification>
+//
+// on the offending line or the line above it. Test files are not checked
+// (tests legitimately build invalid values to exercise validation); run
+// `go vet` and the test suite alongside.
 package main
 
 import (
@@ -18,12 +27,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"fusecu/internal/analysis"
 	"fusecu/internal/analysis/analyzers"
 )
 
 func main() {
+	tags := flag.String("tags", "", "comma-separated build tags applied when loading packages")
+	group := flag.Bool("group", false, "print findings grouped by analyzer for triage and exit 0")
 	flag.Usage = usage
 	flag.Parse()
 	patterns := flag.Args()
@@ -39,7 +52,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	findings, err := analysis.Vet(root, patterns, analyzers.All(), os.Stdout)
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+	if *group {
+		findings, err := analysis.VetTags(root, patterns, tagList, analyzers.All(), discard{})
+		if err != nil {
+			fatal(err)
+		}
+		printGrouped(root, findings)
+		return
+	}
+	findings, err := analysis.VetTags(root, patterns, tagList, analyzers.All(), os.Stdout)
 	if err != nil {
 		fatal(err)
 	}
@@ -49,8 +74,49 @@ func main() {
 	}
 }
 
+// discard swallows the per-finding stream in -group mode, which re-renders
+// everything grouped instead.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// printGrouped renders findings bucketed by analyzer, most findings first,
+// for triage sweeps (make vet-fix-list).
+func printGrouped(root string, findings []analysis.Finding) {
+	byAnalyzer := map[string][]analysis.Finding{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], f)
+	}
+	names := make([]string, 0, len(byAnalyzer))
+	for name := range byAnalyzer {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if len(byAnalyzer[names[i]]) != len(byAnalyzer[names[j]]) {
+			return len(byAnalyzer[names[i]]) > len(byAnalyzer[names[j]])
+		}
+		return names[i] < names[j]
+	})
+	if len(findings) == 0 {
+		fmt.Println("fusecu-vet: clean (0 findings)")
+		return
+	}
+	for _, name := range names {
+		fs := byAnalyzer[name]
+		fmt.Printf("%s: %d finding(s)\n", name, len(fs))
+		for _, f := range fs {
+			pos := f.Position
+			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+				pos.Filename = rel
+			}
+			fmt.Printf("  %s: %s\n", pos, f.Message)
+		}
+	}
+	fmt.Printf("total: %d finding(s) across %d analyzer(s)\n", len(findings), len(names))
+}
+
 func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(), "usage: fusecu-vet [packages]\n\nAnalyzers:\n")
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: fusecu-vet [-tags tags] [-group] [packages]\n\nAnalyzers:\n")
 	for _, a := range analyzers.All() {
 		fmt.Fprintf(flag.CommandLine.Output(), "  %-22s %s\n", a.Name, a.Doc)
 	}

@@ -86,9 +86,13 @@ func (f Finding) String() string {
 }
 
 // RunPackage applies each analyzer to one loaded package and returns the
-// findings sorted by source position.
+// findings sorted by source position. Findings covered by a well-formed
+// `//fusecu:allow <analyzer>: <justification>` comment on the same or the
+// preceding line are filtered out; malformed suppression comments are
+// reported as findings of the pseudo-analyzer "suppression" (which cannot
+// itself be suppressed).
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	var out []Finding
+	sups, out := collectSuppressions(pkg)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -101,11 +105,15 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
 		}
 		for _, d := range pass.diags {
-			out = append(out, Finding{
+			f := Finding{
 				Analyzer: a.Name,
 				Position: pkg.Fset.Position(d.Pos),
 				Message:  d.Message,
-			})
+			}
+			if suppressed(f, sups) {
+				continue
+			}
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,11 +1,17 @@
-// Package analyzers registers the fusecu-vet analyzer suite: the five
-// invariant linters that keep the optimizer's validity and resilience
-// assumptions machine-enforced as the codebase grows.
+// Package analyzers registers the fusecu-vet analyzer suite: the nine
+// invariant linters that keep the optimizer's validity, concurrency and
+// resilience assumptions machine-enforced as the codebase grows. The first
+// five are syntactic/type-based; the four added with the control-flow-graph
+// engine (see internal/analysis/cfg) are path-sensitive.
 package analyzers
 
 import (
 	"fusecu/internal/analysis"
+	"fusecu/internal/analysis/atomicpublish"
+	"fusecu/internal/analysis/ctxflow"
 	"fusecu/internal/analysis/droppederror"
+	"fusecu/internal/analysis/goroutineleak"
+	"fusecu/internal/analysis/lockbalance"
 	"fusecu/internal/analysis/lockedsimstate"
 	"fusecu/internal/analysis/uncheckedmul"
 	"fusecu/internal/analysis/unrecoveredhandler"
@@ -15,7 +21,11 @@ import (
 // All returns the full fusecu-vet suite in deterministic order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicpublish.Analyzer,
+		ctxflow.Analyzer,
 		droppederror.Analyzer,
+		goroutineleak.Analyzer,
+		lockbalance.Analyzer,
 		lockedsimstate.Analyzer,
 		uncheckedmul.Analyzer,
 		unrecoveredhandler.Analyzer,

@@ -1,0 +1,12 @@
+package atomicpublish_test
+
+import (
+	"testing"
+
+	"fusecu/internal/analysis/analysistest"
+	"fusecu/internal/analysis/atomicpublish"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicpublish.Analyzer)
+}

@@ -1,0 +1,471 @@
+// Package cfg builds intra-procedural control-flow graphs from go/ast
+// function bodies and runs forward dataflow analyses over them. It is the
+// path-sensitive backbone of the fusecu-vet concurrency analyzers
+// (lockbalance, ctxflow, goroutineleak, atomicpublish): where the PR-1
+// analyzers were flat AST walks, these need to reason about what must or may
+// hold on every path — a lock released on one branch but not the other, a
+// goroutine whose only loop has no way out, a snapshot written after its
+// atomic publication on a back edge.
+//
+// The graph is deliberately small: basic blocks of statements (plus the
+// condition expressions that decide branches), explicit edges for if/else,
+// for/range loops (including back edges), switch/type-switch (with
+// fallthrough), select, labeled break/continue/goto, and a single synthetic
+// Exit block that every return reaches. Calls to panic, os.Exit, log.Fatal*
+// and runtime.Goexit terminate their block with an edge to Exit flagged as a
+// panic edge, so analyses can distinguish orderly returns from unwinding.
+// Defer and go statements are ordinary nodes in their block — their
+// registration point is path-sensitive, which is exactly what the analyzers
+// need (a defer mu.Unlock() only covers paths that executed it).
+//
+// Like the rest of internal/analysis, the package is stdlib-only; it mirrors
+// a small slice of golang.org/x/tools/go/cfg in spirit, not in API.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Block is one basic block: a maximal straight-line sequence of nodes with
+// all control transfers at the end. Nodes holds statements in execution
+// order; branch conditions appear as bare ast.Expr nodes at the position
+// where they are evaluated.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (construction order;
+	// Entry is 0).
+	Index int
+	// Nodes are the statements and condition expressions executed in this
+	// block, in order.
+	Nodes []ast.Node
+	// Succs are the possible successors. A block with no successors and no
+	// path to Exit hangs forever (e.g. select{}).
+	Succs []*Block
+	// Preds are the predecessors (maintained for dataflow joins).
+	Preds []*Block
+	// Panic marks a block terminated by panic/os.Exit/log.Fatal/Goexit;
+	// its edge to Exit is an unwinding edge, not an orderly return.
+	Panic bool
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the single synthetic exit block; every return statement and
+	// the implicit fall-off-the-end path has an edge to it.
+	Exit *Block
+	// Blocks lists every block, including unreachable ones (dead code after
+	// a return still gets a block, with no predecessors).
+	Blocks []*Block
+}
+
+// New builds the CFG of a function body. A nil body (declaration without
+// body) yields a graph whose Entry connects straight to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.link(b.cur, b.g.Exit)
+	return b.g
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// ExitReachable reports whether any path from Entry reaches Exit — i.e.
+// whether the function can terminate at all. When panicOK is false, panic
+// edges do not count as termination.
+func (g *Graph) ExitReachable(panicOK bool) bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == nil || seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				if panicOK || !b.Panic {
+					return true
+				}
+				continue
+			}
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.Entry)
+}
+
+// String renders the graph for debugging and tests.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.Index)
+		if b == g.Entry {
+			sb.WriteString(" (entry)")
+		}
+		if b == g.Exit {
+			sb.WriteString(" (exit)")
+		}
+		if b.Panic {
+			sb.WriteString(" (panic)")
+		}
+		fmt.Fprintf(&sb, " nodes=%d ->", len(b.Nodes))
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// builder incrementally grows the graph. cur is the block under
+// construction; nil means the current point is unreachable (just after a
+// terminator), in which case the next statement starts a fresh dangling
+// block so dead code is still represented.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// breaks and continues are the enclosing break/continue target stacks;
+	// entries carry the statement label (empty for unlabeled).
+	breaks    []branchTarget
+	continues []branchTarget
+	// labels maps label names to their blocks, created on demand so forward
+	// gotos resolve.
+	labels map[string]*Block
+	// pendingLabel is the label naming the next loop/switch/select, consumed
+	// by the statement that follows a LabeledStmt.
+	pendingLabel string
+	// fallthroughTarget is the next case-clause body while building a switch
+	// clause.
+	fallthroughTarget *Block
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// link adds an edge from from to to; a nil from (unreachable point) is a
+// no-op.
+func (b *builder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, starting a dangling block for
+// dead code when the current point is unreachable.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// labelBlock returns (creating on demand) the block a label names, shared by
+// the LabeledStmt itself and any gotos targeting it.
+func (b *builder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = map[string]*Block{}
+	}
+	blk, ok := b.labels[name]
+	if !ok {
+		blk = b.newBlock()
+		b.labels[name] = blk
+	}
+	return blk
+}
+
+// takeLabel consumes the pending statement label.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findTarget resolves a break/continue target by label ("" = innermost).
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.link(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		thenB := b.newBlock()
+		b.link(cond, thenB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.link(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		} else {
+			elseEnd = cond
+		}
+		if thenEnd == nil && elseEnd == nil {
+			b.cur = nil
+			return
+		}
+		join := b.newBlock()
+		b.link(thenEnd, join)
+		b.link(elseEnd, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.link(head, exit) // `for {}` has no exit edge from the head
+		}
+		contTarget := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.link(post, head)
+			contTarget = post
+		}
+		body := b.newBlock()
+		b.link(head, body)
+		b.breaks = append(b.breaks, branchTarget{label, exit})
+		b.continues = append(b.continues, branchTarget{label, contTarget})
+		b.cur = body
+		b.stmt(s.Body)
+		b.link(b.cur, contTarget)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.link(b.cur, head)
+		head.Nodes = append(head.Nodes, s) // the range clause itself
+		exit := b.newBlock()
+		b.link(head, exit)
+		body := b.newBlock()
+		b.link(head, body)
+		b.breaks = append(b.breaks, branchTarget{label, exit})
+		b.continues = append(b.continues, branchTarget{label, head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.link(b.cur, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body.List)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		tag := b.cur
+		exit := b.newBlock()
+		b.breaks = append(b.breaks, branchTarget{label, exit})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			body := b.newBlock()
+			b.link(tag, body)
+			if comm.Comm != nil {
+				body.Nodes = append(body.Nodes, comm.Comm)
+			}
+			b.cur = body
+			b.stmtList(comm.Body)
+			b.link(b.cur, exit)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		// A select with no cases (select{}) blocks forever: exit has no
+		// predecessors and everything after it is dead.
+		b.cur = exit
+
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			b.link(b.cur, findTarget(b.breaks, label))
+		case "continue":
+			b.link(b.cur, findTarget(b.continues, label))
+		case "goto":
+			b.link(b.cur, b.labelBlock(label))
+		case "fallthrough":
+			b.link(b.cur, b.fallthroughTarget)
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTerminatingCall(call) {
+			b.cur.Panic = true
+			b.link(b.cur, b.g.Exit)
+			b.cur = nil
+		}
+
+	default:
+		// Assignments, declarations, defer, go, send, incdec, empty: plain
+		// nodes with fall-through control flow.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause bodies of a (type) switch. The dispatch
+// block fans out to every clause body; absent a default clause it also flows
+// straight to the exit.
+func (b *builder) switchClauses(label string, clauses []ast.Stmt) {
+	tag := b.cur
+	exit := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label, exit})
+
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		bodies[i] = b.newBlock()
+		b.link(tag, bodies[i])
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.link(tag, exit)
+	}
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			bodies[i].Nodes = append(bodies[i].Nodes, e)
+		}
+		prevFT := b.fallthroughTarget
+		b.fallthroughTarget = nil
+		if i+1 < len(bodies) {
+			b.fallthroughTarget = bodies[i+1]
+		}
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		b.link(b.cur, exit)
+		b.fallthroughTarget = prevFT
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = exit
+}
+
+// isTerminatingCall reports whether call never returns: the panic builtin,
+// os.Exit, runtime.Goexit, or log.Fatal*. The check is name-based (the
+// builder has no type information by design); shadowing these names defeats
+// it, which the repo does not do.
+func isTerminatingCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal"):
+			return true
+		}
+	}
+	return false
+}

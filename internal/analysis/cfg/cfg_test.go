@@ -1,0 +1,369 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a function declaration and returns its
+// block statement.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file, err := parser.ParseFile(token.NewFileSet(), "x.go", "package x\nfunc f() {\n"+src+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestStraightLineReachesExit(t *testing.T) {
+	g := New(parseBody(t, `x := 1; y := x + 1; _ = y`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("straight-line body should reach exit:\n%s", g)
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry block should hold all three statements, got %d:\n%s", len(g.Entry.Nodes), g)
+	}
+}
+
+func TestIfElseBothBranchesJoin(t *testing.T) {
+	g := New(parseBody(t, `
+		if cond() {
+			a()
+		} else {
+			b()
+		}
+		c()`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("if/else should reach exit:\n%s", g)
+	}
+	// cond block must have two successors (then, else).
+	reach := g.Reachable()
+	two := false
+	for b := range reach {
+		if len(b.Succs) == 2 {
+			two = true
+		}
+	}
+	if !two {
+		t.Fatalf("expected a two-way branch block:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopDoesNotReachExit(t *testing.T) {
+	g := New(parseBody(t, `for { work() }`))
+	if g.ExitReachable(false) {
+		t.Fatalf("for{} with no break should not reach exit:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopWithBreakReachesExit(t *testing.T) {
+	g := New(parseBody(t, `
+		for {
+			if done() {
+				break
+			}
+		}`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("for{} with conditional break should reach exit:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopWithReturnReachesExit(t *testing.T) {
+	g := New(parseBody(t, `
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				use(v)
+			}
+		}`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("loop with select-return should reach exit:\n%s", g)
+	}
+}
+
+func TestSelectWithoutReturnLoopsForever(t *testing.T) {
+	g := New(parseBody(t, `
+		for {
+			select {
+			case <-done:
+				cleanup()
+			case v := <-ch:
+				use(v)
+			}
+		}`))
+	if g.ExitReachable(false) {
+		t.Fatalf("loop whose select never exits should not reach exit:\n%s", g)
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := New(parseBody(t, `select {}`))
+	if g.ExitReachable(false) {
+		t.Fatalf("select{} should not reach exit:\n%s", g)
+	}
+}
+
+func TestRangeLoopReachesExit(t *testing.T) {
+	g := New(parseBody(t, `for v := range ch { use(v) }`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("range loop should reach exit (channel close):\n%s", g)
+	}
+}
+
+func TestPanicIsNotOrderlyExit(t *testing.T) {
+	g := New(parseBody(t, `panic("boom")`))
+	if g.ExitReachable(false) {
+		t.Fatalf("panic-only body should not reach exit orderly:\n%s", g)
+	}
+	if !g.ExitReachable(true) {
+		t.Fatalf("panic-only body should reach exit when panics count:\n%s", g)
+	}
+}
+
+func TestLabeledBreakEscapesOuterLoop(t *testing.T) {
+	g := New(parseBody(t, `
+	outer:
+		for {
+			for {
+				break outer
+			}
+		}`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("labeled break should escape both loops:\n%s", g)
+	}
+}
+
+func TestLabeledContinueStaysInLoop(t *testing.T) {
+	g := New(parseBody(t, `
+	outer:
+		for {
+			for {
+				continue outer
+			}
+		}`))
+	if g.ExitReachable(false) {
+		t.Fatalf("labeled continue should not create an exit path:\n%s", g)
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := New(parseBody(t, `
+		goto done
+	done:
+		cleanup()`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("forward goto should reach exit:\n%s", g)
+	}
+}
+
+func TestGotoBackwardLoopsForever(t *testing.T) {
+	g := New(parseBody(t, `
+	again:
+		work()
+		goto again`))
+	if g.ExitReachable(false) {
+		t.Fatalf("unconditional backward goto should not reach exit:\n%s", g)
+	}
+}
+
+func TestSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	g := New(parseBody(t, `
+		switch x {
+		case 1:
+			a()
+		case 2:
+			return
+		}
+		b()`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("switch without default should flow past:\n%s", g)
+	}
+}
+
+func TestSwitchAllReturnWithDefaultSkipsTail(t *testing.T) {
+	g := New(parseBody(t, `
+		switch x {
+		case 1:
+			return
+		default:
+			return
+		}`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("returning switch should reach exit:\n%s", g)
+	}
+	// The implicit fall-off block after the switch is unreachable.
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if len(b.Preds) == 0 && b != g.Entry && reach[b] {
+			t.Fatalf("block %d reachable without predecessors:\n%s", b.Index, g)
+		}
+	}
+}
+
+func TestFallthroughLinksNextClause(t *testing.T) {
+	g := New(parseBody(t, `
+		switch x {
+		case 1:
+			fallthrough
+		case 2:
+			return
+		default:
+		}`))
+	if !g.ExitReachable(false) {
+		t.Fatalf("fallthrough switch should reach exit:\n%s", g)
+	}
+}
+
+func TestDeadCodeGetsDanglingBlock(t *testing.T) {
+	g := New(parseBody(t, `
+		return
+		dead()`)) //nolint — intentionally unreachable
+	reach := g.Reachable()
+	var deadBlocks int
+	for _, b := range g.Blocks {
+		if !reach[b] && len(b.Nodes) > 0 {
+			deadBlocks++
+		}
+	}
+	if deadBlocks == 0 {
+		t.Fatalf("dead code should land in an unreachable block:\n%s", g)
+	}
+}
+
+// TestForwardMayAnalysis runs a may-analysis counting which "mark" calls can
+// have executed: fact = bitset of marks seen on some path.
+func TestForwardMayAnalysis(t *testing.T) {
+	body := parseBody(t, `
+		mark1()
+		if cond() {
+			mark2()
+		}
+		mark3()`)
+	g := New(body)
+	markOf := func(n ast.Node) int {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return 0
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return 0
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return 0
+		}
+		switch id.Name {
+		case "mark1":
+			return 1
+		case "mark2":
+			return 2
+		case "mark3":
+			return 4
+		}
+		return 0
+	}
+	in := Forward(g, Analysis[uint]{
+		Entry: 0,
+		Join:  func(a, b uint) uint { return a | b },
+		Equal: func(a, b uint) bool { return a == b },
+		Transfer: func(b *Block, f uint) uint {
+			for _, n := range b.Nodes {
+				f |= uint(markOf(n))
+			}
+			return f
+		},
+	})
+	got, ok := in[g.Exit]
+	if !ok {
+		t.Fatalf("exit has no fact:\n%s", g)
+	}
+	if got != 1|2|4 {
+		t.Fatalf("exit fact = %b, want 111:\n%s", got, g)
+	}
+}
+
+// TestForwardMustAnalysis checks intersection joins: mark2 only executes on
+// one path, so at exit only mark1 and mark3 must have run.
+func TestForwardMustAnalysis(t *testing.T) {
+	body := parseBody(t, `
+		mark1()
+		if cond() {
+			mark2()
+		}
+		mark3()`)
+	g := New(body)
+	markOf := func(n ast.Node) uint {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return 0
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return 0
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return 0
+		}
+		switch id.Name {
+		case "mark1":
+			return 1
+		case "mark2":
+			return 2
+		case "mark3":
+			return 4
+		}
+		return 0
+	}
+	in := Forward(g, Analysis[uint]{
+		Entry: 0,
+		Join:  func(a, b uint) uint { return a & b },
+		Equal: func(a, b uint) bool { return a == b },
+		Transfer: func(b *Block, f uint) uint {
+			for _, n := range b.Nodes {
+				f |= markOf(n)
+			}
+			return f
+		},
+	})
+	if got := in[g.Exit]; got != 1|4 {
+		t.Fatalf("exit must-fact = %b, want 101:\n%s", got, g)
+	}
+}
+
+// TestLoopFixpoint exercises the back edge: a fact set in the loop body must
+// propagate to the loop head on the second iteration.
+func TestLoopFixpoint(t *testing.T) {
+	body := parseBody(t, `
+		for i := 0; i < n; i++ {
+			mark1()
+		}
+		tail()`)
+	g := New(body)
+	in := Forward(g, Analysis[uint]{
+		Entry: 0,
+		Join:  func(a, b uint) uint { return a | b },
+		Equal: func(a, b uint) bool { return a == b },
+		Transfer: func(b *Block, f uint) uint {
+			for _, n := range b.Nodes {
+				if es, ok := n.(*ast.ExprStmt); ok {
+					if call, ok := es.X.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark1" {
+							f |= 1
+						}
+					}
+				}
+			}
+			return f
+		},
+	})
+	if got := in[g.Exit]; got != 1 {
+		t.Fatalf("loop body fact should reach exit via back edge, got %b:\n%s", got, g)
+	}
+}

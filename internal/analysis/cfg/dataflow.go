@@ -1,0 +1,64 @@
+package cfg
+
+// This file is the worklist dataflow engine the path-sensitive analyzers
+// share. It computes, for every reachable block, the fact holding at block
+// entry under a forward analysis: facts flow along CFG edges, merge at joins
+// through the analysis's Join (union for may-facts, intersection for
+// must-facts), and iterate to a fixpoint. Analyzers then replay Transfer
+// node-by-node inside each block to check per-statement conditions (a send
+// while a lock may be held, a write after a pointer may be published).
+
+// Analysis describes one forward dataflow problem over facts of type F.
+// Facts must form a finite lattice under Join for the fixpoint to exist; the
+// engine additionally bounds its iteration count defensively.
+type Analysis[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Join merges the facts of two incoming edges. It must be commutative,
+	// associative and monotone, and must not mutate its arguments.
+	Join func(F, F) F
+	// Equal reports fact equality; the fixpoint stops re-queuing a block
+	// when its entry fact is unchanged.
+	Equal func(F, F) bool
+	// Transfer computes the fact at block exit from the fact at block entry,
+	// applying the block's nodes in order. It must not mutate its input.
+	Transfer func(*Block, F) F
+}
+
+// maxVisitsPerBlock bounds fixpoint iteration per block; the analyzers' fact
+// lattices are tiny (per-variable bitmasks), so hitting the bound means a
+// non-monotone Transfer — the engine stops rather than hangs, leaving the
+// facts computed so far (a missed finding, never a spurious one, since every
+// recorded fact is reachable).
+const maxVisitsPerBlock = 256
+
+// Forward runs the analysis to fixpoint and returns the entry fact of every
+// reachable block. Unreachable blocks (dead code) have no entry in the map.
+func Forward[F any](g *Graph, a Analysis[F]) map[*Block]F {
+	in := map[*Block]F{g.Entry: a.Entry}
+	visits := map[*Block]int{}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visits[b]++; visits[b] > maxVisitsPerBlock {
+			continue
+		}
+		out := a.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			cur, seen := in[s]
+			var next F
+			if seen {
+				next = a.Join(cur, out)
+				if a.Equal(next, cur) {
+					continue
+				}
+			} else {
+				next = out
+			}
+			in[s] = next
+			work = append(work, s)
+		}
+	}
+	return in
+}

@@ -11,7 +11,14 @@ import (
 // `file:line:col: message (analyzer)` form with paths relative to the module
 // root, and returns the findings.
 func Vet(moduleRoot string, patterns []string, analyzers []*Analyzer, w io.Writer) ([]Finding, error) {
-	loader, err := NewLoader(moduleRoot)
+	return VetTags(moduleRoot, patterns, nil, analyzers, w)
+}
+
+// VetTags is Vet with extra build tags applied when enumerating package
+// files, so tag-gated code (-tags=fusecuchecks) is analyzed in its enabled
+// configuration.
+func VetTags(moduleRoot string, patterns, tags []string, analyzers []*Analyzer, w io.Writer) ([]Finding, error) {
+	loader, err := NewLoaderTags(moduleRoot, tags)
 	if err != nil {
 		return nil, err
 	}

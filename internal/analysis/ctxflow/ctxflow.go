@@ -1,0 +1,298 @@
+// Package ctxflow defines an analyzer enforcing the repository's context
+// discipline: long-running work must be cancelable from the outside.
+//
+// Two rules, both intra-procedural:
+//
+//  1. Exported functions in the scoped package trees (see ScopePrefixes —
+//     the search engines, the simulator, the experiment harnesses and the
+//     serving layer) that block or spawn work — a go statement, a blocking
+//     channel operation, a select without default, sync.WaitGroup.Wait or
+//     time.Sleep — must accept a context.Context (an *http.Request
+//     parameter also qualifies: handlers get their context from the
+//     request).
+//
+//  2. context.Background() and context.TODO() are banned everywhere except
+//     the exempt trees (ExemptPrefixes — binaries under cmd/ own their
+//     root context) and facade entry shims. A facade shim is the one shape
+//     the repository's Foo/FooCtx API-pair convention needs: a function
+//     declaration whose body is exactly one statement calling a callee
+//     with context.Background() passed directly. Anything larger must
+//     thread a caller-supplied context instead.
+//
+// The rules are deliberately syntactic and local so a finding is always
+// actionable at the reported line: add a ctx parameter, extract a *Ctx
+// variant, or collapse the caller into a true one-line shim.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fusecu/internal/analysis"
+)
+
+// ScopePrefixes lists the package-path prefixes whose exported functions
+// fall under rule 1. Rule 2 applies everywhere outside ExemptPrefixes.
+var ScopePrefixes = []string{
+	"fusecu/internal/search",
+	"fusecu/internal/service",
+	"fusecu/internal/sim",
+	"fusecu/internal/experiments",
+}
+
+// ExemptPrefixes lists package-path prefixes where context.Background() is
+// legitimate: binaries own their root context.
+var ExemptPrefixes = []string{
+	"fusecu/cmd/",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported blocking/spawning functions in scoped packages must accept context.Context; context.Background() is banned outside cmd/ and one-line facade shims",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	scoped := hasPrefix(path, ScopePrefixes)
+	exempt := hasPrefix(path, ExemptPrefixes)
+
+	for _, file := range pass.Files {
+		if scoped {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				checkExported(pass, fd)
+			}
+		}
+		if !exempt {
+			analysis.ForEachFuncBody(file, func(owner ast.Node, body *ast.BlockStmt) {
+				checkBackground(pass, owner, body)
+			})
+		}
+	}
+	return nil
+}
+
+func hasPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExported applies rule 1 to one exported function declaration.
+func checkExported(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if carriesContext(pass, fd) {
+		return
+	}
+	if why := blockingOp(pass, fd.Body); why != "" {
+		pass.Reportf(fd.Name.Pos(),
+			"exported function %s %s but has no context.Context parameter; add one or provide a %sCtx variant",
+			fd.Name.Name, why, fd.Name.Name)
+	}
+}
+
+// carriesContext reports whether the declaration receives a cancelation
+// signal: a context.Context parameter or an *http.Request (whose Context
+// method serves the same role for handlers).
+func carriesContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return signatureCarriesContext(sig)
+}
+
+func signatureCarriesContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if analysis.IsNamed(t, "context", "Context") || analysis.IsNamed(t, "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingOp returns a short description of the first operation in body
+// (not descending into nested function literals) that blocks or spawns
+// work, or "" when there is none. Select statements with a default clause
+// are non-blocking, and so are the channel operations in their
+// communication clauses.
+func blockingOp(pass *analysis.Pass, body *ast.BlockStmt) string {
+	nonBlocking := map[ast.Node]bool{}
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || !hasDefault(sel) {
+			return true
+		}
+		nonBlocking[sel] = true
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.SendStmt, *ast.UnaryExpr:
+					nonBlocking[m] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	why := ""
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			why = "spawns a goroutine"
+		case *ast.SendStmt:
+			if !nonBlocking[n] {
+				why = "sends on a channel"
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonBlocking[n] {
+				why = "receives from a channel"
+			}
+		case *ast.SelectStmt:
+			if !nonBlocking[n] {
+				why = "blocks in a select"
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					why = "ranges over a channel"
+				}
+			}
+		case *ast.CallExpr:
+			if fn, _ := analysis.SyncMethod(pass.TypesInfo, n); fn != nil && fn.Name() == "Wait" {
+				recv := "sync primitive"
+				if named := analysis.NamedOf(fn.Type().(*types.Signature).Recv().Type()); named != nil {
+					recv = "sync." + named.Obj().Name()
+				}
+				why = "waits on a " + recv
+			}
+			if fn := analysis.Callee(pass.TypesInfo, n); fn != nil &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				why = "sleeps"
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// checkBackground applies rule 2 to one function body.
+func checkBackground(pass *analysis.Pass, owner ast.Node, body *ast.BlockStmt) {
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := backgroundName(pass, call)
+		if name == "" {
+			return true
+		}
+		if ownerCarriesContext(pass, owner) {
+			// A function that already receives a context is never a
+			// legitimate shim — it has the value it should be passing.
+			pass.Reportf(call.Pos(),
+				"context.%s() inside a function that already receives a context.Context; thread the parameter instead", name)
+		} else if _, ok := owner.(*ast.FuncDecl); ok && isFacadeShim(body, call) {
+			// One-statement Foo → FooCtx(context.Background(), …) facade.
+		} else {
+			pass.Reportf(call.Pos(),
+				"context.%s() outside cmd/ and facade shims; accept a context.Context or extract a one-line *Ctx shim", name)
+		}
+		return true
+	})
+}
+
+// backgroundName returns "Background" or "TODO" when call is
+// context.Background() / context.TODO(), else "".
+func backgroundName(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// isFacadeShim reports whether body is exactly one statement — a return of,
+// or expression consisting of, a single call — with bg passed directly as
+// one of that call's arguments. This is the Foo → FooCtx(context.Background(),
+// …) API-pair shape; anything more is real logic that must thread a caller's
+// context.
+func isFacadeShim(body *ast.BlockStmt, bg *ast.CallExpr) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = ast.Unparen(s.Results[0]).(*ast.CallExpr)
+		}
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+	}
+	if call == nil {
+		return false
+	}
+	for _, arg := range call.Args {
+		if ast.Unparen(arg) == ast.Expr(bg) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerCarriesContext reports whether the function owning a body has a
+// context-carrying parameter (see carriesContext). For function literals
+// the literal's own signature is consulted — a goroutine body that wants
+// the enclosing context should close over it explicitly.
+func ownerCarriesContext(pass *analysis.Pass, owner ast.Node) bool {
+	switch o := owner.(type) {
+	case *ast.FuncDecl:
+		fn, _ := pass.TypesInfo.Defs[o.Name].(*types.Func)
+		if fn == nil {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		return ok && signatureCarriesContext(sig)
+	case *ast.FuncLit:
+		if t := pass.TypeOf(o); t != nil {
+			if sig, ok := t.(*types.Signature); ok {
+				return signatureCarriesContext(sig)
+			}
+		}
+	}
+	return false
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"fusecu/internal/analysis/analysistest"
+	"fusecu/internal/analysis/ctxflow"
+)
+
+// The fixture package loads under the path "fixture/ctxflow"; register it
+// as scoped so rule 1 applies, exactly as the real internal/search tree is.
+func TestAnalyzer(t *testing.T) {
+	defer restore()()
+	ctxflow.ScopePrefixes = append(ctxflow.ScopePrefixes, "fixture/ctxflow")
+	analysistest.Run(t, "testdata", ctxflow.Analyzer)
+}
+
+// The exempt fixture uses context.Background freely; with the fixture path
+// registered as exempt (the role cmd/ plays in the real tree) the analyzer
+// must stay silent — the fixture has no want comments.
+func TestExemptTree(t *testing.T) {
+	defer restore()()
+	ctxflow.ExemptPrefixes = append(ctxflow.ExemptPrefixes, "fixture/ctxflow")
+	analysistest.Run(t, "testdata/exempt", ctxflow.Analyzer)
+}
+
+func restore() func() {
+	scope := ctxflow.ScopePrefixes
+	exempt := ctxflow.ExemptPrefixes
+	return func() {
+		ctxflow.ScopePrefixes = scope
+		ctxflow.ExemptPrefixes = exempt
+	}
+}

@@ -1,0 +1,14 @@
+// Package fixture is loaded by the ctxflow test with the package path
+// registered as exempt (the cmd/ role): context.Background() here is the
+// process root context and must produce no findings.
+package fixture
+
+import "context"
+
+func mainLike() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	work(ctx)
+}
+
+func work(ctx context.Context) { <-ctx.Done() }

@@ -1,0 +1,122 @@
+// Package fixture exercises the ctxflow analyzer. The test registers this
+// package's path as scoped, so rule 1 (exported blocking functions need a
+// context) and rule 2 (no context.Background outside shims) both apply.
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// --- rule 1 true positives ----------------------------------------------
+
+func SpawnsWithoutCtx(ch chan int) { // want "exported function SpawnsWithoutCtx spawns a goroutine but has no context.Context parameter"
+	go func() { ch <- 1 }()
+}
+
+func BlocksOnReceive(ch chan int) int { // want "exported function BlocksOnReceive receives from a channel but has no context.Context parameter"
+	return <-ch
+}
+
+func WaitsWithoutCtx(wg *sync.WaitGroup) { // want "exported function WaitsWithoutCtx waits on a sync.WaitGroup but has no context.Context parameter"
+	wg.Wait()
+}
+
+func SleepsWithoutCtx() { // want "exported function SleepsWithoutCtx sleeps but has no context.Context parameter"
+	time.Sleep(time.Millisecond)
+}
+
+// --- rule 1 true negatives ----------------------------------------------
+
+func SpawnsWithCtx(ctx context.Context, ch chan int) {
+	go func() { ch <- 1 }()
+	<-ctx.Done()
+}
+
+func HandlerGetsCtxFromRequest(w http.ResponseWriter, r *http.Request, ch chan int) {
+	<-ch
+}
+
+// unexported functions may block without a context parameter; their callers
+// own the discipline.
+func spawnHelper(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// Pure computation needs no context.
+func PureComputation(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// A select with a default clause is non-blocking.
+func PollOnly(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// --- rule 2 true positives ----------------------------------------------
+
+func backgroundInRealLogic(ch chan int) error {
+	ctx := context.Background() // want "context.Background\\(\\) outside cmd/ and facade shims"
+	_ = ctx
+	spawnHelper(ch)
+	return nil
+}
+
+func todoInRealLogic() context.Context {
+	c := context.TODO() // want "context.TODO\\(\\) outside cmd/ and facade shims"
+	return c
+}
+
+func hasCtxButIgnoresIt(ctx context.Context, ch chan int) {
+	run(context.Background(), ch) // want "context.Background\\(\\) inside a function that already receives a context.Context; thread the parameter"
+}
+
+// A two-statement body is not a shim: validation must move into the *Ctx
+// variant so the entry point collapses to one line.
+func notAShimTwoStatements(ch chan int) error {
+	if ch == nil {
+		return nil
+	}
+	return runErr(context.Background(), ch) // want "context.Background\\(\\) outside cmd/ and facade shims"
+}
+
+// --- rule 2 true negatives ----------------------------------------------
+
+// Run is a facade shim: one statement, Background passed directly.
+func Run(ch chan int) {
+	run(context.Background(), ch)
+}
+
+// RunErr is the returning-shim shape.
+func RunErr(ch chan int) error {
+	return runErr(context.Background(), ch)
+}
+
+func run(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case <-ch:
+	}
+}
+
+func runErr(ctx context.Context, ch chan int) error {
+	run(ctx, ch)
+	return nil
+}
+
+// --- suppression --------------------------------------------------------
+
+func suppressedBackground() context.Context {
+	return context.Background() //fusecu:allow ctxflow: fixture — proves suppression silences rule 2 here
+}

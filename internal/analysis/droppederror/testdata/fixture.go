@@ -5,10 +5,12 @@
 package fixture
 
 import (
+	"errors"
 	"fmt"
 
 	"fusecu/internal/cost"
 	"fusecu/internal/dataflow"
+	"fusecu/internal/invariant"
 	"fusecu/internal/op"
 )
 
@@ -42,4 +44,50 @@ func cleanNonInternal() {
 
 func cleanNoError(t dataflow.Tiling) {
 	t.Footprint() // no error result: plain discard is fine
+}
+
+// --- regression: explicit generic instantiation --------------------------
+
+func flaggedGenericInstantiation(ms []op.MatMul) {
+	invariant.ValidateAll[op.MatMul](ms...) // want "error result of .*ValidateAll.* is discarded"
+}
+
+func flaggedGenericBlank(ms []op.MatMul) {
+	_ = invariant.ValidateAll[op.MatMul](ms...) // want "error result of .*ValidateAll.* is assigned to _"
+}
+
+func flaggedGenericInferred(ms []op.MatMul) {
+	invariant.ValidateAll(ms...) // want "error result of .*ValidateAll.* is discarded"
+}
+
+func cleanGenericHandled(ms []op.MatMul) error {
+	return invariant.ValidateAll(ms...)
+}
+
+// --- regression: method expressions and method values --------------------
+
+func flaggedMethodExpression(c *op.Chain) {
+	(*op.Chain).Validate(c) // want "error result of .*Validate.* is discarded"
+}
+
+// A method value erases the static callee: the call is through a function
+// variable, which this analyzer (like go vet) deliberately does not chase.
+func cleanMethodValue(c *op.Chain) {
+	f := c.Validate
+	f()
+}
+
+// --- regression: aggregated error handling is not a discard ---------------
+
+func cleanErrorsJoin(c *op.Chain, df dataflow.Dataflow) error {
+	_, err := cost.Evaluate(mm, df)
+	return errors.Join(err, c.Validate())
+}
+
+func cleanMultiWrap(c *op.Chain, df dataflow.Dataflow) error {
+	_, err := cost.Evaluate(mm, df)
+	if err2 := c.Validate(); err != nil || err2 != nil {
+		return fmt.Errorf("fixture: %w; %w", err, err2)
+	}
+	return nil
 }

@@ -1,0 +1,284 @@
+// Package goroutineleak defines an analyzer requiring a provable
+// termination path for every goroutine. A `go` statement passes if any of
+// these witnesses holds, all checkable within the spawning function:
+//
+//   - bounded body: the goroutine is a function literal whose control-flow
+//     graph reaches its exit and whose body contains no potentially-forever
+//     blocking operation (channel send/receive outside a select with
+//     default, select without default, range over a channel,
+//     sync.WaitGroup.Wait);
+//   - WaitGroup join: the body calls Done on a sync.WaitGroup and the
+//     spawning function waits on one — the repository's worker-pool shape;
+//   - cancellation: the body receives from a context's Done channel
+//     (directly or as a select case), so canceling the context unblocks it;
+//   - channel close: the body ranges over (or receives from) a channel that
+//     the spawning function closes;
+//   - single communication: the body is exactly one channel send or
+//     receive — the `go func() { errc <- srv.Serve(ln) }()` idiom, bounded
+//     by the lifetime of the peer endpoint;
+//   - lifecycle defer: the spawning function defers a Close, Shutdown or
+//     Stop call, tying the goroutine to an object whose teardown unblocks
+//     it (the embedded-server shape).
+//
+// For `go f(…)` where f is not a literal the body is invisible, so only the
+// WaitGroup-join and lifecycle-defer witnesses (judged from the spawning
+// side alone) apply.
+//
+// The witness list is a closed, documented set on purpose: a goroutine
+// whose termination argument cannot be expressed in one of these local
+// shapes needs either restructuring or a justified //fusecu:allow.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fusecu/internal/analysis"
+	"fusecu/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc:  "every go statement needs a provable termination path: ctx.Done select, channel close, WaitGroup join, bounded body, single send, or lifecycle defer",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.ForEachFuncBody(file, func(owner ast.Node, body *ast.BlockStmt) {
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+// enclosing captures the spawning-side termination evidence of one function
+// body: channels it closes, whether it joins a WaitGroup, and whether it
+// defers a lifecycle teardown.
+type enclosing struct {
+	closed         map[string]bool
+	waits          bool
+	lifecycleDefer bool
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var spawns []*ast.GoStmt
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			spawns = append(spawns, g)
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+	env := collectEnclosing(pass, body)
+	for _, g := range spawns {
+		checkGo(pass, g, env)
+	}
+}
+
+// collectEnclosing gathers the spawning function's own evidence. The scan is
+// shallow except that deferred function literals count: a `defer func() {
+// close(ch) }()` closes ch on every exit path just as a direct defer does.
+func collectEnclosing(pass *analysis.Pass, body *ast.BlockStmt) enclosing {
+	env := enclosing{closed: map[string]bool{}}
+	note := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				env.closed[types.ExprString(n.Args[0])] = true
+			}
+			if fn, _ := analysis.SyncMethod(pass.TypesInfo, n); fn != nil && fn.Name() == "Wait" &&
+				analysis.IsNamed(fn.Type().(*types.Signature).Recv().Type(), "sync", "WaitGroup") {
+				env.waits = true
+			}
+		case *ast.DeferStmt:
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Close", "Shutdown", "Stop":
+					env.lifecycleDefer = true
+				}
+			}
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+							env.closed[types.ExprString(call.Args[0])] = true
+						}
+						if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+							switch sel.Sel.Name {
+							case "Close", "Shutdown", "Stop":
+								env.lifecycleDefer = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	}
+	analysis.InspectShallow(body, note)
+	return env
+}
+
+func checkGo(pass *analysis.Pass, g *ast.GoStmt, env enclosing) {
+	lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !isLit {
+		if env.waits || env.lifecycleDefer {
+			return
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine body is not a function literal and the spawning function shows no termination evidence (WaitGroup join or lifecycle defer); inline the body or restructure")
+		return
+	}
+
+	if singleComm(lit.Body) {
+		return
+	}
+	w := bodyWitness(pass, lit.Body)
+	if w.doneSelect {
+		return
+	}
+	if w.callsDone && env.waits {
+		return
+	}
+	for ch := range w.consumed {
+		if env.closed[ch] {
+			return
+		}
+	}
+	if !w.blocking && cfg.New(lit.Body).ExitReachable(false) {
+		return
+	}
+	if env.lifecycleDefer {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine has no provable termination path: no ctx.Done receive, no close of a consumed channel, no WaitGroup join visible here, and the body can block forever")
+}
+
+// witness is the goroutine-body-side evidence.
+type witness struct {
+	doneSelect bool            // receives from a context's Done channel
+	callsDone  bool            // calls sync.WaitGroup.Done
+	consumed   map[string]bool // channels ranged over or received from
+	blocking   bool            // contains a potentially-forever blocking op
+}
+
+// bodyWitness scans the goroutine body. Witness detection descends into
+// nested literals (a helper closure invoked synchronously still unblocks
+// the goroutine); the blocking-op scan stays shallow so a nested goroutine's
+// blocking does not disqualify this one's bounded body.
+func bodyWitness(pass *analysis.Pass, body *ast.BlockStmt) witness {
+	w := witness{consumed: map[string]bool{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if fn := analysis.Callee(pass.TypesInfo, call); fn != nil &&
+					fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+					w.doneSelect = true
+				}
+			} else {
+				w.consumed[types.ExprString(n.X)] = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					w.consumed[types.ExprString(n.X)] = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn, _ := analysis.SyncMethod(pass.TypesInfo, n); fn != nil && fn.Name() == "Done" &&
+				analysis.IsNamed(fn.Type().(*types.Signature).Recv().Type(), "sync", "WaitGroup") {
+				w.callsDone = true
+			}
+		}
+		return true
+	})
+
+	nonBlocking := map[ast.Node]bool{}
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || !hasDefault(sel) {
+			return true
+		}
+		nonBlocking[sel] = true
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					switch m.(type) {
+					case *ast.SendStmt, *ast.UnaryExpr:
+						nonBlocking[m] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !nonBlocking[n] {
+				w.blocking = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonBlocking[n] {
+				w.blocking = true
+			}
+		case *ast.SelectStmt:
+			if !nonBlocking[n] {
+				w.blocking = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					w.blocking = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn, _ := analysis.SyncMethod(pass.TypesInfo, n); fn != nil && fn.Name() == "Wait" {
+				w.blocking = true
+			}
+		}
+		return true
+	})
+	return w
+}
+
+// singleComm reports whether body is exactly one channel communication —
+// the bounded `go func() { errc <- srv.Serve(ln) }()` idiom.
+func singleComm(body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	switch s := body.List[0].(type) {
+	case *ast.SendStmt:
+		return true
+	case *ast.ExprStmt:
+		u, ok := ast.Unparen(s.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+			return ok && u.Op == token.ARROW
+		}
+	}
+	return false
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"fusecu/internal/analysis/analysistest"
+	"fusecu/internal/analysis/goroutineleak"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutineleak.Analyzer)
+}

@@ -1,0 +1,136 @@
+// Package fixture exercises the goroutineleak analyzer: every go statement
+// must exhibit one of the documented termination witnesses.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct{}
+
+func (s *server) Serve() error { return nil }
+func (s *server) Close() error { return nil }
+
+func helper() {}
+
+// --- true positives -----------------------------------------------------
+
+func leakForever(ch chan int) {
+	go func() { // want "goroutine has no provable termination path"
+		for {
+			select {}
+		}
+	}()
+	close(ch)
+}
+
+func leakBlockedReceive(ch chan int, other chan int) {
+	// The goroutine consumes `other`, but the function closes `ch`.
+	go func() { // want "goroutine has no provable termination path"
+		for v := range other {
+			_ = v
+		}
+	}()
+	close(ch)
+}
+
+func leakDoneWithoutWait(wg *sync.WaitGroup, ch chan int) {
+	// Done without a visible Wait proves nothing: nobody joins.
+	go func() { // want "goroutine has no provable termination path"
+		defer wg.Done()
+		<-ch
+	}()
+}
+
+func leakNonLiteral() {
+	go helper() // want "goroutine body is not a function literal and the spawning function shows no termination evidence"
+}
+
+func leakInfiniteSendLoop(ch chan int) {
+	go func() { // want "goroutine has no provable termination path"
+		for i := 0; ; i++ {
+			ch <- i
+		}
+	}()
+}
+
+// --- true negatives -----------------------------------------------------
+
+func boundedBody(results []int) {
+	done := make(chan struct{})
+	go func() {
+		s := 0
+		for _, r := range results {
+			s += r
+		}
+		close(done)
+	}()
+	<-done
+}
+
+func waitGroupJoin(jobs []int) {
+	var wg sync.WaitGroup
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = j * 2
+		}()
+	}
+	wg.Wait()
+}
+
+func ctxCancellation(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func channelCloseDrain(jobs []int) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+}
+
+func singleSend(srv *server) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	return <-errc
+}
+
+func lifecycleDefer(srv *server) {
+	defer srv.Close()
+	go func() {
+		_ = srv.Serve()
+	}()
+}
+
+func nonLiteralWithJoin(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go helper() // the join is assumed to cover it: Wait is visible here
+	wg.Wait()
+}
+
+// --- suppression --------------------------------------------------------
+
+func suppressedLeak(ch chan int) {
+	go func() { //fusecu:allow goroutineleak: fixture — intentional leak proving suppression works
+		<-ch
+	}()
+}

@@ -36,6 +36,11 @@ type Package struct {
 type Loader struct {
 	ModuleRoot string
 	ModulePath string
+	// Tags are extra build tags (as in `go build -tags`) applied when
+	// enumerating package files, so tag-gated invariants (e.g. the
+	// fusecuchecks runtime assertions) can be analyzed in their enabled
+	// configuration. Standard-library imports are unaffected.
+	Tags []string
 
 	fset    *token.FileSet
 	std     types.Importer
@@ -46,6 +51,12 @@ type Loader struct {
 // NewLoader builds a loader rooted at the module directory containing
 // go.mod.
 func NewLoader(moduleRoot string) (*Loader, error) {
+	return NewLoaderTags(moduleRoot, nil)
+}
+
+// NewLoaderTags builds a loader that enumerates package files under the
+// given build tags.
+func NewLoaderTags(moduleRoot string, tags []string) (*Loader, error) {
 	modPath, err := modulePath(filepath.Join(moduleRoot, "go.mod"))
 	if err != nil {
 		return nil, err
@@ -54,6 +65,7 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 	return &Loader{
 		ModuleRoot: moduleRoot,
 		ModulePath: modPath,
+		Tags:       tags,
 		fset:       fset,
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
@@ -86,7 +98,11 @@ type listEntry struct {
 
 // list shells out to `go list -json` with the given arguments.
 func (l *Loader) list(args ...string) ([]listEntry, error) {
-	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	full := []string{"list", "-json"}
+	if len(l.Tags) > 0 {
+		full = append(full, "-tags="+strings.Join(l.Tags, ","))
+	}
+	cmd := exec.Command("go", append(full, args...)...)
 	cmd.Dir = l.ModuleRoot
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadPatternsMultiPackage loads two sibling packages (one importing the
+// other) in a single call and checks both come back type-checked, in
+// deterministic order, with module-internal imports resolved against the
+// real module rather than the source importer.
+func TestLoadPatternsMultiPackage(t *testing.T) {
+	loader, err := NewLoader(moduleRootForTest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns("./internal/op", "./internal/dataflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	if pkgs[0].PkgPath != "fusecu/internal/dataflow" || pkgs[1].PkgPath != "fusecu/internal/op" {
+		t.Fatalf("packages out of deterministic order: %s, %s", pkgs[0].PkgPath, pkgs[1].PkgPath)
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
+			t.Fatalf("package %s not fully loaded", p.PkgPath)
+		}
+	}
+	// dataflow imports op; both must share one loaded instance of op so
+	// cross-package types.Identical works.
+	df := pkgs[0]
+	var importsOp bool
+	for _, imp := range df.Types.Imports() {
+		if imp.Path() == "fusecu/internal/op" {
+			importsOp = true
+			if imp != pkgs[1].Types {
+				t.Fatal("dataflow's op import is a different types.Package than the loaded op")
+			}
+		}
+	}
+	if !importsOp {
+		t.Fatal("dataflow package does not record its op import")
+	}
+}
+
+// TestLoadPatternsDefaultsToAll checks the ./... default includes transitive
+// module-internal dependencies exactly once.
+func TestLoadPatternsDefaultsToAll(t *testing.T) {
+	loader, err := NewLoader(moduleRootForTest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		if seen[p.PkgPath] {
+			t.Fatalf("package %s returned twice", p.PkgPath)
+		}
+		seen[p.PkgPath] = true
+	}
+	for _, want := range []string{"fusecu", "fusecu/internal/search", "fusecu/internal/analysis/cfg"} {
+		if !seen[want] {
+			t.Fatalf("./... load missing %s (got %d packages)", want, len(pkgs))
+		}
+	}
+}
+
+// declaredFuncs collects the top-level function names of a loaded package.
+func declaredFuncs(p *Package) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// TestTagsPropagation proves NewLoaderTags selects the tag-gated variant of
+// internal/invariant: without tags the disabled (no-op) file is compiled,
+// with -tags=fusecuchecks the enabled file is. The two files declare the
+// same API from different build configurations, so the distinguishing
+// signal is which source file backs the package.
+func TestTagsPropagation(t *testing.T) {
+	root := moduleRootForTest(t)
+
+	fileNames := func(p *Package) []string {
+		var names []string
+		for _, f := range p.Files {
+			names = append(names, filepath.Base(p.Fset.Position(f.Pos()).Filename))
+		}
+		return names
+	}
+	hasFile := func(names []string, want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	plain, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := plain.LoadPatterns("./internal/invariant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	names := fileNames(pkgs[0])
+	if !hasFile(names, "enabled_off.go") || hasFile(names, "enabled_on.go") {
+		t.Fatalf("untagged load should compile enabled_off.go only, got %v", names)
+	}
+
+	tagged, err := NewLoaderTags(root, []string{"fusecuchecks"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err = tagged.LoadPatterns("./internal/invariant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	names = fileNames(pkgs[0])
+	if hasFile(names, "enabled_off.go") || !hasFile(names, "enabled_on.go") {
+		t.Fatalf("-tags=fusecuchecks load should compile enabled_on.go, got %v", names)
+	}
+	if !declaredFuncs(pkgs[0])["Assert"] {
+		t.Fatalf("tagged invariant package lost its API: %v", declaredFuncs(pkgs[0]))
+	}
+}
+
+// TestVetTagsRunsOverTaggedTree runs a trivial analyzer through VetTags and
+// checks findings are printed with module-root-relative paths.
+func TestVetTagsRunsOverTaggedTree(t *testing.T) {
+	root := moduleRootForTest(t)
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "reports one finding per file",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Pos(), "probe visited")
+			}
+			return nil
+		},
+	}
+	var buf bytes.Buffer
+	findings, err := VetTags(root, []string{"./internal/invariant"}, []string{"fusecuchecks"}, []*Analyzer{probe}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("probe reported nothing")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "enabled_on.go") {
+		t.Fatalf("VetTags output missing tag-enabled file:\n%s", out)
+	}
+	if strings.Contains(out, root) {
+		t.Fatalf("findings should print module-relative paths:\n%s", out)
+	}
+}

@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"fusecu/internal/analysis/analysistest"
+	"fusecu/internal/analysis/lockbalance"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", lockbalance.Analyzer)
+}

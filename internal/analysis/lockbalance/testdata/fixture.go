@@ -1,0 +1,176 @@
+// Package fixture exercises the lockbalance analyzer: locks must be
+// released on every path reaching a return, and nothing blocking may run
+// while a lock is held.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// --- true positives -----------------------------------------------------
+
+func leakOnEarlyReturn(s *store, key string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.data[key]
+	if !ok {
+		return 0, false // want "s.mu may still be held at this return"
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+func leakOnFallOff(s *store) {
+	s.mu.Lock()
+	s.data["x"] = 1
+} // want "s.mu may still be held at this return"
+
+func leakReadLock(s *store, key string) int {
+	s.rw.RLock()
+	if v, ok := s.data[key]; ok {
+		return v // want "s.rw \\(read lock\\) may still be held at this return"
+	}
+	s.rw.RUnlock()
+	return 0
+}
+
+func sendWhileLocked(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- 1 // want "channel send while s.mu may be held"
+}
+
+func receiveWhileLocked(s *store, ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want "channel receive while s.mu may be held"
+}
+
+func waitWhileLocked(s *store, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while s.mu may be held"
+	s.mu.Unlock()
+}
+
+func sleepWhileLocked(s *store) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu may be held"
+	s.mu.Unlock()
+}
+
+func conditionalLockUnbalanced(s *store, cond bool) {
+	if cond {
+		s.mu.Lock()
+	}
+	s.data["x"] = 1
+} // want "s.mu may still be held at this return"
+
+func leakInsideLoopBreak(s *store, keys []string) {
+	for _, k := range keys {
+		s.mu.Lock()
+		if k == "stop" {
+			break
+		}
+		s.mu.Unlock()
+	}
+} // want "s.mu may still be held at this return"
+
+// --- true negatives -----------------------------------------------------
+
+func balancedStraightLine(s *store) {
+	s.mu.Lock()
+	s.data["x"] = 1
+	s.mu.Unlock()
+}
+
+func balancedDefer(s *store, key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[key]
+}
+
+func balancedDeferInLambda(s *store, key string) int {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	return s.data[key]
+}
+
+func balancedBothPaths(s *store, key string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.data[key]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+func balancedReadLock(s *store, key string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.data[key]
+}
+
+func balancedPerIteration(s *store, keys []string) {
+	for _, k := range keys {
+		s.mu.Lock()
+		s.data[k] = 1
+		s.mu.Unlock()
+	}
+}
+
+func sendAfterUnlock(s *store, ch chan int) {
+	s.mu.Lock()
+	v := s.data["x"]
+	s.mu.Unlock()
+	ch <- v
+}
+
+// publishLocked follows the caller-holds-mu naming convention.
+func (s *store) publishLocked() { s.data = map[string]int{} }
+
+func lockedHelperAllowed(s *store) {
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
+}
+
+func nonBlockingSelectAllowed(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.data["x"] = v
+	default:
+	}
+}
+
+func goroutineOwnDiscipline(s *store, ch chan int) {
+	// The literal's locks are its own analysis; the enclosing function holds
+	// nothing when it returns.
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.data["y"] = 2
+	}()
+	ch <- 1
+}
+
+// --- suppression --------------------------------------------------------
+
+func suppressedLeak(s *store, key string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.data[key]
+	if !ok {
+		return 0, false //fusecu:allow lockbalance: fixture — intentionally leaked to prove suppression works
+	}
+	s.mu.Unlock()
+	return v, true
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// This file implements the framework-level suppression contract:
+//
+//	//fusecu:allow <analyzer>: <justification>
+//
+// A suppression comment silences findings of exactly the named analyzer on
+// the comment's own line and on the line immediately below it (so it can sit
+// at the end of the offending line or on its own line above it). The
+// justification is mandatory — a suppression is a reviewed, documented
+// exception, not an off switch — and a malformed comment (missing analyzer
+// name or empty justification) is itself reported as a finding attributed to
+// the pseudo-analyzer "suppression", which cannot be suppressed.
+
+// SuppressionAnalyzerName attributes malformed-suppression findings.
+const SuppressionAnalyzerName = "suppression"
+
+// suppressionPrefix introduces an allow comment. The directive-style spelling
+// (no space after //) follows go:build / go:generate convention.
+const suppressionPrefix = "//fusecu:allow"
+
+// suppression is one parsed //fusecu:allow comment.
+type suppression struct {
+	analyzer      string
+	justification string
+	file          string
+	line          int
+}
+
+// collectSuppressions parses every allow comment in the package, returning
+// the well-formed suppressions and a finding for each malformed one.
+func collectSuppressions(pkg *Package) ([]suppression, []Finding) {
+	var sups []suppression
+	var malformed []Finding
+	report := func(pos token.Pos, msg string) {
+		malformed = append(malformed, Finding{
+			Analyzer: SuppressionAnalyzerName,
+			Position: pkg.Fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, suppressionPrefix)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //fusecu:allowlist — a different directive
+				}
+				rest = strings.TrimSpace(rest)
+				name, just, found := strings.Cut(rest, ":")
+				name = strings.TrimSpace(name)
+				just = strings.TrimSpace(just)
+				switch {
+				case name == "":
+					report(c.Pos(), "malformed fusecu:allow: missing analyzer name (want //fusecu:allow <analyzer>: <justification>)")
+				case strings.ContainsAny(name, " \t"):
+					report(c.Pos(), "malformed fusecu:allow: analyzer name "+strconv.Quote(name)+" contains spaces (want //fusecu:allow <analyzer>: <justification>)")
+				case !found || just == "":
+					report(c.Pos(), "fusecu:allow "+name+" has no justification; every suppression must say why the invariant does not apply")
+				default:
+					pos := pkg.Fset.Position(c.Pos())
+					sups = append(sups, suppression{
+						analyzer:      name,
+						justification: just,
+						file:          pos.Filename,
+						line:          pos.Line,
+					})
+				}
+			}
+		}
+	}
+	return sups, malformed
+}
+
+// suppressed reports whether f is covered by one of the suppressions: same
+// file, same analyzer, and the finding sits on the comment's line or the
+// line directly below it.
+func suppressed(f Finding, sups []suppression) bool {
+	for _, s := range sups {
+		if s.analyzer != f.Analyzer || s.file != f.Position.Filename {
+			continue
+		}
+		if f.Position.Line == s.line || f.Position.Line == s.line+1 {
+			return true
+		}
+	}
+	return false
+}

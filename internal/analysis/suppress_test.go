@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// moduleRootForTest walks up from the package directory to go.mod.
+func moduleRootForTest(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; {
+		if fi, err := os.Stat(filepath.Join(d, "go.mod")); err == nil && !fi.IsDir() {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// readFixture returns the fixture file's contents.
+func readFixture(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// flagmeAnalyzer reports every call to flagme() under the given name, so two
+// instances produce same-line findings from distinct analyzers.
+func flagmeAnalyzer(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer flagging calls to flagme",
+		Run: func(pass *Pass) error {
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						pass.Reportf(call.Pos(), "%s flags this call", pass.Analyzer.Name)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// TestSuppressionScope proves the //fusecu:allow contract: a suppression
+// silences only the named analyzer, only on the annotated line (the
+// comment's line or the one directly below), and malformed comments are
+// findings of the unsuppressable "suppression" pseudo-analyzer.
+func TestSuppressionScope(t *testing.T) {
+	loader, err := NewLoader(moduleRootForTest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("fixture/suppress", filepath.Join("testdata", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(pkg, []*Analyzer{flagmeAnalyzer("alpha"), flagmeAnalyzer("beta")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		analyzer string
+		line     int
+	}
+	got := map[key]int{}
+	for _, f := range findings {
+		got[key{f.Analyzer, f.Position.Line}]++
+	}
+
+	lineOf := func(substr string) int {
+		t.Helper()
+		src := readFixture(t, filepath.Join("testdata", "suppress", "fixture.go"))
+		for i, l := range strings.Split(src, "\n") {
+			if strings.Contains(l, substr) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture line containing %q not found", substr)
+		return 0
+	}
+
+	unsup := lineOf("both alpha and beta report here")
+	alphaOnly := lineOf("beta must still see this line")
+	ownLineComment := lineOf("alpha must still see the next line")
+	secondFlag := lineOf("this one still reports")
+
+	checks := []struct {
+		name string
+		k    key
+		want int
+	}{
+		{"alpha reports unsuppressed line", key{"alpha", unsup}, 1},
+		{"beta reports unsuppressed line", key{"beta", unsup}, 1},
+		{"alpha silenced by same-line allow", key{"alpha", alphaOnly}, 0},
+		{"beta unaffected by alpha allow", key{"beta", alphaOnly}, 1},
+		{"beta silenced by own-line allow above", key{"beta", ownLineComment + 1}, 0},
+		{"alpha unaffected by beta allow", key{"alpha", ownLineComment + 1}, 1},
+		{"allow does not reach two lines down (alpha)", key{"alpha", secondFlag}, 1},
+		{"allow does not reach two lines down (beta)", key{"beta", secondFlag}, 1},
+	}
+	for _, c := range checks {
+		if got[c.k] != c.want {
+			t.Errorf("%s: analyzer %s line %d: got %d findings, want %d\nall findings:\n%s",
+				c.name, c.k.analyzer, c.k.line, got[c.k], c.want, renderFindings(findings))
+		}
+	}
+
+	// Malformed suppressions are reported by the pseudo-analyzer and the
+	// would-be-suppressed findings survive.
+	var malformed []Finding
+	for _, f := range findings {
+		if f.Analyzer == SuppressionAnalyzerName {
+			malformed = append(malformed, f)
+		}
+	}
+	if len(malformed) != 2 {
+		t.Errorf("want 2 malformed-suppression findings, got %d:\n%s", len(malformed), renderFindings(findings))
+	}
+	for _, f := range malformed {
+		// A malformed allow must not silence anything on its line.
+		if got[key{"alpha", f.Position.Line}] != 1 || got[key{"beta", f.Position.Line}] != 1 {
+			t.Errorf("malformed suppression at line %d silenced findings:\n%s", f.Position.Line, renderFindings(findings))
+		}
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var lines []string
+	for _, f := range fs {
+		lines = append(lines, fmt.Sprintf("  %s:%d %s (%s)", filepath.Base(f.Position.Filename), f.Position.Line, f.Message, f.Analyzer))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

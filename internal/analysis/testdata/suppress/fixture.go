@@ -1,0 +1,35 @@
+// Package fixture exercises the framework's //fusecu:allow suppression
+// contract (internal/analysis/suppress.go): a well-formed allow comment
+// silences exactly the named analyzer on the annotated line, and malformed
+// comments are findings in their own right. The test drives two synthetic
+// analyzers (alpha, beta) that both flag every call to flagme.
+package fixture
+
+func flagme() {}
+
+func unsuppressed() {
+	flagme() // both alpha and beta report here
+}
+
+func suppressedAlphaOnly() {
+	flagme() //fusecu:allow alpha: beta must still see this line
+}
+
+func suppressedOwnLineAbove() {
+	//fusecu:allow beta: alpha must still see the next line
+	flagme()
+}
+
+func suppressionDoesNotReachFurtherLines() {
+	//fusecu:allow alpha: only covers the line below, not this whole block
+	flagme()
+	flagme() // alpha applies only one line down; this one still reports
+}
+
+func malformedMissingJustification() {
+	flagme() //fusecu:allow alpha
+}
+
+func malformedMissingName() {
+	flagme() //fusecu:allow : no analyzer named
+}

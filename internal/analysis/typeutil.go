@@ -31,9 +31,20 @@ func IsNamed(t types.Type, pkgPath, name string) bool {
 
 // Callee returns the function or method statically called by call, or nil
 // for calls through function values, built-ins and type conversions.
+// Explicit generic instantiations — F[int](x), m.F[K, V](x) — resolve to
+// the generic origin function, whose name, package and declared signature
+// are what the analyzers match on.
 func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Strip an explicit type-argument list to reach the function operand.
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
 	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		id = fun
 	case *ast.SelectorExpr:
@@ -43,6 +54,52 @@ func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 	}
 	fn, _ := info.Uses[id].(*types.Func)
 	return fn
+}
+
+// InspectShallow walks the AST rooted at n in depth-first order like
+// ast.Inspect, but does not descend into nested function literals: their
+// bodies execute under their own control flow (often on another goroutine)
+// and belong to their own analysis.
+func InspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// ForEachFuncBody invokes f once per function-like body in the file: every
+// function and method declaration and every function literal, each with the
+// node that owns the body. Literals nested inside other bodies are visited
+// in their own right.
+func ForEachFuncBody(file *ast.File, f func(owner ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				f(n, n.Body)
+			}
+		case *ast.FuncLit:
+			f(n, n.Body)
+		}
+		return true
+	})
+}
+
+// SyncMethod classifies call as a method of the sync package's locking
+// vocabulary (Lock/RLock/Unlock/RUnlock on Mutex/RWMutex, WaitGroup.Wait,
+// …), returning the method object and the receiver expression, or nil.
+func SyncMethod(info *types.Info, call *ast.CallExpr) (*types.Func, ast.Expr) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, _ := info.Uses[fun.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, nil
+	}
+	return fn, fun.X
 }
 
 // Unconvert strips parentheses and conversions to basic (integer) types,

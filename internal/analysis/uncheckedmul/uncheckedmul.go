@@ -33,9 +33,9 @@ type typeKey struct{ pkg, name string }
 // dimFields lists struct fields holding loop-dimension extents or tile
 // sizes.
 var dimFields = map[typeKey]map[string]bool{
-	{"fusecu/internal/op", "MatMul"}:        {"M": true, "K": true, "L": true},
-	{"fusecu/internal/op", "Elementwise"}:   {"Rows": true, "Cols": true},
-	{"fusecu/internal/dataflow", "Tiling"}:  {"TM": true, "TK": true, "TL": true},
+	{"fusecu/internal/op", "MatMul"}:            {"M": true, "K": true, "L": true},
+	{"fusecu/internal/op", "Elementwise"}:       {"Rows": true, "Cols": true},
+	{"fusecu/internal/dataflow", "Tiling"}:      {"TM": true, "TK": true, "TL": true},
 	{"fusecu/internal/fusion", "FusedDataflow"}: {"TM": true, "TK": true, "TL": true, "TN": true},
 }
 

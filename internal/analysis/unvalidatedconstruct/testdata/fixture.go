@@ -13,7 +13,7 @@ import (
 var mm = op.MatMul{Name: "fixture", M: 8, K: 8, L: 8} // unowned type: fine
 
 func flagged() {
-	ti := dataflow.Tiling{TM: 2, TK: 2, TL: 2}                  // want "composite literal of dataflow.Tiling"
+	ti := dataflow.Tiling{TM: 2, TK: 2, TL: 2}                   // want "composite literal of dataflow.Tiling"
 	df := dataflow.Dataflow{Order: dataflow.OrderOS, Tiling: ti} // want "composite literal of dataflow.Dataflow"
 	_ = df
 }

@@ -15,9 +15,9 @@ func FuzzNewTiling(f *testing.F) {
 	seeds := [][6]int{
 		{8, 8, 8, 1, 1, 1},
 		{8, 8, 8, 8, 8, 8},
-		{8, 8, 8, 0, 1, 1},   // below range
-		{8, 8, 8, 9, 1, 1},   // above range
-		{0, 8, 8, 1, 1, 1},   // degenerate operator
+		{8, 8, 8, 0, 1, 1}, // below range
+		{8, 8, 8, 9, 1, 1}, // above range
+		{0, 8, 8, 1, 1, 1}, // degenerate operator
 		{-4, -4, -4, -4, -4, -4},
 		{1 << 30, 1 << 30, 1 << 30, 1 << 30, 1, 1},
 		{48, 32, 40, 24, 16, 20},

@@ -104,12 +104,19 @@ func fig9Point(ctx context.Context, mm op.MatMul, bs, seed int64, cache *search.
 // costed once and every later sweep point filters it by footprint only
 // (the repeat visits land in Fig9Point.SearchCacheHits).
 func Fig9(ops []op.MatMul, buffers []int64, seed int64) ([]Fig9Result, error) {
+	return Fig9Ctx(context.Background(), ops, buffers, seed)
+}
+
+// Fig9Ctx is Fig9 with cooperative cancellation: when ctx is canceled the
+// in-flight point abandons its search at the engine's next poll and the
+// sweep returns the error instead of a partial result set.
+func Fig9Ctx(ctx context.Context, ops []op.MatMul, buffers []int64, seed int64) ([]Fig9Result, error) {
 	var results []Fig9Result
 	for _, mm := range ops {
 		r := Fig9Result{Op: mm}
 		cache := search.NewEvalCache()
 		for _, bs := range buffers {
-			p, err := fig9Point(context.Background(), mm, bs, seed, cache)
+			p, err := fig9Point(ctx, mm, bs, seed, cache)
 			if err != nil {
 				return nil, err
 			}

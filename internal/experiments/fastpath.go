@@ -28,6 +28,13 @@ import (
 // evaluations inside the first point's accounting, exactly like the scan
 // path's cold sweep point).
 func Fig9Sweep(ops []op.MatMul, buffers []int64, seed int64) ([]Fig9Result, error) {
+	return Fig9SweepCtx(context.Background(), ops, buffers, seed)
+}
+
+// Fig9SweepCtx is Fig9Sweep with cooperative cancellation threaded through
+// the per-point table queries: when ctx is canceled the in-flight point
+// stops at the engine's next poll and the sweep returns the error.
+func Fig9SweepCtx(ctx context.Context, ops []op.MatMul, buffers []int64, seed int64) ([]Fig9Result, error) {
 	var results []Fig9Result
 	for _, mm := range ops {
 		r := Fig9Result{Op: mm}
@@ -45,7 +52,7 @@ func Fig9Sweep(ops []op.MatMul, buffers []int64, seed int64) ([]Fig9Result, erro
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig9 %v BS=%d: %w", mm, bs, err)
 			}
-			sr, err := search.OptimizeTableCtx(context.Background(), mm, bs, search.GeneticOptions{Seed: seed}, tab, cache)
+			sr, err := search.OptimizeTableCtx(ctx, mm, bs, search.GeneticOptions{Seed: seed}, tab, cache)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig9 search %v BS=%d: %w", mm, bs, err)
 			}

@@ -1,0 +1,25 @@
+package invariant
+
+import "fmt"
+
+// Validator is the module's validation surface: op.MatMul, op.Chain,
+// dataflow.Tiling, dataflow.Dataflow and the fusion descriptors all report
+// constraint violations through a Validate error.
+type Validator interface {
+	Validate() error
+}
+
+// ValidateAll validates every value in order and returns the first
+// violation, annotated with its index. It exists so sweep harnesses can
+// gate a whole operator batch in one call instead of hand-rolling the loop
+// (and so the droppederror analyzer has a generic module API to police:
+// discarding its error hides exactly the malformed-shape failures the cost
+// model cannot tolerate).
+func ValidateAll[T Validator](vs ...T) error {
+	for i, v := range vs {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("invariant: element %d: %w", i, err)
+		}
+	}
+	return nil
+}

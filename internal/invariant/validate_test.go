@@ -1,0 +1,41 @@
+package invariant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+type fakeValidator struct{ err error }
+
+func (f fakeValidator) Validate() error { return f.err }
+
+func TestValidateAllEmpty(t *testing.T) {
+	if err := ValidateAll[fakeValidator](); err != nil {
+		t.Fatalf("ValidateAll() = %v, want nil", err)
+	}
+}
+
+func TestValidateAllAllValid(t *testing.T) {
+	if err := ValidateAll(fakeValidator{}, fakeValidator{}); err != nil {
+		t.Fatalf("ValidateAll(valid, valid) = %v, want nil", err)
+	}
+}
+
+func TestValidateAllFirstViolation(t *testing.T) {
+	bad1 := errors.New("bad one")
+	bad2 := errors.New("bad two")
+	err := ValidateAll(fakeValidator{}, fakeValidator{err: bad1}, fakeValidator{err: bad2})
+	if err == nil {
+		t.Fatal("ValidateAll(valid, bad, bad) = nil, want error")
+	}
+	if !errors.Is(err, bad1) {
+		t.Errorf("error %v does not wrap the first violation", err)
+	}
+	if errors.Is(err, bad2) {
+		t.Errorf("error %v reports a later violation instead of the first", err)
+	}
+	if !strings.Contains(err.Error(), "element 1") {
+		t.Errorf("error %q does not name the violating index", err)
+	}
+}

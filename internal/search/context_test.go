@@ -84,3 +84,29 @@ func TestSequentialEnginesIgnoreBackgroundCtx(t *testing.T) {
 		t.Fatalf("background-ctx parallel scan diverged from sequential: %+v vs %+v", a, b)
 	}
 }
+
+func TestExhaustiveCachedCtxCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExhaustiveCachedCtx(ctx, cancelOp, 1<<20, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExhaustiveCachedCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := ExhaustiveCoarseCachedCtx(ctx, cancelOp, 1<<20, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExhaustiveCoarseCachedCtx err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExhaustiveCachedCtxMatchesUncancelled(t *testing.T) {
+	mm := op.MatMul{Name: "small", M: 24, K: 16, L: 20}
+	want, err := ExhaustiveCached(mm, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExhaustiveCachedCtx(context.Background(), mm, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Access != got.Access || want.Dataflow != got.Dataflow {
+		t.Fatalf("ExhaustiveCachedCtx diverged: %+v vs %+v", got, want)
+	}
+}

@@ -62,10 +62,17 @@ func Exhaustive(mm op.MatMul, bufferSize int64) (Result, error) {
 // ExhaustiveCached is Exhaustive with candidate evaluations memoized in
 // cache (which may be nil).
 func ExhaustiveCached(mm op.MatMul, bufferSize int64, cache *EvalCache) (Result, error) {
+	return ExhaustiveCachedCtx(context.Background(), mm, bufferSize, cache)
+}
+
+// ExhaustiveCachedCtx is ExhaustiveCached with cooperative cancellation:
+// when ctx is canceled the scan abandons its sweep at the next poll and
+// returns ctx.Err() instead of a partial optimum.
+func ExhaustiveCachedCtx(ctx context.Context, mm op.MatMul, bufferSize int64, cache *EvalCache) (Result, error) {
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
-	return enumerate(context.Background(), mm, bufferSize, fullRange(mm.M), fullRange(mm.K), fullRange(mm.L), cache, 1, "exhaustive")
+	return enumerate(ctx, mm, bufferSize, fullRange(mm.M), fullRange(mm.K), fullRange(mm.L), cache, 1, "exhaustive")
 }
 
 // TileGrid returns the candidate tile values for one dimension extent used
@@ -102,10 +109,16 @@ func ExhaustiveCoarse(mm op.MatMul, bufferSize int64) (Result, error) {
 // ExhaustiveCoarseCached is ExhaustiveCoarse with candidate evaluations
 // memoized in cache (which may be nil).
 func ExhaustiveCoarseCached(mm op.MatMul, bufferSize int64, cache *EvalCache) (Result, error) {
+	return ExhaustiveCoarseCachedCtx(context.Background(), mm, bufferSize, cache)
+}
+
+// ExhaustiveCoarseCachedCtx is ExhaustiveCoarseCached with cooperative
+// cancellation, under the same promptness contract as ExhaustiveCachedCtx.
+func ExhaustiveCoarseCachedCtx(ctx context.Context, mm op.MatMul, bufferSize int64, cache *EvalCache) (Result, error) {
 	if err := mm.Validate(); err != nil {
 		return Result{}, err
 	}
-	return enumerate(context.Background(), mm, bufferSize, TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L), cache, 1, "exhaustive-coarse")
+	return enumerate(ctx, mm, bufferSize, TileGrid(mm.M), TileGrid(mm.K), TileGrid(mm.L), cache, 1, "exhaustive-coarse")
 }
 
 // ParallelExhaustive is Exhaustive sharded across a worker pool (workers ≤ 0
