@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -34,10 +35,14 @@ import (
 )
 
 type engineReport struct {
-	Name        string  `json:"name"`
-	WallMs      float64 `json:"wall_ms"`
-	Evaluations int64   `json:"evaluations"`
-	CacheHits   int64   `json:"cache_hits"`
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+	// Workers is the worker count the engine effectively ran with: the pool
+	// size clamped to schedulable cores for the parallel engine, 1 for the
+	// sequential ones.
+	Workers     int   `json:"workers"`
+	Evaluations int64 `json:"evaluations"`
+	CacheHits   int64 `json:"cache_hits"`
 }
 
 type report struct {
@@ -49,10 +54,18 @@ type report struct {
 	Workers      int            `json:"workers"`
 	Engines      []engineReport `json:"engines"`
 	// Speedups are reference-sequential wall time divided by each optimized
-	// engine's wall time.
-	SpeedupPrunedCached float64 `json:"speedup_pruned_cached"`
-	SpeedupParallel     float64 `json:"speedup_parallel"`
-	SpeedupTable        float64 `json:"speedup_table"`
+	// engine's wall time. A speedup is null — never Inf or NaN — when either
+	// wall time is too close to zero for the ratio to mean anything, and
+	// speedup_parallel is additionally null when the parallel engine could
+	// not actually parallelize (single_core below): a 1-worker "parallel"
+	// ratio would quietly report scheduling noise as scaling.
+	SpeedupPrunedCached *float64 `json:"speedup_pruned_cached"`
+	SpeedupParallel     *float64 `json:"speedup_parallel"`
+	SpeedupTable        *float64 `json:"speedup_table"`
+	// SingleCore is true when the parallel engine effectively ran one
+	// worker (single-core container or -workers=1), so no parallel-scaling
+	// conclusion can be drawn from this report.
+	SingleCore bool `json:"single_core,omitempty"`
 	// IdenticalResults is true iff every (operator, buffer) point's
 	// principle MA, search MA, and total candidate-visit count agree across
 	// all three engines.
@@ -88,18 +101,22 @@ func run(out string, full bool, workers int) error {
 	ops, buffers := sweep(full)
 
 	// Cores is the schedulable parallelism (GOMAXPROCS may be capped below
-	// NumCPU in containers); Workers is the pool size the parallel engine
-	// actually ran with, after the 0-means-GOMAXPROCS default resolves.
+	// NumCPU in containers); Workers is the count the parallel engine
+	// effectively ran with — the resolved pool size clamped to cores, since
+	// goroutines beyond GOMAXPROCS cannot add parallelism to a CPU-bound
+	// scan.
+	cores := runtime.GOMAXPROCS(0)
 	effectiveWorkers := workers
-	if effectiveWorkers <= 0 {
-		effectiveWorkers = runtime.GOMAXPROCS(0)
+	if effectiveWorkers <= 0 || effectiveWorkers > cores {
+		effectiveWorkers = cores
 	}
 	rep := report{
 		Benchmark:    "fig9-search-sweep",
 		FullSweep:    full,
 		BufferPoints: len(buffers),
-		Cores:        runtime.GOMAXPROCS(0),
+		Cores:        cores,
 		Workers:      effectiveWorkers,
+		SingleCore:   effectiveWorkers == 1,
 	}
 	for _, mm := range ops {
 		rep.Ops = append(rep.Ops, mm.String())
@@ -134,14 +151,16 @@ func run(out string, full bool, workers int) error {
 	tabWall := time.Since(tabStart)
 
 	rep.Engines = []engineReport{
-		tally("reference-sequential", refWall, ref),
-		tally("pruned-cached", prunedWall, pruned),
-		tally("parallel", parWall, par),
-		tally("search-sweep-table", tabWall, tab),
+		tally("reference-sequential", refWall, 1, ref),
+		tally("pruned-cached", prunedWall, 1, pruned),
+		tally("parallel", parWall, effectiveWorkers, par),
+		tally("search-sweep-table", tabWall, 1, tab),
 	}
 	rep.SpeedupPrunedCached = ratio(refWall, prunedWall)
-	rep.SpeedupParallel = ratio(refWall, parWall)
 	rep.SpeedupTable = ratio(refWall, tabWall)
+	if !rep.SingleCore {
+		rep.SpeedupParallel = ratio(refWall, parWall)
+	}
 	rep.IdenticalResults = identical(ref, pruned) && identical(ref, par) && identical(ref, tab)
 	if !rep.IdenticalResults {
 		// Still write the report, but fail loudly: equivalence is the whole
@@ -154,10 +173,22 @@ func run(out string, full bool, workers int) error {
 	if err := write(out, rep); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: reference %.1fms, pruned+cached %.1fms (%.2fx), parallel %.1fms (%.2fx), table %.1fms (%.2fx), identical=%v\n",
-		out, ms(refWall), ms(prunedWall), rep.SpeedupPrunedCached,
-		ms(parWall), rep.SpeedupParallel, ms(tabWall), rep.SpeedupTable, rep.IdenticalResults)
+	parNote := fmtSpeedup(rep.SpeedupParallel)
+	if rep.SingleCore {
+		parNote = "single-core"
+	}
+	fmt.Printf("wrote %s: reference %.1fms, pruned+cached %.1fms (%s), parallel %.1fms (%s), table %.1fms (%s), identical=%v\n",
+		out, ms(refWall), ms(prunedWall), fmtSpeedup(rep.SpeedupPrunedCached),
+		ms(parWall), parNote, ms(tabWall), fmtSpeedup(rep.SpeedupTable), rep.IdenticalResults)
 	return nil
+}
+
+// fmtSpeedup renders a guarded speedup for the one-line summary.
+func fmtSpeedup(s *float64) string {
+	if s == nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", *s)
 }
 
 // sweep selects the workload: the paper's full sweep under -full, otherwise
@@ -230,8 +261,8 @@ func referenceOptimize(mm op.MatMul, bufferSize, seed int64) (search.Result, err
 }
 
 // tally sums an engine's evaluation and cache-hit counters over the sweep.
-func tally(name string, wall time.Duration, results []experiments.Fig9Result) engineReport {
-	rep := engineReport{Name: name, WallMs: ms(wall)}
+func tally(name string, wall time.Duration, workers int, results []experiments.Fig9Result) engineReport {
+	rep := engineReport{Name: name, WallMs: ms(wall), Workers: workers}
 	for _, r := range results {
 		for _, p := range r.Points {
 			rep.Evaluations += p.SearchEvals
@@ -265,11 +296,24 @@ func identical(a, b []experiments.Fig9Result) bool {
 	return true
 }
 
-func ratio(base, opt time.Duration) float64 {
-	if opt <= 0 {
-		return 0
+// minRatioWall is the wall-time floor below which a speedup ratio is noise:
+// a sub-100µs measurement is dominated by scheduler and timer granularity,
+// and a zero denominator would put Inf into the JSON (which encoding/json
+// rejects at marshal time anyway).
+const minRatioWall = 100 * time.Microsecond
+
+// ratio returns base/opt as a guarded speedup: nil — rendered as JSON null —
+// when either wall time is degenerate, so the report never carries an Inf,
+// NaN, or noise-amplified ratio.
+func ratio(base, opt time.Duration) *float64 {
+	if base < minRatioWall || opt < minRatioWall {
+		return nil
 	}
-	return float64(base) / float64(opt)
+	r := float64(base) / float64(opt)
+	if math.IsInf(r, 0) || math.IsNaN(r) {
+		return nil
+	}
+	return &r
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

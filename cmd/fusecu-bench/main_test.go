@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestRunWritesConsistentReport(t *testing.T) {
@@ -49,8 +50,91 @@ func TestRunWritesConsistentReport(t *testing.T) {
 	if rep.Engines[1].CacheHits == 0 {
 		t.Error("cached engine reported no cache hits")
 	}
-	if rep.SpeedupPrunedCached <= 0 || rep.SpeedupParallel <= 0 || rep.SpeedupTable <= 0 {
-		t.Errorf("degenerate speedups: %+v", rep)
+	for i, e := range rep.Engines {
+		want := 1
+		if e.Name == "parallel" {
+			want = rep.Workers
+		}
+		if e.Workers != want {
+			t.Errorf("engine %d (%s): workers %d, want %d", i, e.Name, e.Workers, want)
+		}
+	}
+	if rep.SpeedupPrunedCached == nil || *rep.SpeedupPrunedCached <= 0 ||
+		rep.SpeedupTable == nil || *rep.SpeedupTable <= 0 {
+		t.Errorf("degenerate sequential speedups: %+v", rep)
+	}
+	// The parallel ratio only means something when the engine could actually
+	// parallelize; on a single schedulable core it must be suppressed rather
+	// than reported as scaling.
+	if rep.SingleCore {
+		if rep.SpeedupParallel != nil {
+			t.Errorf("single-core run reported speedup_parallel %v, want null", *rep.SpeedupParallel)
+		}
+	} else if rep.SpeedupParallel == nil || *rep.SpeedupParallel <= 0 {
+		t.Errorf("multi-core run suppressed speedup_parallel: %+v", rep)
+	}
+}
+
+// TestRunSingleWorkerNullsParallelSpeedup pins the misleading-report fix: a
+// run whose parallel engine cannot parallelize (-workers=1) must flag
+// single_core and write speedup_parallel as JSON null, not a ~1.0 "speedup".
+func TestRunSingleWorkerNullsParallelSpeedup(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(out, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(raw["speedup_parallel"]); got != "null" {
+		t.Errorf("speedup_parallel = %s, want null", got)
+	}
+	if got := string(raw["single_core"]); got != "true" {
+		t.Errorf("single_core = %s, want true", got)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 1 {
+		t.Errorf("effective workers = %d, want 1", rep.Workers)
+	}
+	for _, e := range rep.Engines {
+		if e.Workers != 1 {
+			t.Errorf("%s: workers %d, want 1", e.Name, e.Workers)
+		}
+	}
+}
+
+// TestRatioGuards pins the speedup guard: degenerate wall times must yield
+// nil (JSON null), never Inf or NaN, and sane inputs the plain quotient.
+func TestRatioGuards(t *testing.T) {
+	if r := ratio(0, time.Second); r != nil {
+		t.Errorf("ratio(0, 1s) = %v, want nil", *r)
+	}
+	if r := ratio(time.Second, 0); r != nil {
+		t.Errorf("ratio(1s, 0) = %v, want nil", *r)
+	}
+	if r := ratio(time.Second, minRatioWall-1); r != nil {
+		t.Errorf("ratio(1s, sub-floor) = %v, want nil", *r)
+	}
+	if r := ratio(minRatioWall-1, time.Second); r != nil {
+		t.Errorf("ratio(sub-floor, 1s) = %v, want nil", *r)
+	}
+	r := ratio(2*time.Second, time.Second)
+	if r == nil || *r != 2 {
+		t.Errorf("ratio(2s, 1s) = %v, want 2", r)
+	}
+	// Whatever the guard returns must always survive JSON marshalling.
+	for _, d := range []time.Duration{0, 1, minRatioWall, time.Second} {
+		if _, err := json.Marshal(report{SpeedupParallel: ratio(time.Second, d)}); err != nil {
+			t.Errorf("marshal with opt=%v: %v", d, err)
+		}
 	}
 }
 

@@ -3,7 +3,7 @@
 // fetch golang.org/x/perf/cmd/benchstat).
 //
 //	go test -run='^$' -bench=. -benchmem -count=5 ./internal/search > new.txt
-//	fusecu-benchstat bench/baseline_search.txt new.txt
+//	fusecu-benchstat -gate 1.5 bench/baseline_search.txt new.txt
 //
 // For every benchmark present in both files it prints the median ns/op of
 // each side and the relative delta (negative = the new side is faster),
@@ -11,12 +11,17 @@
 // per-benchmark time ratios. Benchmarks present on only one side are listed
 // separately so a vanished benchmark can't silently hide a regression.
 //
-// The exit code is 0 even when things got slower: the tool measures, the
-// reviewer judges. Only unreadable or unparseable inputs exit non-zero.
+// Without -gate the exit code is 0 even when things got slower: the tool
+// measures, the reviewer judges. With -gate R the comparison becomes a CI
+// gate: it exits non-zero when any benchmark's median new/old time ratio
+// exceeds R, or when a baseline benchmark vanished from the new output
+// (deleting a benchmark must not silently pass the gate). Unreadable or
+// unparseable inputs always exit non-zero.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"math"
@@ -48,18 +53,29 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: fusecu-benchstat OLD NEW (two `go test -bench` output files)")
+	fs := flag.NewFlagSet("fusecu-benchstat", flag.ContinueOnError)
+	fs.SetOutput(w)
+	gate := fs.Float64("gate", 0, "fail when any median new/old time ratio exceeds this bound, or a baseline benchmark vanished (0 = advisory, never fail)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	old, err := parseFile(args[0])
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: fusecu-benchstat [-gate R] OLD NEW (two `go test -bench` output files)")
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	old, err := parseFile(oldPath)
 	if err != nil {
 		return err
 	}
-	cur, err := parseFile(args[1])
+	cur, err := parseFile(newPath)
 	if err != nil {
 		return err
 	}
-	return compare(w, args[0], args[1], old, cur)
+	cmp, err := compare(w, oldPath, newPath, old, cur)
+	if err != nil {
+		return err
+	}
+	return cmp.checkGate(*gate)
 }
 
 func parseFile(path string) ([]runs, error) {
@@ -169,7 +185,41 @@ func medianAllocs(r runs) (float64, bool) {
 	return median(vals), true
 }
 
-func compare(w io.Writer, oldPath, newPath string, old, cur []runs) error {
+// comparison carries the per-benchmark outcome compare printed, for gating.
+type comparison struct {
+	// ratios holds each shared benchmark's median new/old time ratio, in
+	// baseline order.
+	ratios []struct {
+		name  string
+		ratio float64
+	}
+	// vanished lists baseline benchmarks absent from the new output.
+	vanished []string
+}
+
+// checkGate applies the -gate bound: any shared benchmark slower than
+// bound×baseline, or any vanished baseline benchmark, fails the comparison.
+// A bound of 0 (the default) keeps the tool advisory.
+func (c comparison) checkGate(bound float64) error {
+	if bound <= 0 {
+		return nil
+	}
+	var bad []string
+	for _, r := range c.ratios {
+		if r.ratio > bound {
+			bad = append(bad, fmt.Sprintf("%s %.2fx", r.name, r.ratio))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("gate %.2fx exceeded: %s", bound, strings.Join(bad, ", "))
+	}
+	if len(c.vanished) > 0 {
+		return fmt.Errorf("gate: baseline benchmarks missing from new output: %s (refresh the baseline if they were removed on purpose)", strings.Join(c.vanished, ", "))
+	}
+	return nil
+}
+
+func compare(w io.Writer, oldPath, newPath string, old, cur []runs) (comparison, error) {
 	oldIdx := map[string]runs{}
 	for _, r := range old {
 		oldIdx[r.name] = r
@@ -183,6 +233,7 @@ func compare(w io.Writer, oldPath, newPath string, old, cur []runs) error {
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs/op\t")
 
+	var cmp comparison
 	var logRatios []float64
 	for _, o := range old {
 		n, ok := curIdx[o.name]
@@ -195,6 +246,10 @@ func compare(w io.Writer, oldPath, newPath string, old, cur []runs) error {
 			delta = fmt.Sprintf("%+.2f%%", (nm-om)/om*100)
 			if nm > 0 {
 				logRatios = append(logRatios, math.Log(nm/om))
+				cmp.ratios = append(cmp.ratios, struct {
+					name  string
+					ratio float64
+				}{o.name, nm / om})
 			}
 		}
 		allocs := ""
@@ -206,7 +261,7 @@ func compare(w io.Writer, oldPath, newPath string, old, cur []runs) error {
 		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%s\t%s\t\n", o.name, om, nm, delta, allocs)
 	}
 	if err := tw.Flush(); err != nil {
-		return err
+		return cmp, err
 	}
 
 	if len(logRatios) > 0 {
@@ -218,10 +273,10 @@ func compare(w io.Writer, oldPath, newPath string, old, cur []runs) error {
 		fmt.Fprintf(w, "\ngeomean time ratio (new/old): %.3f over %d benchmarks\n", geo, len(logRatios))
 	}
 
-	var onlyOld, onlyNew []string
+	var onlyNew []string
 	for _, o := range old {
 		if _, ok := curIdx[o.name]; !ok {
-			onlyOld = append(onlyOld, o.name)
+			cmp.vanished = append(cmp.vanished, o.name)
 		}
 	}
 	for _, n := range cur {
@@ -229,11 +284,11 @@ func compare(w io.Writer, oldPath, newPath string, old, cur []runs) error {
 			onlyNew = append(onlyNew, n.name)
 		}
 	}
-	if len(onlyOld) > 0 {
-		fmt.Fprintf(w, "only in old: %s\n", strings.Join(onlyOld, ", "))
+	if len(cmp.vanished) > 0 {
+		fmt.Fprintf(w, "only in old: %s\n", strings.Join(cmp.vanished, ", "))
 	}
 	if len(onlyNew) > 0 {
 		fmt.Fprintf(w, "only in new: %s\n", strings.Join(onlyNew, ", "))
 	}
-	return nil
+	return cmp, nil
 }

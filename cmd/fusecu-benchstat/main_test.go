@@ -90,6 +90,50 @@ func TestRunComparesFiles(t *testing.T) {
 	}
 }
 
+// TestRunGate pins the -gate semantics that promoted bench-compare from
+// advisory to blocking: ratios within the bound pass, a single benchmark
+// over the bound fails naming it, and a vanished baseline benchmark fails
+// rather than silently shrinking coverage.
+func TestRunGate(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := writeFile("base.txt", `BenchmarkA-8  100  100.0 ns/op
+BenchmarkB-8  100  200.0 ns/op
+`)
+	fast := writeFile("fast.txt", `BenchmarkA-8  100  110.0 ns/op
+BenchmarkB-8  100  190.0 ns/op
+`)
+	slow := writeFile("slow.txt", `BenchmarkA-8  100  400.0 ns/op
+BenchmarkB-8  100  190.0 ns/op
+`)
+	gone := writeFile("gone.txt", `BenchmarkA-8  100  100.0 ns/op
+`)
+
+	var out bytes.Buffer
+	if err := run([]string{"-gate", "1.5", base, fast}, &out); err != nil {
+		t.Errorf("in-bound comparison failed the gate: %v", err)
+	}
+	// Advisory mode never fails on slowdowns, matching historical behaviour.
+	if err := run([]string{base, slow}, &out); err != nil {
+		t.Errorf("advisory comparison failed: %v", err)
+	}
+	err := run([]string{"-gate", "1.5", base, slow}, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") || !strings.Contains(err.Error(), "4.00x") {
+		t.Errorf("4x regression passed gate 1.5 or lost the culprit: %v", err)
+	}
+	err = run([]string{"-gate", "1.5", base, gone}, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkB") {
+		t.Errorf("vanished benchmark passed the gate: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"one-arg"}, &out); err == nil {

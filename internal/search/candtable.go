@@ -133,63 +133,92 @@ func NewCandTable(mm op.MatMul, g Grid, cache *EvalCache) (*CandTable, error) {
 		return nil, fmt.Errorf("search: candidate table for %v over %s grid needs %d entries (cap %d)", mm, g, n, MaxTableCandidates)
 	}
 	t := &CandTable{mm: mm, grid: g, candidates: n}
-	if err := guardScan(func() { t.build(cache) }); err != nil {
+	kern, err := cost.NewBatchEval(mm, dataflow.AllOrders())
+	if err != nil {
+		return nil, err
+	}
+	if err := guardScan(func() { t.build(kern, cache) }); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-// build evaluates the lattice, sorts by (footprint, canonical key) and folds
-// the prefix-minimum steps. Runs inside guardScan.
-func (t *CandTable) build(cache *EvalCache) {
+// build evaluates the lattice through the shared batch kernel, sorts by
+// (footprint, canonical key) and folds the prefix-minimum steps. Runs
+// inside guardScan. Candidates stream through one reused struct-of-arrays
+// block — the same layout the enumeration scans dispatch — so the lattice
+// pass constructs and validates nothing per candidate; cache traffic is one
+// lookupBulk per block plus a single end-of-build insertBulk (every
+// candidate of a build is distinct, so later blocks never need to see
+// earlier blocks' misses).
+func (t *CandTable) build(kern *cost.BatchEval, cache *EvalCache) {
 	gm, gk, gl := gridValues(t.mm, t.grid)
 	orders := dataflow.AllOrders()
 	entries := make([]candEntry, 0, t.candidates)
-	// Misses are evaluated locally and batched into the cache afterwards:
-	// a cold build is nearly all misses, and insertBulk pays one lock and
-	// one snapshot republish per shard instead of one per candidate (the
-	// per-miss republish tripled build time before this batching).
 	var stash []bulkEntry
+	blk := cost.NewBlock(scanBlockSize)
+	var keys []evalKey
+	var miss []int32
+	var probe blockProbe
+	var oc *opEvalCache
+	if cache != nil {
+		oc = cache.opCache(opShape{t.mm.M, t.mm.K, t.mm.L})
+		keys = make([]evalKey, 0, scanBlockSize)
+		miss = make([]int32, 0, scanBlockSize)
+	}
+	flush := func() {
+		n := blk.Len()
+		if n == 0 {
+			return
+		}
+		if oc == nil {
+			kern.EvalBlock(blk)
+			t.buildEvals += int64(n)
+		} else {
+			keys = keys[:0]
+			for i := 0; i < n; i++ {
+				keys = append(keys, evalKey{
+					tm: blk.TM[i], tk: blk.TK[i], tl: blk.TL[i],
+					oi: int32(blk.OI[i]),
+				})
+			}
+			miss = probe.lookupBulk(oc, keys, blk.Out, miss[:0])
+			kern.EvalIndexed(blk, miss)
+			for _, i := range miss {
+				stash = append(stash, bulkEntry{key: keys[i], access: blk.Out[i]})
+			}
+			t.buildEvals += int64(len(miss))
+			t.buildHits += int64(n - len(miss))
+		}
+		for i := 0; i < n; i++ {
+			entries = append(entries, candEntry{
+				foot: blk.Foot[i], total: blk.Out[i].Total,
+				oi: int32(blk.OI[i]), tm: blk.TM[i], tk: blk.TK[i], tl: blk.TL[i],
+			})
+		}
+		blk.Reset()
+	}
 	for _, tm := range gm {
 		for _, tk := range gk {
 			for _, tl := range gl {
-				ti := dataflow.MustTiling(t.mm, tm, tk, tl)
-				fp := ti.Footprint()
-				for oi, o := range orders {
+				fp := tileFootprint(tm, tk, tl)
+				for oi := range orders {
 					if err := faultinject.Active().Fire(SiteEval); err != nil {
-						// Same per-candidate site as evalDataflow; guardScan
-						// converts the panic into ErrInternal.
+						// Same per-candidate site as the scan engines;
+						// guardScan converts the panic into ErrInternal.
 						panic(err)
 					}
-					df := dataflow.Must(t.mm, o, ti)
-					var a cost.Access
-					if cache != nil {
-						key := evalKey{
-							m: t.mm.M, k: t.mm.K, l: t.mm.L,
-							order: o, tm: tm, tk: tk, tl: tl,
-						}
-						var hit bool
-						if a, hit = cache.lookup(key); hit {
-							t.buildHits++
-						} else {
-							a = cost.MustEvaluate(t.mm, df)
-							t.buildEvals++
-							stash = append(stash, bulkEntry{key: key, access: a})
-						}
-					} else {
-						a = cost.MustEvaluate(t.mm, df)
-						t.buildEvals++
+					if blk.Full() {
+						flush()
 					}
-					entries = append(entries, candEntry{
-						foot: fp, total: a.Total,
-						oi: int32(oi), tm: int32(tm), tk: int32(tk), tl: int32(tl),
-					})
+					blk.Push(uint8(oi), int32(tm), int32(tk), int32(tl), fp)
 				}
 			}
 		}
 	}
-	if cache != nil {
-		cache.insertBulk(stash)
+	flush()
+	if oc != nil {
+		oc.insertBulk(stash)
 	}
 	// Footprint-major sort with the canonical key as tie-break makes the
 	// fold deterministic; the fold itself is a min over the total order

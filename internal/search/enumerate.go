@@ -35,6 +35,21 @@ const SiteEval = "search.eval"
 //     is exactly the first minimum the reference engines' order-major scan
 //     encounters. This makes the optimum independent of enumeration order
 //     and of how the parallel engines shard the lattice.
+//
+// Candidates flow through flat struct-of-arrays blocks (cost.Block) rather
+// than one evaluation call per candidate: generation pushes (order, tile
+// triple, footprint) rows into a reused block and a precompiled batch kernel
+// (cost.BatchEval) prices the whole block per call. Nothing per candidate is
+// validated, dispatched through an interface, or allocated — the reference
+// engines' per-candidate construction overhead is exactly the regression
+// this layout removes. Cache traffic is block-batched too: one lookupBulk
+// and one insertBulk per flushed block, each paying one lock acquisition and
+// at most one snapshot republish per touched shard.
+
+// scanBlockSize is the candidate capacity of one struct-of-arrays scan
+// block. 2048 rows keep the per-worker block under ~200 KiB (resident in
+// L2) while amortizing the per-block cache round-trip to noise.
+const scanBlockSize = 2048
 
 // candKey identifies one enumeration candidate by its canonical
 // coordinates, used to break MA ties deterministically.
@@ -76,7 +91,10 @@ func fullRange(n int) []int {
 
 // evalDataflow routes one cost evaluation through the cache when present.
 // The boolean reports a cache hit, which callers count separately from
-// Evaluations so the paper's search-cost metric stays honest.
+// Evaluations so the paper's search-cost metric stays honest. This is the
+// genetic engine's evaluation path; the enumeration scans batch through
+// blockScanner instead — GA candidates are sparse, data-dependent points
+// that gain nothing from blocking.
 func evalDataflow(mm op.MatMul, df dataflow.Dataflow, cache *EvalCache) (cost.Access, bool) {
 	if err := faultinject.Active().Fire(SiteEval); err != nil {
 		// The evaluation path has no error return; the scan-level recover
@@ -153,11 +171,18 @@ type enumBest struct {
 	found   bool
 }
 
+// improves reports whether a candidate with the given MA total and canonical
+// key would replace the running optimum — the allocation-free pre-check the
+// block fold uses before constructing a Dataflow for the rare improvement.
+func (e *enumBest) improves(total int64, key candKey) bool {
+	return !e.found || total < e.best.Access.Total ||
+		(total == e.best.Access.Total && key.less(e.bestKey))
+}
+
 // take replaces the running optimum when the candidate is strictly better,
 // or ties on MA with a smaller canonical key.
 func (e *enumBest) take(df dataflow.Dataflow, a cost.Access, key candKey) {
-	if !e.found || a.Total < e.best.Access.Total ||
-		(a.Total == e.best.Access.Total && key.less(e.bestKey)) {
+	if e.improves(a.Total, key) {
 		e.found = true
 		e.best.Dataflow, e.best.Access, e.bestKey = df, a, key
 	}
@@ -173,39 +198,135 @@ func (e *enumBest) merge(o enumBest) {
 	}
 }
 
-// scanChunk enumerates the tilings gm[lo:hi] × gk × gl (each grid sorted
+// blockScanner owns one goroutine's slice of a scan: a reused candidate
+// block, the scratch for bulk cache traffic, and the chunk-local optimum.
+// Generation pushes candidates; a full block flushes through the batch
+// kernel (misses only, when a cache is present) and folds into acc. The
+// steady state allocates nothing per candidate — every slice below is
+// capacity-stable after the first flush.
+type blockScanner struct {
+	mm         op.MatMul
+	bufferSize int64
+	orders     []dataflow.Order
+	kern       *cost.BatchEval
+	oc         *opEvalCache // the operator's cache slice; nil for uncached scans
+	oidx       []int32      // orders[i] → canonical order index for cache keys
+	stop       *cancelCheck
+	acc        *enumBest
+
+	blk   *cost.Block
+	keys  []evalKey
+	miss  []int32
+	stash []bulkEntry
+	probe blockProbe
+}
+
+func newBlockScanner(mm op.MatMul, bufferSize int64, orders []dataflow.Order, kern *cost.BatchEval, cache *EvalCache, stop *cancelCheck, acc *enumBest) *blockScanner {
+	s := &blockScanner{
+		mm: mm, bufferSize: bufferSize, orders: orders,
+		stop: stop, acc: acc,
+		kern: kern,
+		blk:  cost.NewBlock(scanBlockSize),
+	}
+	if cache != nil {
+		// Resolve the shape's sub-cache once; flushes then probe shards
+		// directly with compact per-candidate keys.
+		s.oc = cache.opCache(opShape{mm.M, mm.K, mm.L})
+		s.oidx = make([]int32, len(orders))
+		for i, o := range orders {
+			s.oidx[i] = orderIndex(o)
+		}
+		s.keys = make([]evalKey, 0, scanBlockSize)
+		s.miss = make([]int32, 0, scanBlockSize)
+		s.stash = make([]bulkEntry, 0, scanBlockSize)
+	}
+	return s
+}
+
+// push appends one candidate, firing the per-visit fault-injection site the
+// chaos tests schedule by visit ordinal, and flushes when the block fills.
+// Callers run inside guardScan, which converts injected panics (and organic
+// cost-model bugs surfacing in the batched flush) into ErrInternal.
+func (s *blockScanner) push(oi, tm, tk, tl int, foot int64) {
+	if err := faultinject.Active().Fire(SiteEval); err != nil {
+		panic(err)
+	}
+	s.blk.Push(uint8(oi), int32(tm), int32(tk), int32(tl), foot)
+	if s.blk.Full() {
+		s.flush()
+	}
+}
+
+// flush prices the buffered candidates — whole-block through the kernel
+// without a cache; bulk-probe then miss-only kernel passes with one — and
+// folds them into the running optimum. A Dataflow is constructed only when a
+// candidate actually improves the optimum, so the per-candidate path stays
+// free of validation and allocation.
+func (s *blockScanner) flush() {
+	n := s.blk.Len()
+	if n == 0 {
+		return
+	}
+	if s.oc == nil {
+		s.kern.EvalBlock(s.blk)
+		s.acc.best.Evaluations += int64(n)
+	} else {
+		s.keys = s.keys[:0]
+		for i := 0; i < n; i++ {
+			s.keys = append(s.keys, evalKey{
+				tm: s.blk.TM[i], tk: s.blk.TK[i], tl: s.blk.TL[i],
+				oi: s.oidx[s.blk.OI[i]],
+			})
+		}
+		s.miss = s.probe.lookupBulk(s.oc, s.keys, s.blk.Out, s.miss[:0])
+		s.kern.EvalIndexed(s.blk, s.miss)
+		s.stash = s.stash[:0]
+		for _, i := range s.miss {
+			s.stash = append(s.stash, bulkEntry{key: s.keys[i], access: s.blk.Out[i]})
+		}
+		s.oc.insertBulk(s.stash)
+		s.acc.best.Evaluations += int64(len(s.miss))
+		s.acc.best.CacheHits += int64(n - len(s.miss))
+	}
+	for i := 0; i < n; i++ {
+		key := candKey{int(s.blk.OI[i]), int(s.blk.TM[i]), int(s.blk.TK[i]), int(s.blk.TL[i])}
+		if s.acc.improves(s.blk.Out[i].Total, key) {
+			df := dataflow.Must(s.mm, s.orders[s.blk.OI[i]],
+				dataflow.MustTiling(s.mm, key.tm, key.tk, key.tl))
+			s.acc.take(df, s.blk.Out[i], key)
+		}
+	}
+	s.blk.Reset()
+}
+
+// scanSpan enumerates the tilings gm[lo:hi] × gk × gl (each grid sorted
 // ascending) against every loop order, pruning by footprint monotonicity:
 // the innermost tl loop breaks on buffer overflow, and the tk and tm loops
 // break once even the smallest remaining partner tiles overflow. When stop
 // reports cancellation the scan abandons the chunk mid-lattice; the caller
 // is responsible for discarding the partial accumulator via ctx.Err().
-func scanChunk(mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, lo, hi int, cache *EvalCache, stop *cancelCheck, acc *enumBest) {
+// Buffered candidates remain in the block across spans — the owner flushes
+// once after its last span.
+func (s *blockScanner) scanSpan(gm, gk, gl []int, lo, hi int) {
 	minK, minL := gk[0], gl[0]
 	for _, tm := range gm[lo:hi] {
-		if tileFootprint(tm, minK, minL) > bufferSize {
+		if tileFootprint(tm, minK, minL) > s.bufferSize {
 			break
 		}
 		for _, tk := range gk {
-			if tileFootprint(tm, tk, minL) > bufferSize {
+			if tileFootprint(tm, tk, minL) > s.bufferSize {
 				break
 			}
 			for _, tl := range gl {
-				if tileFootprint(tm, tk, tl) > bufferSize {
+				foot := tileFootprint(tm, tk, tl)
+				if foot > s.bufferSize {
 					break
 				}
-				if stop.stopped() {
+				if s.stop.stopped() {
 					return
 				}
-				ti := dataflow.MustTiling(mm, tm, tk, tl)
-				for oi, o := range orders {
-					df := dataflow.Must(mm, o, ti)
-					a, hit := evalDataflow(mm, df, cache)
-					if hit {
-						acc.best.CacheHits++
-					} else {
-						acc.best.Evaluations++
-					}
-					acc.take(df, a, candKey{oi, tm, tk, tl})
+				for oi := range s.orders {
+					s.push(oi, tm, tk, tl, foot)
 				}
 			}
 		}
@@ -224,11 +345,12 @@ type enumState struct {
 
 // scanParallel shards the tm grid across a worker pool and merges the
 // chunk-local optima under the canonical tie-break, so the combined result
-// is identical to a sequential scan regardless of scheduling. On ctx
-// cancellation dispatch stops, workers abandon their current chunk at the
-// next poll, and the (partial) accumulator is returned for the caller to
-// discard.
-func scanParallel(ctx context.Context, mm op.MatMul, bufferSize int64, orders []dataflow.Order, gm, gk, gl []int, cache *EvalCache, workers int) (enumBest, error) {
+// is identical to a sequential scan regardless of scheduling. Each worker
+// owns one blockScanner and dispatches whole blocks — the kernel, being
+// immutable, is shared. On ctx cancellation dispatch stops, workers abandon
+// their current chunk at the next poll, and the (partial) accumulator is
+// returned for the caller to discard.
+func scanParallel(ctx context.Context, mm op.MatMul, bufferSize int64, orders []dataflow.Order, kern *cost.BatchEval, gm, gk, gl []int, cache *EvalCache, workers int) (enumBest, error) {
 	type span struct{ lo, hi int }
 	// Several chunks per worker load-balance the ragged pruning: small-tm
 	// chunks admit far more feasible (tk, tl) partners than large-tm ones.
@@ -244,16 +366,21 @@ func scanParallel(ctx context.Context, mm op.MatMul, bufferSize int64, orders []
 		go func() {
 			defer wg.Done()
 			var local enumBest
+			scanner := newBlockScanner(mm, bufferSize, orders, kern, cache, newCancelCheck(ctx), &local)
 			var failed error
-			stop := newCancelCheck(ctx)
 			for s := range ch {
 				if failed != nil {
 					continue // keep draining so the dispatcher never blocks
 				}
 				s := s
 				failed = guardScan(func() {
-					scanChunk(mm, bufferSize, orders, gm, gk, gl, s.lo, s.hi, cache, stop, &local)
+					scanner.scanSpan(gm, gk, gl, s.lo, s.hi)
 				})
+			}
+			if failed == nil {
+				// Flush the residue block once after the last span; a panic
+				// here (batched cost-model work) is contained like any other.
+				failed = guardScan(scanner.flush)
 			}
 			state.mu.Lock()
 			if failed != nil {
@@ -289,8 +416,8 @@ dispatch:
 	return state.acc, state.err
 }
 
-// enumerate runs the pruned scan over the given grids, sequentially for
-// workers == 1 and on a worker pool otherwise (workers ≤ 0 selects
+// enumerate runs the pruned block scan over the given grids, sequentially
+// for workers == 1 and on a worker pool otherwise (workers ≤ 0 selects
 // GOMAXPROCS), and packages the optimum as a Result. Cancelling ctx stops
 // the scan promptly and surfaces ctx.Err(); a Background context restores
 // the historical non-cancellable behaviour at negligible cost.
@@ -305,16 +432,21 @@ func enumerate(ctx context.Context, mm op.MatMul, bufferSize int64, gm, gk, gl [
 		workers = runtime.GOMAXPROCS(0)
 	}
 	orders := dataflow.AllOrders()
+	kern, err := cost.NewBatchEval(mm, orders)
+	if err != nil {
+		return Result{}, err
+	}
 	var acc enumBest
 	if workers == 1 {
+		scanner := newBlockScanner(mm, bufferSize, orders, kern, cache, newCancelCheck(ctx), &acc)
 		if err := guardScan(func() {
-			scanChunk(mm, bufferSize, orders, gm, gk, gl, 0, len(gm), cache, newCancelCheck(ctx), &acc)
+			scanner.scanSpan(gm, gk, gl, 0, len(gm))
+			scanner.flush()
 		}); err != nil {
 			return Result{}, err
 		}
 	} else {
-		var err error
-		acc, err = scanParallel(ctx, mm, bufferSize, orders, gm, gk, gl, cache, workers)
+		acc, err = scanParallel(ctx, mm, bufferSize, orders, kern, gm, gk, gl, cache, workers)
 		if err != nil {
 			return Result{}, err
 		}

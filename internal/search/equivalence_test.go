@@ -109,6 +109,67 @@ func TestCoarseEnginesMatchReferenceRandomized(t *testing.T) {
 	}
 }
 
+// TestDecodeShapeEnginesMatchReference pins block-path bit-identity off the
+// square-ish Table-II shapes: decode-style operators — M=1 GEMV, tiny-K MoE
+// projection, small-L GQA score — degenerate one or two lattice dimensions
+// to a handful of tiles, exercising block fills that end mid-span, orders
+// whose inner loops never trip, and prune breaks on the first tile. Every
+// optimized variant must still reproduce the frozen references exactly.
+func TestDecodeShapeEnginesMatchReference(t *testing.T) {
+	shapes := []op.MatMul{
+		{Name: "gemv", M: 1, K: 48, L: 40},
+		{Name: "moe-tinyk", M: 24, K: 2, L: 56},
+		{Name: "gqa-smalll", M: 40, K: 36, L: 3},
+	}
+	for _, mm := range shapes {
+		maxFP := mm.SizeA() + mm.SizeB() + mm.SizeC()
+		buffers := []int64{3, 17, maxFP / 4, maxFP * 2}
+
+		// Full lattice via the exhaustive variants on a shrunken copy (the
+		// full grid over K=48 stays cheap because M or L is degenerate).
+		exCache := NewEvalCache()
+		exact := mm
+		if exact.M > 8 {
+			exact.M = 8
+		}
+		if exact.K > 8 {
+			exact.K = 8
+		}
+		if exact.L > 8 {
+			exact.L = 8
+		}
+		for _, bs := range buffers {
+			ref, refErr := ReferenceExhaustive(exact, bs)
+			for _, eng := range exhaustiveVariants(exCache) {
+				got, err := eng.run(exact, bs)
+				if (err == nil) != (refErr == nil) {
+					t.Fatalf("%v BS=%d %s: err=%v, reference err=%v", exact, bs, eng.name, err, refErr)
+				}
+				if refErr != nil {
+					continue
+				}
+				checkEquivalent(t, exact.Name+"/"+eng.name, ref, got)
+			}
+		}
+
+		// Coarse lattice at the real decode dimensions.
+		coCache := NewEvalCache()
+		for _, bs := range buffers {
+			ref, refErr := ReferenceCoarse(mm, bs)
+			for _, eng := range coarseVariants(coCache) {
+				got, err := eng.run(mm, bs)
+				if (err == nil) != (refErr == nil) {
+					t.Fatalf("%v BS=%d %s: err=%v, reference err=%v", mm, bs, eng.name, err, refErr)
+				}
+				if refErr != nil {
+					continue
+				}
+				checkEquivalent(t, mm.Name+"/"+eng.name, ref, got)
+			}
+		}
+	}
+}
+
 func TestEvalCacheServesRepeatSweepsEntirely(t *testing.T) {
 	mm := op.MatMul{M: 12, K: 10, L: 8}
 	cache := NewEvalCache()

@@ -20,10 +20,16 @@ import (
 // visits in Result.CacheHits, never in Result.Evaluations, so the paper's
 // search-cost metric (cost-model invocations) stays honest.
 //
-// The cache is sharded by key hash and safe for concurrent use by the
-// parallel engines. Operator names are not part of the key — cost depends
-// only on the dimensions — so a cache may be shared across identically
-// shaped operators.
+// The cache is two-level: a tiny read-mostly map from operator shape to a
+// per-shape sub-cache, then 64 hash shards of compact per-candidate keys
+// inside each sub-cache. Splitting the shape out of the per-candidate key is
+// what makes the hot probe cheap enough to beat the batch kernel's ~10 ns
+// evaluations: the resident key shrinks from a 56-byte struct (hashed in
+// full on every probe) to 16 bytes of order index + int32 tile triple, and
+// a block-batched caller resolves the sub-cache once per block instead of
+// re-hashing the shape per candidate. Operator names are not part of either
+// level — cost depends only on the dimensions — so a cache may be shared
+// across identically shaped operators.
 //
 // Each shard is a read-mostly two-tier structure: an immutable snapshot map
 // behind an atomic.Pointer serves hits without any lock (one pointer load,
@@ -34,15 +40,29 @@ import (
 // state — the 100:1 hit-dominated traffic of a warm sweep or a hot serving
 // shape — therefore never contends on a mutex.
 type EvalCache struct {
+	// ops is the read-mostly shape directory. The map it points to is never
+	// mutated after publication; registering a new shape builds a
+	// replacement under mu and swaps the pointer.
+	ops atomic.Pointer[map[opShape]*opEvalCache]
+	mu  sync.Mutex
+}
+
+// opShape keys sub-caches by operator dimensions; names are irrelevant to
+// cost.
+type opShape struct{ m, k, l int }
+
+// opEvalCache is one shape's shard set.
+type opEvalCache struct {
 	shards [evalCacheShards]evalCacheShard
 }
 
 // evalCacheShards trades publish granularity against footprint; 64 keeps the
 // worker pools (≤ GOMAXPROCS) mostly collision-free on the miss path and
-// bounds each snapshot republish to 1/64th of the resident candidates.
+// bounds each snapshot republish to 1/64th of the shape's resident
+// candidates.
 const evalCacheShards = 64
 
-// evalCacheShard is one two-tier slice of the cache. The first cache line
+// evalCacheShard is one two-tier slice of a sub-cache. The first cache line
 // holds the read path (snapshot pointer + hit counter); the mutex-guarded
 // write tier follows, padded so neighbouring shards' hit counters do not
 // false-share.
@@ -77,27 +97,48 @@ const publishPressure = 64
 // snapshot).
 const publishFloor = 256
 
-// evalKey is the complete input of one cost evaluation.
+// evalKey is the compact per-shape candidate key: the canonical order index
+// (AllOrders position, -1 for a malformed order — which the miss path's
+// evaluation then rejects before anything is inserted) and the tile triple.
+// Tiles are stored as int32: a dimension extent at or above 2³¹ would give
+// tensors past 4·10¹⁸ elements, far beyond anything the cost model's int64
+// products survive, so the narrowing never aliases in practice.
 type evalKey struct {
-	m, k, l    int
-	order      dataflow.Order
-	tm, tk, tl int
+	tm, tk, tl int32
+	oi         int32
 }
 
-// shard hashes the key to a shard index. Each field is folded together with
-// its position (so transposed keys — (m=a,k=b) vs (m=b,k=a) with swapped
-// tiles, common for square operators — hash independently), and a
-// splitmix64-style finalizer avalanches high bits into the low bits the
-// shard index is taken from. The previous word-wise FNV-1a had no field
-// separation and, because multiplication mod 2^64 never carries information
-// downward, its low 6 bits depended only on the low 6 bits of every field —
-// power-of-two tile grids collapsed onto a handful of shards.
-func (k evalKey) shard() int {
-	h := uint64(14695981039346656037)
-	for i, v := range [...]int{k.m, k.k, k.l, int(k.order[0]), int(k.order[1]), int(k.order[2]), k.tm, k.tk, k.tl} {
-		h ^= uint64(i+1)<<56 ^ uint64(v)
-		h *= 1099511628211
+// orderIndexLUT maps an Order's radix-3 dim packing to its AllOrders index;
+// non-permutation packings hold -1.
+var orderIndexLUT = func() [27]int8 {
+	var lut [27]int8
+	for i := range lut {
+		lut[i] = -1
 	}
+	for oi, o := range dataflow.AllOrders() {
+		lut[int(o[0])*9+int(o[1])*3+int(o[2])] = int8(oi)
+	}
+	return lut
+}()
+
+// orderIndex returns o's canonical index in dataflow.AllOrders, or -1 when o
+// is not a permutation of the three dims.
+func orderIndex(o dataflow.Order) int32 {
+	i := int(o[0])*9 + int(o[1])*3 + int(o[2])
+	if i < 0 || i >= len(orderIndexLUT) {
+		return -1
+	}
+	return int32(orderIndexLUT[i])
+}
+
+// shard hashes the key to a shard index. The fields are spread across the
+// word so no pair cancels, then a splitmix64-style finalizer avalanches high
+// bits into the low bits the index is taken from — power-of-two tile grids
+// (every field sharing low zero bits) must still spread evenly, which
+// TestEvalKeyShardDistribution pins with a chi-square bound.
+func (k evalKey) shard() int {
+	h := uint64(uint32(k.tm))<<32 ^ uint64(uint32(k.tk))
+	h ^= uint64(uint32(k.tl))<<16 ^ uint64(uint32(k.oi))<<58
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
@@ -111,20 +152,50 @@ func NewEvalCache() *EvalCache {
 	return &EvalCache{}
 }
 
+// opCache returns shape's sub-cache, registering it on first use. The fast
+// path is one atomic load plus one read of an immutable small map; the
+// shape directory grows a handful of times per process lifetime, so the
+// copy-on-write insert is negligible.
+func (c *EvalCache) opCache(shape opShape) *opEvalCache {
+	if ops := c.ops.Load(); ops != nil {
+		if oc, ok := (*ops)[shape]; ok {
+			return oc
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var old map[opShape]*opEvalCache
+	if ops := c.ops.Load(); ops != nil {
+		old = *ops
+		if oc, ok := old[shape]; ok {
+			return oc
+		}
+	}
+	oc := &opEvalCache{}
+	next := make(map[opShape]*opEvalCache, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[shape] = oc
+	c.ops.Store(&next)
+	return oc
+}
+
 // Evaluate returns the exact cost of df on mm, computing it at most once
 // per (shape, order, tiling) over the cache's lifetime. The boolean reports
 // whether this call was served from the cache.
 //
-// This is the search engines' hot loop: a hit costs one atomic pointer
-// load, one immutable map read and one atomic counter add — no mutex, no
-// defer, zero allocations (pinned by TestEvalHotPathZeroAllocs).
+// This is the genetic engine's hot loop (the enumeration scans batch
+// through lookupBulk instead): a hit costs two atomic pointer loads, two
+// immutable map reads and one atomic counter add — no mutex, no defer, zero
+// allocations (pinned by TestEvalHotPathZeroAllocs).
 func (c *EvalCache) Evaluate(mm op.MatMul, df dataflow.Dataflow) (cost.Access, bool) {
+	oc := c.opCache(opShape{mm.M, mm.K, mm.L})
 	key := evalKey{
-		m: mm.M, k: mm.K, l: mm.L,
-		order: df.Order,
-		tm:    df.Tiling.TM, tk: df.Tiling.TK, tl: df.Tiling.TL,
+		tm: int32(df.Tiling.TM), tk: int32(df.Tiling.TK), tl: int32(df.Tiling.TL),
+		oi: orderIndex(df.Order),
 	}
-	sh := &c.shards[key.shard()]
+	sh := &oc.shards[key.shard()]
 	if snap := sh.snap.Load(); snap != nil {
 		if a, ok := (*snap)[key]; ok {
 			sh.hits.Add(1)
@@ -175,50 +246,99 @@ func (sh *evalCacheShard) evaluateSlow(mm op.MatMul, df dataflow.Dataflow, key e
 	return a, false
 }
 
-// lookup is the read-only probe of the miss path: it checks both tiers but
-// never evaluates. A hit counts exactly like an Evaluate hit; a miss counts
-// nothing — the caller owns the evaluation and reports it back through
-// insertBulk. Table builds use this pair so 10⁴–10⁶ consecutive misses pay
-// one lock and one snapshot republish per shard instead of one each.
-func (c *EvalCache) lookup(key evalKey) (cost.Access, bool) {
-	sh := &c.shards[key.shard()]
-	if snap := sh.snap.Load(); snap != nil {
-		if a, ok := (*snap)[key]; ok {
-			sh.hits.Add(1)
-			return a, true
-		}
-	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if snap := sh.snap.Load(); snap != nil {
-		if a, ok := (*snap)[key]; ok {
-			sh.hits.Add(1)
-			return a, true
-		}
-	}
-	if a, ok := sh.dirty[key]; ok {
-		sh.hits.Add(1)
-		sh.dirtyHits++
-		if sh.dirtyHits >= publishPressure {
-			sh.publishLocked()
-		}
-		return a, true
-	}
-	return cost.Access{}, false
-}
-
 // bulkEntry is one evaluated candidate handed to insertBulk.
 type bulkEntry struct {
 	key    evalKey
 	access cost.Access
 }
 
-// insertBulk merges externally evaluated entries into the cache with one
+// blockProbe is per-scanner scratch for lookupBulk: the shard-bucketed index
+// lists of one block's unresolved probes. Each block scanner (and each table
+// build) owns one, so the bucket slices are reused flush after flush and the
+// shared cache carries no per-caller state.
+type blockProbe struct {
+	buckets [evalCacheShards][]int32
+}
+
+// lookupBulk is the read-only probe of the block-batched miss path: it
+// probes keys[i] for every i, writing hits into out[i] and returning the
+// indices that missed (appended to miss, which callers pass re-sliced to
+// [:0]). Pass one probes the lock-free snapshots, batching hit-counter
+// updates to one atomic add per touched shard; unresolved indices are
+// bucketed by shard and resolved in pass two under one lock acquisition per
+// touched shard (re-checking the snapshot for races, then the dirty overlay
+// with the same read-pressure publish policy as Evaluate). Misses count
+// nothing — the caller evaluates them and reports back through insertBulk,
+// so a block's cache round-trip pays one lock and at most one republish per
+// touched shard regardless of block size. Miss indices are returned in
+// shard-grouped order, not input order; callers treat them as a set.
+func (p *blockProbe) lookupBulk(oc *opEvalCache, keys []evalKey, out []cost.Access, miss []int32) []int32 {
+	var snapHits [evalCacheShards]int64
+	for i := range keys {
+		s := keys[i].shard()
+		sh := &oc.shards[s]
+		if snap := sh.snap.Load(); snap != nil {
+			if a, ok := (*snap)[keys[i]]; ok {
+				out[i] = a
+				snapHits[s]++
+				continue
+			}
+		}
+		p.buckets[s] = append(p.buckets[s], int32(i))
+	}
+	for s := range snapHits {
+		if snapHits[s] > 0 {
+			oc.shards[s].hits.Add(snapHits[s])
+		}
+	}
+	for s := range p.buckets {
+		idxs := p.buckets[s]
+		if len(idxs) == 0 {
+			continue
+		}
+		p.buckets[s] = idxs[:0]
+		sh := &oc.shards[s]
+		var hits int64
+		sh.mu.Lock()
+		snap := sh.snap.Load()
+		for _, i := range idxs {
+			k := keys[i]
+			if snap != nil {
+				if a, ok := (*snap)[k]; ok {
+					out[i] = a
+					hits++
+					continue
+				}
+			}
+			if a, ok := sh.dirty[k]; ok {
+				out[i] = a
+				hits++
+				sh.dirtyHits++
+				continue
+			}
+			miss = append(miss, i)
+		}
+		if sh.dirtyHits >= publishPressure {
+			sh.publishLocked()
+		}
+		if hits > 0 {
+			sh.hits.Add(hits)
+		}
+		sh.mu.Unlock()
+	}
+	return miss
+}
+
+// insertBulk merges externally evaluated entries into the sub-cache with one
 // lock acquisition and at most one snapshot republish per touched shard.
-// Keys that raced in through the normal miss path since the caller's lookup
-// are skipped; every entry actually inserted counts as one miss, keeping
-// Entries == Misses exact.
-func (c *EvalCache) insertBulk(entries []bulkEntry) {
+// Entries land in the dirty overlay at plain map-insert cost and are
+// promoted to the lock-free snapshot under the same growth policy as the
+// single-miss path — publishing unconditionally here would copy the growing
+// snapshot once per flushed block, turning a cold block-path scan into an
+// O(n²/shards) merge storm. Keys that raced in through the normal miss path
+// since the caller's lookup are skipped; every entry actually inserted
+// counts as one miss, keeping Entries == Misses exact.
+func (oc *opEvalCache) insertBulk(entries []bulkEntry) {
 	if len(entries) == 0 {
 		return
 	}
@@ -231,29 +351,30 @@ func (c *EvalCache) insertBulk(entries []bulkEntry) {
 		if len(buckets[s]) == 0 {
 			continue
 		}
-		sh := &c.shards[s]
+		sh := &oc.shards[s]
 		sh.mu.Lock()
 		var old map[evalKey]cost.Access
+		snapLen := 0
 		if snap := sh.snap.Load(); snap != nil {
 			old = *snap
+			snapLen = len(old)
 		}
-		next := make(map[evalKey]cost.Access, len(old)+len(sh.dirty)+len(buckets[s]))
-		for k, v := range old {
-			next[k] = v
-		}
-		for k, v := range sh.dirty {
-			next[k] = v
+		if sh.dirty == nil {
+			sh.dirty = make(map[evalKey]cost.Access, len(buckets[s]))
 		}
 		for _, e := range buckets[s] {
-			if _, ok := next[e.key]; ok {
+			if _, ok := old[e.key]; ok {
 				continue
 			}
-			next[e.key] = e.access
+			if _, ok := sh.dirty[e.key]; ok {
+				continue
+			}
+			sh.dirty[e.key] = e.access
 			sh.misses++
 		}
-		sh.snap.Store(&next)
-		sh.dirty = nil
-		sh.dirtyHits = 0
+		if len(sh.dirty) >= publishFloor+snapLen/2 {
+			sh.publishLocked()
+		}
 		sh.mu.Unlock()
 	}
 }
@@ -286,19 +407,26 @@ type CacheStats struct {
 	Hits, Misses, Entries int64
 }
 
-// Stats returns the cache's cumulative hit/miss counters.
+// Stats returns the cache's cumulative hit/miss counters across every
+// operator shape.
 func (c *EvalCache) Stats() CacheStats {
 	var s CacheStats
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		s.Hits += sh.hits.Load()
-		s.Misses += sh.misses
-		if snap := sh.snap.Load(); snap != nil {
-			s.Entries += int64(len(*snap))
+	ops := c.ops.Load()
+	if ops == nil {
+		return s
+	}
+	for _, oc := range *ops {
+		for i := range oc.shards {
+			sh := &oc.shards[i]
+			sh.mu.Lock()
+			s.Hits += sh.hits.Load()
+			s.Misses += sh.misses
+			if snap := sh.snap.Load(); snap != nil {
+				s.Entries += int64(len(*snap))
+			}
+			s.Entries += int64(len(sh.dirty))
+			sh.mu.Unlock()
 		}
-		s.Entries += int64(len(sh.dirty))
-		sh.mu.Unlock()
 	}
 	return s
 }

@@ -134,37 +134,34 @@ func TestEvalCacheEntriesEqualMissesConcurrent(t *testing.T) {
 	}
 }
 
-// TestEvalKeyShardDistribution is the regression test for the shard-hash
-// bugfix: the old word-folded FNV had no per-field separation, and because
-// multiplication mod 2^64 never carries information toward the low bits,
-// `h % 64` saw only the low 6 bits of each field — power-of-two dims and
-// tile grids (and transposed square-op keys) collapsed onto a handful of
-// shards. The fixed hash must spread realistic populations evenly: a
-// chi-square statistic over 64 bins with ~63 expected under uniformity must
-// stay below a generous 200 (the old hash lands in the thousands), and no
-// shard may sit empty on populations much larger than the shard count.
+// TestEvalKeyShardDistribution guards the shard hash against the failure
+// mode that motivated its splitmix-style finalizer: `h & 63` reads only the
+// low 6 bits, and a fold with no avalanche passes power-of-two tile grids
+// (every field sharing low zero bits) straight through, collapsing real
+// populations onto a handful of shards. Each per-shape key population —
+// sub-caches shard independently, so distribution matters per shape — must
+// spread evenly: a chi-square statistic over 64 bins with ~63 expected under
+// uniformity must stay below a generous 200, and no shard may sit empty on
+// populations much larger than the shard count.
 func TestEvalKeyShardDistribution(t *testing.T) {
 	populations := map[string][]evalKey{}
 
 	add := func(name string, mm op.MatMul) {
 		for _, df := range cacheTestDataflows(t, mm) {
 			populations[name] = append(populations[name], evalKey{
-				m: mm.M, k: mm.K, l: mm.L,
-				order: df.Order,
-				tm:    df.Tiling.TM, tk: df.Tiling.TK, tl: df.Tiling.TL,
+				tm: int32(df.Tiling.TM), tk: int32(df.Tiling.TK), tl: int32(df.Tiling.TL),
+				oi: orderIndex(df.Order),
 			})
 		}
 	}
-	// Square power-of-two op: every dim and tile ≡ 0 mod 64-friendly values —
-	// the exact population the old hash collapsed.
+	// Square power-of-two op: every tile a power of two (or off-by-one) —
+	// the population a carry-free fold collapses.
 	add("square-pow2", op.MatMul{Name: "sq", M: 64, K: 64, L: 64})
-	// Transposed pair of a rectangular op: (m=a,k=b) and (m=b,k=a) keys with
-	// swapped tiles must not pile onto the same shards.
-	add("transposed", op.MatMul{Name: "ab", M: 128, K: 32, L: 64})
-	add("transposed", op.MatMul{Name: "ba", M: 32, K: 128, L: 64})
-	// The Fig. 9 sweep shapes (reduced), the serving benchmark's hot shape.
-	add("fig9", op.MatMul{Name: "proj", M: 256, K: 192, L: 192})
-	add("fig9", op.MatMul{Name: "qkt", M: 256, K: 32, L: 256})
+	// Rectangular ops with skewed tile grids, the Fig. 9 sweep shapes
+	// (reduced) and the serving benchmark's hot shape.
+	add("rect", op.MatMul{Name: "ab", M: 128, K: 32, L: 64})
+	add("fig9-proj", op.MatMul{Name: "proj", M: 256, K: 192, L: 192})
+	add("fig9-qkt", op.MatMul{Name: "qkt", M: 256, K: 32, L: 256})
 	add("serve", op.MatMul{Name: "bench", M: 32, K: 24, L: 28})
 
 	for name, keys := range populations {
@@ -225,7 +222,8 @@ func TestEvalCachePublishMovesResidue(t *testing.T) {
 	cache := NewEvalCache()
 	df := dataflow.Must(mm, dataflow.AllOrders()[0], dataflow.MustTiling(mm, 1, 1, 1))
 	cache.Evaluate(mm, df)
-	sh := &cache.shards[(evalKey{m: 3, k: 3, l: 3, order: dataflow.AllOrders()[0], tm: 1, tk: 1, tl: 1}).shard()]
+	oc := cache.opCache(opShape{3, 3, 3})
+	sh := &oc.shards[(evalKey{tm: 1, tk: 1, tl: 1, oi: orderIndex(dataflow.AllOrders()[0])}).shard()]
 	for i := 0; i < publishPressure+1; i++ {
 		if _, hit := cache.Evaluate(mm, df); !hit {
 			t.Fatal("warmed key missed")

@@ -532,8 +532,14 @@ func optimize(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticO
 		}
 		// The coarse lattice can miss boundary tile values such as
 		// (BS−K)/(K+1); polish with the GA seeded from scratch and keep the
-		// better of the two, mirroring DAT's MIP+GA hybrid.
-		g, gerr := geneticCtx(ctx, mm, bufferSize, opts, cache)
+		// better of the two, mirroring DAT's MIP+GA hybrid. The polish runs
+		// uncached for the same reason OptimizeTableCtx's does: GA candidates
+		// are off-lattice tilings that almost never repeat, so probing and
+		// flooding the shared cache with them costs more than the batch-kernel
+		// evaluation it would save. The GA trajectory is cache-independent and
+		// visits only move between Evaluations and CacheHits, so results and
+		// the conservation sum are bit-identical either way.
+		g, gerr := geneticCtx(ctx, mm, bufferSize, opts, nil)
 		if gerr == nil && g.Access.Total < r.Access.Total {
 			g.Evaluations += r.Evaluations
 			g.CacheHits += r.CacheHits
