@@ -1,0 +1,64 @@
+package api
+
+import (
+	"regexp"
+	"testing"
+)
+
+// TestShapeHashGolden pins the hash's exact value: artifacts on disk are
+// addressed by it, so a silent change would orphan every published table.
+func TestShapeHashGolden(t *testing.T) {
+	cases := []struct {
+		m, k, l int
+		grid    string
+		want    string
+	}{
+		{1024, 768, 768, "coarse", ShapeHash(1024, 768, 768, "coarse")},
+		{32, 24, 28, "full", ShapeHash(32, 24, 28, "full")},
+	}
+	// Self-referential rows above only pin shape; the literal goldens below
+	// pin the value across releases.
+	golden := map[string]string{
+		"1024/768/768/coarse": "ebf02c9ac93f8251",
+		"32/24/28/full":       "f02a7a19c87eca1c",
+		"32/24/28/":           "7cbeebebede0eea4",
+	}
+	if got := ShapeHash(1024, 768, 768, "coarse"); got != golden["1024/768/768/coarse"] {
+		t.Errorf("ShapeHash(1024,768,768,coarse) = %s, want %s", got, golden["1024/768/768/coarse"])
+	}
+	if got := ShapeHash(32, 24, 28, "full"); got != golden["32/24/28/full"] {
+		t.Errorf("ShapeHash(32,24,28,full) = %s, want %s", got, golden["32/24/28/full"])
+	}
+	if got := ShapeHash(32, 24, 28, ""); got != golden["32/24/28/"] {
+		t.Errorf("ShapeHash(32,24,28,\"\") = %s, want %s", got, golden["32/24/28/"])
+	}
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for _, tc := range cases {
+		if !hex16.MatchString(tc.want) {
+			t.Errorf("ShapeHash(%d,%d,%d,%s) = %q, want 16 lowercase hex digits", tc.m, tc.k, tc.l, tc.grid, tc.want)
+		}
+	}
+}
+
+// TestShapeHashDistinguishes checks the identity boundaries: dimensions and
+// grid are part of the key, permuted dimensions collide with nothing, and
+// the empty-grid routing key unifies the two grids of one shape.
+func TestShapeHashDistinguishes(t *testing.T) {
+	base := ShapeHash(8, 16, 32, "coarse")
+	for _, other := range []string{
+		ShapeHash(16, 8, 32, "coarse"),
+		ShapeHash(8, 32, 16, "coarse"),
+		ShapeHash(8, 16, 32, "full"),
+		ShapeHash(8, 16, 33, "coarse"),
+	} {
+		if other == base {
+			t.Fatalf("distinct shapes share hash %s", base)
+		}
+	}
+	if ShapeHash(8, 16, 32, "") == ShapeHash(8, 16, 32, "coarse") {
+		t.Fatal("routing key unexpectedly equals coarse-grid identity")
+	}
+	if ShapeHash(8, 16, 32, "") != ShapeHash(8, 16, 32, "") {
+		t.Fatal("hash is not deterministic")
+	}
+}

@@ -1,0 +1,46 @@
+package api
+
+// Version is the wire-API version every schema in this package belongs to.
+// It changes only on a breaking change to the JSON layout pinned by
+// wire_test.go; the /v1/ URL prefix tracks it.
+const Version = "v1"
+
+// VersionResponse is GET /v1/version: the three coordinates that decide
+// whether two processes may share artifacts and traffic. Replicas behind one
+// router must agree on CostModelVersion (the router refuses mixed fleets —
+// tables built under different cost semantics are not bit-identical), and a
+// table artifact is loadable only when both its cost-model and table-format
+// versions match the server's.
+type VersionResponse struct {
+	APIVersion         string `json:"api_version"`
+	CostModelVersion   string `json:"cost_model_version"`
+	TableFormatVersion int    `json:"table_format_version"`
+}
+
+// TableInfo is one resident candidate table in GET /v1/tables.
+type TableInfo struct {
+	// ShapeHash is the table's content address: ShapeHash(M, K, L, Grid).
+	ShapeHash string `json:"shape_hash"`
+	Op        OpSpec `json:"op"`
+	Grid      string `json:"grid"`
+	// Source records how the table materialized: "disk" (loaded from the
+	// -table-dir store) or "built" (computed at request time).
+	Source     string `json:"source"`
+	Candidates int64  `json:"candidates"`
+	// Hits counts registry lookups served by this entry after it was
+	// created.
+	Hits int64 `json:"hits"`
+	// AgeMS is milliseconds since the entry materialized.
+	AgeMS int64 `json:"age_ms"`
+}
+
+// TablesResponse is GET /v1/tables: the admin view of the table registry.
+type TablesResponse struct {
+	Tables []TableInfo `json:"tables"`
+}
+
+// EvictTableResponse is DELETE /v1/tables/{shapeHash}.
+type EvictTableResponse struct {
+	ShapeHash string `json:"shape_hash"`
+	Evicted   bool   `json:"evicted"`
+}

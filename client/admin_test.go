@@ -1,0 +1,89 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"fusecu/api"
+	"fusecu/internal/cost"
+	"fusecu/internal/search"
+	"fusecu/internal/service"
+)
+
+// TestVersionMethod round-trips GET /v1/version through the client.
+func TestVersionMethod(t *testing.T) {
+	_, ts := newServer(t, service.Config{})
+	c := newClient(t, Config{BaseURL: ts.URL})
+	v, err := c.Version(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := VersionResponse{
+		APIVersion:         api.Version,
+		CostModelVersion:   cost.ModelVersion,
+		TableFormatVersion: search.TableFormatVersion,
+	}
+	if *v != want {
+		t.Fatalf("version = %+v, want %+v", *v, want)
+	}
+}
+
+// TestTableAdminMethods drives the admin workflow end to end through the
+// client: search populates a table, Tables lists it, DeleteTable evicts it,
+// and a second Tables call shows it gone.
+func TestTableAdminMethods(t *testing.T) {
+	_, ts := newServer(t, service.Config{EnableAdmin: true})
+	c := newClient(t, Config{BaseURL: ts.URL})
+	ctx := context.Background()
+
+	req := SearchRequest{Op: OpSpec{Name: "adm", M: 14, K: 12, L: 10}, Buffer: 1024, Engine: "exhaustive"}
+	if _, err := c.Search(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Tables(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tables) != 1 || tr.Tables[0].Source != "built" {
+		t.Fatalf("tables = %+v, want one built table", tr.Tables)
+	}
+	hash := tr.Tables[0].ShapeHash
+	if want := api.ShapeHash(14, 12, 10, "full"); hash != want {
+		t.Fatalf("shape hash %s, want %s", hash, want)
+	}
+	ev, err := c.DeleteTable(ctx, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Evicted || ev.ShapeHash != hash {
+		t.Fatalf("evict = %+v, want evicted %s", ev, hash)
+	}
+	tr, err = c.Tables(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tables) != 0 {
+		t.Fatalf("tables after evict = %+v, want none", tr.Tables)
+	}
+}
+
+// TestAdminDisabledSurfacesAPIError: against a non-admin server the client
+// returns the typed envelope error without retrying (403 is a deliberate
+// answer, not a fault).
+func TestAdminDisabledSurfacesAPIError(t *testing.T) {
+	_, ts := newServer(t, service.Config{})
+	c := newClient(t, Config{BaseURL: ts.URL})
+	_, err := c.Tables(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("got %v, want *APIError", err)
+	}
+	if ae.Status != http.StatusForbidden || ae.Code != api.CodeAdminDisabled {
+		t.Fatalf("error = %+v, want 403 %s", ae, api.CodeAdminDisabled)
+	}
+	if st := c.Stats(); st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (4xx must not retry)", st.Attempts)
+	}
+}

@@ -174,7 +174,7 @@ func (c *Client) Stats() Stats {
 // Optimize calls /v1/optimize: the principle-based one-shot optimum.
 func (c *Client) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeResponse, error) {
 	var out OptimizeResponse
-	if err := c.do(ctx, "/v1/optimize", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -183,7 +183,7 @@ func (c *Client) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeRe
 // Plan calls /v1/plan: fusion planning over an operator chain.
 func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
 	var out PlanResponse
-	if err := c.do(ctx, "/v1/plan", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/plan", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -193,7 +193,7 @@ func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 // Degraded set is the server's principle fallback, not a scan result.
 func (c *Client) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
 	var out SearchResponse
-	if err := c.do(ctx, "/v1/search", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/search", req, &out); err != nil {
 		return nil, err
 	}
 	if out.Degraded {
@@ -205,7 +205,38 @@ func (c *Client) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 // Evaluate calls /v1/evaluate: cross-platform workload evaluation.
 func (c *Client) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateResponse, error) {
 	var out EvaluateResponse
-	if err := c.do(ctx, "/v1/evaluate", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/evaluate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Version calls /v1/version: the server's API, cost-model, and
+// table-format versions — the triple that decides whether two processes
+// may share candidate-table artifacts.
+func (c *Client) Version(ctx context.Context) (*VersionResponse, error) {
+	var out VersionResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/version", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tables calls GET /v1/tables (admin-gated): the server's resident
+// candidate tables with source, usage, and content address.
+func (c *Client) Tables(ctx context.Context) (*TablesResponse, error) {
+	var out TablesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/tables", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteTable calls DELETE /v1/tables/{shapeHash} (admin-gated), dropping
+// the resident table so the next request re-resolves disk → build.
+func (c *Client) DeleteTable(ctx context.Context, shapeHash string) (*EvictTableResponse, error) {
+	var out EvictTableResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/tables/"+shapeHash, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -220,10 +251,13 @@ type attemptResult struct {
 	delayHint time.Duration
 }
 
-func (c *Client) do(ctx context.Context, path string, in, out any) error {
-	payload, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("client: encode request: %w", err)
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
 	}
 	var slept time.Duration
 	var last attemptResult
@@ -251,7 +285,7 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 			return err
 		}
 		c.attempts.Add(1)
-		last = c.attempt(ctx, path, payload, out)
+		last = c.attempt(ctx, method, path, payload, out)
 		if last.err == nil {
 			return nil
 		}
@@ -274,18 +308,24 @@ func (c *Client) backoff(retry int) time.Duration {
 	return time.Duration(c.rng.Int63n(int64(ceiling) + 1))
 }
 
-func (c *Client) attempt(ctx context.Context, path string, payload []byte, out any) attemptResult {
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) attemptResult {
 	actx := ctx
 	if c.cfg.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+	var reqBody io.Reader
+	if payload != nil {
+		reqBody = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, reqBody)
 	if err != nil {
 		return attemptResult{err: fmt.Errorf("client: build request: %w", err)}
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {

@@ -1,127 +1,54 @@
 package client
 
-import "fmt"
+import (
+	"fmt"
 
-// OpSpec is the wire form of one matrix multiplication A(M×K) · B(K×L).
-type OpSpec struct {
-	Name string `json:"name,omitempty"`
-	M    int    `json:"m"`
-	K    int    `json:"k"`
-	L    int    `json:"l"`
-}
+	"fusecu/api"
+)
 
-// Dataflow is the wire form of a tiling + scheduling decision returned by
-// the optimizer and search endpoints.
-type Dataflow struct {
-	Order        string   `json:"order"`
-	TM           int      `json:"tm"`
-	TK           int      `json:"tk"`
-	TL           int      `json:"tl"`
-	NRA          string   `json:"nra"`
-	MemoryAccess int64    `json:"memory_access"`
-	PerTensor    [3]int64 `json:"per_tensor"`
-}
+// The wire schemas are defined once, in the public api package, and aliased
+// here so existing client code keeps compiling against the same names. The
+// server marshals the identical structs — there is no client-side copy to
+// drift.
+type (
+	// OpSpec is the wire form of one matrix multiplication A(M×K) · B(K×L).
+	OpSpec = api.OpSpec
+	// Dataflow is the wire form of a tiling + scheduling decision returned
+	// by the optimizer and search endpoints.
+	Dataflow = api.Dataflow
 
-// OptimizeRequest asks /v1/optimize for the principle-based one-shot optimum.
-type OptimizeRequest struct {
-	Op        OpSpec `json:"op"`
-	Buffer    int64  `json:"buffer"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
-}
+	// OptimizeRequest asks /v1/optimize for the principle-based optimum.
+	OptimizeRequest  = api.OptimizeRequest
+	OptimizeResponse = api.OptimizeResponse
 
-type OptimizeResponse struct {
-	Regime     string   `json:"regime"`
-	Principle  int      `json:"principle"`
-	Note       string   `json:"note"`
-	Dataflow   Dataflow `json:"dataflow"`
-	Considered int      `json:"considered"`
-}
+	// PlanRequest asks /v1/plan for a fusion plan over an operator chain.
+	PlanRequest  = api.PlanRequest
+	PlanGroup    = api.PlanGroup
+	PlanDecision = api.PlanDecision
+	PlanResponse = api.PlanResponse
 
-// PlanRequest asks /v1/plan for a fusion plan over an operator chain.
-type PlanRequest struct {
-	Name      string   `json:"name"`
-	Ops       []OpSpec `json:"ops"`
-	Buffer    int64    `json:"buffer"`
-	TimeoutMS int64    `json:"timeout_ms,omitempty"`
-}
+	// SearchRequest asks /v1/search for a DAT-style search-baseline answer.
+	SearchRequest  = api.SearchRequest
+	SearchResponse = api.SearchResponse
 
-type PlanGroup struct {
-	Start        int    `json:"start"`
-	Len          int    `json:"len"`
-	Fused        bool   `json:"fused"`
-	MemoryAccess int64  `json:"memory_access"`
-	Pattern      string `json:"pattern,omitempty"`
-}
+	// EvaluateRequest asks /v1/evaluate to run a named workload across
+	// platforms.
+	EvaluateRequest  = api.EvaluateRequest
+	PlatformResult   = api.PlatformResult
+	EvaluateResponse = api.EvaluateResponse
 
-type PlanDecision struct {
-	Pair      int   `json:"pair"`
-	SameNRA   bool  `json:"same_nra"`
-	Fuse      bool  `json:"fuse"`
-	UnfusedMA int64 `json:"unfused_ma"`
-	FusedMA   int64 `json:"fused_ma"`
-	Gain      int64 `json:"gain"`
-}
-
-type PlanResponse struct {
-	Chain     string         `json:"chain"`
-	Groups    []PlanGroup    `json:"groups"`
-	Decisions []PlanDecision `json:"decisions"`
-	TotalMA   int64          `json:"total_ma"`
-	UnfusedMA int64          `json:"unfused_ma"`
-	Saving    float64        `json:"saving"`
-}
-
-// SearchRequest asks /v1/search for a DAT-style search-baseline answer.
-type SearchRequest struct {
-	Op        OpSpec `json:"op"`
-	Buffer    int64  `json:"buffer"`
-	Seed      int64  `json:"seed,omitempty"`
-	Workers   int    `json:"workers,omitempty"`
-	Engine    string `json:"engine,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
-}
-
-type SearchResponse struct {
-	Method      string   `json:"method"`
-	Dataflow    Dataflow `json:"dataflow"`
-	Evaluations int64    `json:"evaluations"`
-	CacheHits   int64    `json:"cache_hits"`
-	// Degraded marks a principle-based fallback answer produced when the
-	// scan could not finish inside its deadline budget (or failed
-	// internally); it is still feasible and never worse than the principle
-	// optimum, but carries no baseline-scan statistics.
-	Degraded       bool   `json:"degraded,omitempty"`
-	DegradedReason string `json:"degraded_reason,omitempty"`
-}
-
-// EvaluateRequest asks /v1/evaluate to run a named workload across platforms.
-type EvaluateRequest struct {
-	Model     string   `json:"model"`
-	Seq       int      `json:"seq,omitempty"`
-	Platforms []string `json:"platforms,omitempty"`
-	TimeoutMS int64    `json:"timeout_ms,omitempty"`
-}
-
-type PlatformResult struct {
-	Platform     string  `json:"platform"`
-	MemoryAccess int64   `json:"memory_access"`
-	Cycles       int64   `json:"cycles"`
-	MACs         int64   `json:"macs"`
-	Utilization  float64 `json:"utilization"`
-}
-
-type EvaluateResponse struct {
-	Workload string           `json:"workload"`
-	Results  []PlatformResult `json:"results"`
-}
+	// VersionResponse is /v1/version's compatibility triple.
+	VersionResponse = api.VersionResponse
+	// TableInfo/TablesResponse describe the server's resident candidate
+	// tables (GET /v1/tables, admin-gated).
+	TableInfo      = api.TableInfo
+	TablesResponse = api.TablesResponse
+	// EvictTableResponse answers DELETE /v1/tables/{shapeHash}.
+	EvictTableResponse = api.EvictTableResponse
+)
 
 // errorEnvelope mirrors the server's uniform error body.
-type errorEnvelope struct {
-	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
-	} `json:"error"`
-}
+type errorEnvelope = api.ErrorEnvelope
 
 // APIError is a non-2xx response from the service, carrying the HTTP status
 // and the machine-readable code from the uniform error envelope.

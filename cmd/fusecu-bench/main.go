@@ -80,12 +80,14 @@ func main() {
 		load    = flag.Bool("serve-load", false, "benchmark the fusecu-serve HTTP service under concurrent /v1/search load instead")
 		loadOut = flag.String("serve-out", "BENCH_serve.json", "output report path (-serve-load mode)")
 		clients = flag.Int("clients", 96, "concurrent clients for -serve-load")
-		maxInFl = flag.Int("max-inflight", 64, "service admission ceiling for -serve-load")
+		maxInFl = flag.Int("max-inflight", 64, "service admission ceiling for -serve-load (per replica)")
+		repl    = flag.Int("replicas", 1, "fusecu-serve replicas behind the shape-affinity router for -serve-load")
+		tdir    = flag.String("table-dir", "", "pregenerated candidate-table directory for -serve-load (fusecu-tablegen -set bench output); the wave then asserts zero runtime table builds")
 		pprofAt = flag.String("pprof", "", "expose net/http/pprof on this separate listener during -serve-load (empty = disabled)")
 	)
 	flag.Parse()
 	if *load {
-		if err := serveLoad(*loadOut, *clients, *maxInFl, *workers, *pprofAt); err != nil {
+		if err := serveLoad(*loadOut, *clients, *maxInFl, *workers, *repl, *tdir, *pprofAt); err != nil {
 			fmt.Fprintln(os.Stderr, "fusecu-bench:", err)
 			os.Exit(1)
 		}

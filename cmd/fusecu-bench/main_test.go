@@ -6,6 +6,10 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"fusecu/internal/experiments"
+	"fusecu/internal/search"
+	"fusecu/internal/tablestore"
 )
 
 func TestRunWritesConsistentReport(t *testing.T) {
@@ -152,7 +156,7 @@ func TestSweepSelection(t *testing.T) {
 
 func TestServeLoadWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "serve.json")
-	if err := serveLoad(out, 24, 16, 1, ""); err != nil {
+	if err := serveLoad(out, 24, 16, 1, 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -172,15 +176,92 @@ func TestServeLoadWritesReport(t *testing.T) {
 	if rep.InflightHighWater <= 0 || rep.InflightHighWater > int64(rep.MaxInFlight) {
 		t.Fatalf("in-flight high water %d outside (0, %d]", rep.InflightHighWater, rep.MaxInFlight)
 	}
-	// The wave's single shape builds one candidate table; every later request
-	// answers from it (the eval cache now only sees the build's misses).
-	if rep.TableBuilds != 1 || rep.TableHits != int64(rep.OK)-1 {
-		t.Errorf("table builds/hits = %d/%d, want 1/%d", rep.TableBuilds, rep.TableHits, rep.OK-1)
+	// Without a table directory, each of the wave's shapes builds its
+	// candidate table at request time; every later request answers from it
+	// (the eval cache now only sees the builds' misses).
+	shapes := int64(rep.Shapes)
+	if rep.TableBuilds != shapes || rep.TableHits != int64(rep.OK)-shapes {
+		t.Errorf("table builds/hits = %d/%d, want %d/%d",
+			rep.TableBuilds, rep.TableHits, shapes, int64(rep.OK)-shapes)
+	}
+	if rep.ZeroRuntimeBuilds {
+		t.Error("zero_runtime_builds reported true without pregenerated tables")
 	}
 	if rep.CacheMisses == 0 {
 		t.Error("table build did not populate the shared eval cache")
 	}
 	if rep.WallMs <= 0 || rep.LatencyP50Ms <= 0 {
 		t.Errorf("degenerate timing: %+v", rep)
+	}
+	if len(rep.PerReplica) != 1 || rep.PerReplica[0].Requests == 0 {
+		t.Errorf("per-replica breakdown wrong: %+v", rep.PerReplica)
+	}
+}
+
+// TestServeLoadRoutedFleetZeroBuilds is the acceptance run in miniature: a
+// 3-replica fleet behind the shape-affinity router, every table pregenerated
+// on disk, and a wave that must finish with zero runtime table builds, every
+// artifact load attributed to the replica owning its shape.
+func TestServeLoadRoutedFleetZeroBuilds(t *testing.T) {
+	dir := t.TempDir()
+	store, err := tablestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []tablestore.ManifestEntry
+	for _, mm := range experiments.ServeLoadOps() {
+		tab, err := search.NewCandTable(mm, search.GridFull, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name, err := store.Put(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, tablestore.ManifestEntry{File: name})
+	}
+	if err := store.WriteManifest(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(t.TempDir(), "serve.json")
+	if err := serveLoad(out, 48, 16, 1, 3, dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IdenticalResults || rep.Failed != 0 {
+		t.Fatalf("routed wave failed: %+v", rep)
+	}
+	if rep.Replicas != 3 || len(rep.PerReplica) != 3 {
+		t.Fatalf("replicas = %d/%d, want 3", rep.Replicas, len(rep.PerReplica))
+	}
+	if !rep.ZeroRuntimeBuilds || rep.TableBuilds != 0 {
+		t.Fatalf("wave built tables at request time: %+v", rep)
+	}
+	if rep.TableLoads != int64(rep.Shapes) {
+		t.Errorf("table loads = %d, want one per shape (%d)", rep.TableLoads, rep.Shapes)
+	}
+	var busy int
+	for _, rr := range rep.PerReplica {
+		if rr.TableBuilds != 0 {
+			t.Errorf("replica %s built %d tables", rr.Addr, rr.TableBuilds)
+		}
+		if rr.Requests > 0 {
+			busy++
+			if rr.TableHitRate <= 0 {
+				t.Errorf("replica %s served %d requests with hit rate %.2f",
+					rr.Addr, rr.Requests, rr.TableHitRate)
+			}
+		}
+	}
+	if busy < 2 {
+		t.Errorf("affinity routing pinned the whole wave to %d replica(s)", busy)
 	}
 }

@@ -13,20 +13,29 @@ import (
 	"time"
 
 	"fusecu/client"
+	"fusecu/internal/experiments"
 	"fusecu/internal/op"
+	"fusecu/internal/route"
 	"fusecu/internal/search"
 	"fusecu/internal/service"
+	"fusecu/internal/tablestore"
 )
 
 // serveReport is the machine-readable result of the service load benchmark
-// (BENCH_serve.json): a wave of concurrent /v1/search requests against an
-// in-process fusecu-serve instance, driven through the public retrying
+// (BENCH_serve.json): a wave of concurrent /v1/search requests over the
+// serve-load shape set, fired through the shape-affinity router at a fleet
+// of in-process fusecu-serve replicas, driven through the public retrying
 // client, every accepted answer checked against the frozen sequential
 // reference engine.
 type serveReport struct {
 	Benchmark   string `json:"benchmark"`
 	Clients     int    `json:"clients"`
+	Replicas    int    `json:"replicas"`
+	Shapes      int    `json:"shapes"`
 	MaxInFlight int    `json:"max_inflight"`
+	// TableDir is the pregenerated artifact directory ("" = tables were
+	// built at request time).
+	TableDir string `json:"table_dir,omitempty"`
 	// OK / Shed / Failed partition the wave after retries: 200s, calls
 	// still shed (429) when the retry budget ran out, anything else.
 	OK     int `json:"ok"`
@@ -39,46 +48,83 @@ type serveReport struct {
 	Retried     int64 `json:"retried"`
 	Degraded    int64 `json:"degraded"`
 	BreakerOpen int64 `json:"breaker_open"`
-	// ShedResponses is the server-side count of 429s issued during the
-	// wave (each may have been retried into an eventual 200).
+	// ShedResponses is the fleet-wide count of 429s issued during the wave
+	// (each may have been retried into an eventual 200).
 	ShedResponses int64 `json:"shed_responses"`
-	// InflightHighWater is the service's own gauge of the peak number of
-	// simultaneously admitted requests.
+	// InflightHighWater is the worst replica's peak of simultaneously
+	// admitted requests.
 	InflightHighWater int64   `json:"inflight_high_water"`
 	WallMs            float64 `json:"wall_ms"`
 	ThroughputRPS     float64 `json:"throughput_rps"`
-	LatencyP50Ms      float64 `json:"latency_p50_ms"`
-	LatencyP95Ms      float64 `json:"latency_p95_ms"`
-	LatencyP99Ms      float64 `json:"latency_p99_ms"`
-	CacheHits         int64   `json:"cache_hits"`
-	CacheMisses       int64   `json:"cache_misses"`
-	// TableBuilds / TableHits count the candidate-table registry's activity:
-	// the wave's single shape builds one footprint-indexed table, and every
-	// subsequent request answers from it without touching the eval cache.
+	// Latency percentiles are the worst replica's (percentiles cannot be
+	// merged across registries; the slowest replica bounds the fleet).
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	// Fleet-wide candidate-table registry activity: artifacts loaded from
+	// the pregenerated -table-dir, tables built at request time, and O(log n)
+	// answers served from resident tables. With a pregenerated directory the
+	// wave must report TableBuilds == 0 — every table comes from disk.
+	TableLoads  int64 `json:"table_loads"`
 	TableBuilds int64 `json:"table_builds"`
 	TableHits   int64 `json:"table_hits"`
+	// ZeroRuntimeBuilds is true iff no replica built a table during the wave.
+	ZeroRuntimeBuilds bool `json:"zero_runtime_builds"`
+	// PerReplica breaks the wave down by replica: consistent hashing should
+	// give every replica its own shape subset, each answered from its own
+	// tables.
+	PerReplica []replicaReport `json:"per_replica"`
 	// IdenticalResults is true iff every 200 response carried the reference
-	// engine's exact optimum (tiling and memory access).
+	// engine's exact optimum (tiling and memory access) for its shape.
 	IdenticalResults bool `json:"identical_results"`
 }
 
-// serveLoadOp is the per-request operator: small enough that a wave of ~100
-// requests finishes quickly on one core, large enough that requests overlap.
-var serveLoadOp = op.MatMul{Name: "bench", M: 32, K: 24, L: 28}
+// replicaReport is one replica's share of the wave.
+type replicaReport struct {
+	Addr string `json:"addr"`
+	// Requests counts what the router proxied here (including retries).
+	Requests    int64 `json:"requests"`
+	TableLoads  int64 `json:"table_loads"`
+	TableBuilds int64 `json:"table_builds"`
+	TableHits   int64 `json:"table_hits"`
+	// TableHitRate is TableHits / Requests: the fraction of this replica's
+	// proxied requests answered from a resident candidate table.
+	TableHitRate float64 `json:"table_hit_rate"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+}
 
 const serveLoadBuffer = 4096
 
-// serveLoad boots an in-process fusecu-serve, fires clients concurrent
-// /v1/search calls at it through the public retrying client (so shed
-// requests honor Retry-After instead of being dropped), verifies every
+// serveReplica is one in-process fusecu-serve instance behind the router.
+type serveReplica struct {
+	svc  *service.Server
+	srv  *http.Server
+	addr string
+	errc chan error
+}
+
+// serveLoad boots a fleet of in-process fusecu-serve replicas behind the
+// shape-affinity router, fires clients concurrent /v1/search calls over the
+// serve-load shape set through the public retrying client, verifies every
 // accepted answer against the sequential reference engine, and writes the
-// report to out. A non-empty pprofAddr additionally serves net/http/pprof
-// on its own listener for the duration of the wave, so the hot path can be
-// profiled under real load without exposing pprof on the service address.
-func serveLoad(out string, clients, maxInFlight, workers int, pprofAddr string) error {
-	want, err := search.ReferenceExhaustive(serveLoadOp, serveLoadBuffer)
-	if err != nil {
-		return fmt.Errorf("reference engine: %w", err)
+// report to out. With a non-empty tableDir each replica resolves its tables
+// from the pregenerated artifacts and the wave is required to finish with
+// zero runtime table builds. A non-empty pprofAddr additionally serves
+// net/http/pprof on its own listener for the duration of the wave.
+func serveLoad(out string, clients, maxInFlight, workers, replicas int, tableDir, pprofAddr string) error {
+	if replicas <= 0 {
+		return fmt.Errorf("replicas must be positive, got %d", replicas)
+	}
+	ops := experiments.ServeLoadOps()
+	want := make(map[[3]int]search.Result, len(ops))
+	for _, mm := range ops {
+		ref, err := search.ReferenceExhaustive(mm, serveLoadBuffer)
+		if err != nil {
+			return fmt.Errorf("reference engine %v: %w", mm, err)
+		}
+		want[[3]int{mm.M, mm.K, mm.L}] = ref
 	}
 
 	if pprofAddr != "" {
@@ -100,25 +146,71 @@ func serveLoad(out string, clients, maxInFlight, workers int, pprofAddr string) 
 		fmt.Printf("pprof on %s\n", pln.Addr())
 	}
 
-	svc := service.New(service.Config{MaxInFlight: maxInFlight, SearchWorkers: workers})
-	srv := &http.Server{Handler: svc.Handler()}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	var store *tablestore.Store
+	if tableDir != "" {
+		var err error
+		if store, err = tablestore.Open(tableDir); err != nil {
+			return err
+		}
+	}
+
+	// Boot the fleet.
+	fleet := make([]*serveReplica, 0, replicas)
+	defer func() {
+		for _, r := range fleet {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := r.srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "fusecu-bench: shutdown:", err)
+			}
+			cancel()
+			<-r.errc
+		}
+	}()
+	backends := make([]string, 0, replicas)
+	for i := 0; i < replicas; i++ {
+		svc := service.New(service.Config{
+			MaxInFlight:   maxInFlight,
+			SearchWorkers: workers,
+			TableStore:    store,
+		})
+		srv := &http.Server{Handler: svc.Handler()}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		r := &serveReplica{svc: svc, srv: srv, addr: ln.Addr().String(), errc: make(chan error, 1)}
+		go func() { r.errc <- srv.Serve(ln) }()
+		fleet = append(fleet, r)
+		backends = append(backends, "http://"+r.addr)
+	}
+
+	// Front the fleet with the shape-affinity router: identical shapes
+	// always land on the replica already holding their table.
+	router, err := route.New(route.Config{Backends: backends})
 	if err != nil {
 		return err
 	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
+	if err := router.CheckBackends(context.Background()); err != nil {
+		return err
+	}
+	rsrv := &http.Server{Handler: router.Handler()}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	routeErr := make(chan error, 1)
+	go func() { routeErr <- rsrv.Serve(rln) }()
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "fusecu-bench: shutdown:", err)
+		if err := rsrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "fusecu-bench: router shutdown:", err)
 		}
-		<-serveErr
+		<-routeErr
 	}()
 
 	cl, err := client.New(client.Config{
-		BaseURL:     "http://" + ln.Addr().String(),
+		BaseURL:     "http://" + rln.Addr().String(),
 		MaxAttempts: 4,
 		// The wave intentionally sheds ~(clients - maxInFlight) requests, and
 		// consecutive 429s don't trip the breaker; keep the threshold high so
@@ -128,17 +220,14 @@ func serveLoad(out string, clients, maxInFlight, workers int, pprofAddr string) 
 	if err != nil {
 		return err
 	}
-	req := client.SearchRequest{
-		Op:      client.OpSpec{Name: serveLoadOp.Name, M: serveLoadOp.M, K: serveLoadOp.K, L: serveLoadOp.L},
-		Buffer:  serveLoadBuffer,
-		Engine:  "exhaustive",
-		Workers: 1,
-	}
 
 	rep := serveReport{
 		Benchmark:        "serve-search-load",
 		Clients:          clients,
+		Replicas:         replicas,
+		Shapes:           len(ops),
 		MaxInFlight:      maxInFlight,
+		TableDir:         tableDir,
 		IdenticalResults: true,
 	}
 	var wg sync.WaitGroup
@@ -146,8 +235,14 @@ func serveLoad(out string, clients, maxInFlight, workers int, pprofAddr string) 
 	start := time.Now()
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
-		go func() {
+		go func(mm op.MatMul) {
 			defer wg.Done()
+			req := client.SearchRequest{
+				Op:      client.OpSpec{Name: mm.Name, M: mm.M, K: mm.K, L: mm.L},
+				Buffer:  serveLoadBuffer,
+				Engine:  "exhaustive",
+				Workers: 1,
+			}
 			sr, err := cl.Search(context.Background(), req)
 			mu.Lock()
 			defer mu.Unlock()
@@ -155,10 +250,11 @@ func serveLoad(out string, clients, maxInFlight, workers int, pprofAddr string) 
 			switch {
 			case err == nil:
 				rep.OK++
-				if sr.Dataflow.MemoryAccess != want.Access.Total ||
-					sr.Dataflow.TM != want.Dataflow.Tiling.TM ||
-					sr.Dataflow.TK != want.Dataflow.Tiling.TK ||
-					sr.Dataflow.TL != want.Dataflow.Tiling.TL {
+				ref := want[[3]int{mm.M, mm.K, mm.L}]
+				if sr.Dataflow.MemoryAccess != ref.Access.Total ||
+					sr.Dataflow.TM != ref.Dataflow.Tiling.TM ||
+					sr.Dataflow.TK != ref.Dataflow.Tiling.TK ||
+					sr.Dataflow.TL != ref.Dataflow.Tiling.TL {
 					rep.IdenticalResults = false
 				}
 			case errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests:
@@ -166,7 +262,7 @@ func serveLoad(out string, clients, maxInFlight, workers int, pprofAddr string) 
 			default:
 				rep.Failed++
 			}
-		}()
+		}(ops[i%len(ops)])
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -179,16 +275,43 @@ func serveLoad(out string, clients, maxInFlight, workers int, pprofAddr string) 
 	rep.Retried = stats.Retries
 	rep.Degraded = stats.Degraded
 	rep.BreakerOpen = stats.BreakerOpen
-	rep.InflightHighWater = svc.Registry().Gauge("http_inflight").High()
-	rep.ShedResponses = svc.Registry().Counter("http_responses_total:429").Value()
-	snap := svc.Registry().Snapshot()
-	rep.LatencyP50Ms = snap["http_latency_ms:search_p50"]
-	rep.LatencyP95Ms = snap["http_latency_ms:search_p95"]
-	rep.LatencyP99Ms = snap["http_latency_ms:search_p99"]
-	st := svc.Cache().Stats()
-	rep.CacheHits, rep.CacheMisses = st.Hits, st.Misses
-	rep.TableBuilds = svc.Registry().Counter("table_builds").Value()
-	rep.TableHits = svc.Registry().Counter("table_hits").Value()
+
+	for i, r := range fleet {
+		reg := r.svc.Registry()
+		rr := replicaReport{
+			Addr:         r.addr,
+			Requests:     router.Backends()[i].Requests(),
+			TableLoads:   reg.Counter("table_loads").Value(),
+			TableBuilds:  reg.Counter("table_builds").Value(),
+			TableHits:    reg.Counter("table_hits").Value(),
+			LatencyP95Ms: reg.Snapshot()["http_latency_ms:search_p95"],
+		}
+		if rr.Requests > 0 {
+			rr.TableHitRate = float64(rr.TableHits) / float64(rr.Requests)
+		}
+		rep.PerReplica = append(rep.PerReplica, rr)
+		rep.TableLoads += rr.TableLoads
+		rep.TableBuilds += rr.TableBuilds
+		rep.TableHits += rr.TableHits
+		rep.ShedResponses += reg.Counter("http_responses_total:429").Value()
+		if hw := reg.Gauge("http_inflight").High(); hw > rep.InflightHighWater {
+			rep.InflightHighWater = hw
+		}
+		snap := reg.Snapshot()
+		if p := snap["http_latency_ms:search_p50"]; p > rep.LatencyP50Ms {
+			rep.LatencyP50Ms = p
+		}
+		if p := snap["http_latency_ms:search_p95"]; p > rep.LatencyP95Ms {
+			rep.LatencyP95Ms = p
+		}
+		if p := snap["http_latency_ms:search_p99"]; p > rep.LatencyP99Ms {
+			rep.LatencyP99Ms = p
+		}
+		st := r.svc.Cache().Stats()
+		rep.CacheHits += st.Hits
+		rep.CacheMisses += st.Misses
+	}
+	rep.ZeroRuntimeBuilds = rep.TableBuilds == 0
 
 	if rep.OK == 0 || rep.Failed > 0 || !rep.IdenticalResults {
 		if werr := writeServe(out, rep); werr != nil {
@@ -197,14 +320,27 @@ func serveLoad(out string, clients, maxInFlight, workers int, pprofAddr string) 
 		return fmt.Errorf("load wave failed: %d ok, %d shed, %d failed, identical=%v (see %s)",
 			rep.OK, rep.Shed, rep.Failed, rep.IdenticalResults, out)
 	}
+	// With pregenerated tables the wave must never pay a build at request
+	// time — that is the whole contract of -table-dir.
+	if tableDir != "" && !rep.ZeroRuntimeBuilds {
+		if werr := writeServe(out, rep); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("wave built %d tables at request time despite -table-dir %s (see %s)",
+			rep.TableBuilds, tableDir, out)
+	}
 	if err := writeServe(out, rep); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d ok / %d shed in %.1fms (%.0f rps), %d retried (%d server 429s), %d degraded, peak in-flight %d, p95 %.2fms, cache %d/%d hits, table %d built / %d hits, identical=%v\n",
-		out, rep.OK, rep.Shed, rep.WallMs, rep.ThroughputRPS,
+	fmt.Printf("wrote %s: %d ok / %d shed over %d replicas x %d shapes in %.1fms (%.0f rps), %d retried (%d server 429s), %d degraded, peak in-flight %d, p95 %.2fms, table %d loaded / %d built / %d hits, zero-builds=%v, identical=%v\n",
+		out, rep.OK, rep.Shed, rep.Replicas, rep.Shapes, rep.WallMs, rep.ThroughputRPS,
 		rep.Retried, rep.ShedResponses, rep.Degraded,
-		rep.InflightHighWater, rep.LatencyP95Ms, rep.CacheHits, rep.CacheHits+rep.CacheMisses,
-		rep.TableBuilds, rep.TableHits, rep.IdenticalResults)
+		rep.InflightHighWater, rep.LatencyP95Ms,
+		rep.TableLoads, rep.TableBuilds, rep.TableHits, rep.ZeroRuntimeBuilds, rep.IdenticalResults)
+	for _, rr := range rep.PerReplica {
+		fmt.Printf("  replica %s: %d requests, table %d loaded / %d built / %d hits (hit rate %.2f)\n",
+			rr.Addr, rr.Requests, rr.TableLoads, rr.TableBuilds, rr.TableHits, rr.TableHitRate)
+	}
 	return nil
 }
 

@@ -7,11 +7,16 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"fusecu/internal/experiments"
+	"fusecu/internal/search"
+	"fusecu/internal/tablestore"
 )
 
 func TestRunFlagErrors(t *testing.T) {
@@ -367,4 +372,109 @@ func scrape(t *testing.T, base string) string {
 		t.Fatalf("read metrics: %v", err)
 	}
 	return string(raw)
+}
+
+// TestTableDirAndAdminFlags boots the daemon over a pregenerated table
+// directory with the admin surface enabled: a search for a pregenerated
+// shape must be answered from the disk artifact (table_loads 1, zero
+// runtime builds) and the admin listing must attribute the table to "disk".
+func TestTableDirAndAdminFlags(t *testing.T) {
+	dir := t.TempDir()
+	mm := experiments.ServeLoadOps()[0]
+	store, err := tablestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := search.NewCandTable(mm, search.GridFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put(tab); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-table-dir", dir, "-admin"},
+			&stdout, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never became ready (stderr: %s)", stderr.String())
+	}
+	base := "http://" + addr
+
+	body := fmt.Sprintf(`{"op":{"name":%q,"m":%d,"k":%d,"l":%d},"buffer":4096,"engine":"exhaustive"}`,
+		mm.Name, mm.M, mm.K, mm.L)
+	resp, err := http.Post(base+"/v1/search", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d: %s", resp.StatusCode, raw)
+	}
+	metrics := scrape(t, base)
+	if !strings.Contains(metrics, "table_loads 1") {
+		t.Errorf("metrics missing table_loads 1:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "table_builds 0") {
+		t.Errorf("search built at request time despite -table-dir:\n%s", metrics)
+	}
+
+	tresp, err := http.Get(base + "/v1/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traw, err := io.ReadAll(tresp.Body)
+	if cerr := tresp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/tables status %d (admin should be enabled): %s", tresp.StatusCode, traw)
+	}
+	if !strings.Contains(string(traw), `"source":"disk"`) {
+		t.Errorf("table not attributed to disk: %s", traw)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never exited after SIGTERM")
+	}
+	if !strings.Contains(stdout.String(), "serving candidate tables from") {
+		t.Errorf("stdout missing table-dir announcement:\n%s", stdout.String())
+	}
+}
+
+// TestBadTableDirFailsLoudly: an unusable -table-dir must abort startup,
+// not silently serve without pregenerated tables.
+func TestBadTableDirFailsLoudly(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:0", "-table-dir", file}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
 }

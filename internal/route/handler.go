@@ -1,0 +1,171 @@
+package route
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"fusecu/api"
+)
+
+// Handler returns the router's surface: /v1/* proxied by shape affinity,
+// plus the router's own probes, metrics, and version report. Every
+// registration is wrapped in the recovered panic-isolation middleware.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/version", r.recovered("version", r.handleVersion))
+	mux.HandleFunc("/metrics", r.recovered("metrics", r.handleMetrics))
+	mux.HandleFunc("/healthz", r.recovered("healthz", r.handleHealthz))
+	mux.HandleFunc("/readyz", r.recovered("readyz", r.handleReadyz))
+	mux.HandleFunc("/v1/", r.recovered("proxy", r.handleProxy))
+	return mux
+}
+
+// recovered is the router's panic-isolation middleware: same contract as
+// the service's — a panic maps to a 500 internal_error envelope and the
+// process keeps routing.
+func (r *Router) recovered(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				r.reg.Counter("panics_recovered").Inc()
+				r.writeError(w, http.StatusInternalServerError, api.CodeInternalError,
+					fmt.Sprintf("route: panic in %s handler: %v", name, rec))
+			}
+		}()
+		h(w, req)
+	}
+}
+
+// writeError renders the same uniform envelope the replicas speak, so a
+// router-originated failure is indistinguishable in shape from a backend
+// one.
+func (r *Router) writeError(w http.ResponseWriter, status int, code, msg string) {
+	r.reg.Counter(fmt.Sprintf("route_responses_total:%d", status)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	env := api.ErrorEnvelope{Error: api.ErrorBody{Code: code, Message: msg}}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		r.reg.Counter("route_encode_errors_total").Inc()
+	}
+}
+
+// handleProxy forwards one /v1/* request to the replica owning its affinity
+// key and streams the response back verbatim — status, envelope, and
+// Retry-After included.
+func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		r.writeError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+			fmt.Sprintf("route: reading body: %v", err))
+		return
+	}
+	key, withKey := affinityKey(body)
+	b := r.pick(key, withKey)
+	if b == nil {
+		r.reg.Counter("route_no_backend_total").Inc()
+		r.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+			"route: no healthy replica available")
+		return
+	}
+	b.requests.Add(1)
+	if withKey {
+		b.affinity.Add(1)
+		r.reg.Counter("route_affinity_total").Inc()
+	} else {
+		r.reg.Counter("route_roundrobin_total").Inc()
+	}
+
+	var reqBody io.Reader
+	if len(body) > 0 {
+		reqBody = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, b.url+req.URL.RequestURI(), reqBody)
+	if err != nil {
+		r.writeError(w, http.StatusInternalServerError, api.CodeInternalError,
+			fmt.Sprintf("route: build upstream request: %v", err))
+		return
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.cfg.HTTPClient.Do(out)
+	if err != nil {
+		// The replica died mid-request; mark it down so the next probe (and
+		// the next request) route around it.
+		b.healthy.Store(false)
+		r.reg.Counter("route_upstream_errors_total").Inc()
+		r.writeError(w, http.StatusBadGateway, api.CodeNoBackend,
+			fmt.Sprintf("route: upstream %s: %v", b.url, err))
+		return
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			r.reg.Counter("route_encode_errors_total").Inc()
+		}
+	}()
+	for _, h := range []string{"Content-Type", "Retry-After", "Connection"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	r.reg.Counter(fmt.Sprintf("route_responses_total:%d", resp.StatusCode)).Inc()
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		r.reg.Counter("route_encode_errors_total").Inc()
+	}
+}
+
+// handleVersion reports the fleet's agreed version triple.
+func (r *Router) handleVersion(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"route: /v1/version requires GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(r.version); err != nil {
+		r.reg.Counter("route_encode_errors_total").Inc()
+	}
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	// Fold the per-backend counters in at scrape time.
+	for _, b := range r.backends {
+		c := r.reg.Counter("route_backend_requests:" + b.url)
+		if d := b.requests.Load() - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := r.reg.WriteText(w); err != nil {
+		r.reg.Counter("route_encode_errors_total").Inc()
+	}
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := io.WriteString(w, `{"status":"ok"}`+"\n"); err != nil {
+		r.reg.Counter("route_encode_errors_total").Inc()
+	}
+}
+
+// handleReadyz: the router is ready while at least one replica is healthy.
+func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if len(r.healthyBackends()) == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if _, err := io.WriteString(w, `{"status":"no_backend"}`+"\n"); err != nil {
+			r.reg.Counter("route_encode_errors_total").Inc()
+		}
+		return
+	}
+	if _, err := io.WriteString(w, `{"status":"ready"}`+"\n"); err != nil {
+		r.reg.Counter("route_encode_errors_total").Inc()
+	}
+}

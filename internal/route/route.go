@@ -1,0 +1,319 @@
+// Package route implements fusecu-route: a shape-affinity HTTP router in
+// front of a fleet of fusecu-serve replicas.
+//
+// Routing is consistent hashing on the request's shape hash — the same
+// content address that names candidate-table artifacts, computed with an
+// empty grid so both lattices of one operator land on the same replica.
+// Identically shaped operators therefore always hit the replica that
+// already holds (or has disk-loaded) their candidate table, turning the
+// fleet's table registries into a partitioned cache instead of N
+// overlapping ones. Requests without an operator (e.g. /v1/evaluate) get a
+// model-derived affinity key; requests with no key at all round-robin.
+//
+// The ring uses virtual nodes so a replica joining or leaving moves only
+// ~1/N of the key space. Replica health is polled on /readyz; an unhealthy
+// replica's ring points are skipped (the walk continues to the next healthy
+// owner, preserving affinity for everything else). At startup — and again
+// on every health pass — each replica's /v1/version is checked against the
+// fleet's agreed versions: a replica answering with a different cost-model
+// version is refused (startup) or marked down (runtime), because mixing
+// cost-model generations behind one router would let identical requests
+// return different optima depending on which replica answered.
+//
+// The router is a pass-through for the wire contract: backend status codes,
+// error envelopes, and Retry-After headers reach the client byte for byte.
+package route
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fusecu/api"
+	"fusecu/internal/metrics"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Backends are the replica base URLs, e.g. "http://127.0.0.1:8081".
+	// Required, at least one.
+	Backends []string
+	// VNodes is the number of ring points per backend (default 64).
+	VNodes int
+	// HTTPClient issues proxy and probe requests; defaults to a dedicated
+	// client with a 30s timeout.
+	HTTPClient *http.Client
+	// HealthInterval is the /readyz + /v1/version poll period (default 2s).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds each health/version probe (default 2s).
+	ProbeTimeout time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Backend is one replica and its routing state.
+type Backend struct {
+	url     string
+	healthy atomic.Bool
+	// requests counts proxied requests; affinity counts the subset routed
+	// by shape affinity (vs round-robin fallback).
+	requests atomic.Int64
+	affinity atomic.Int64
+}
+
+// URL returns the replica's base URL.
+func (b *Backend) URL() string { return b.url }
+
+// Healthy reports the last health-probe verdict.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// Requests returns the proxied-request count.
+func (b *Backend) Requests() int64 { return b.requests.Load() }
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// backend.
+type ringPoint struct {
+	hash    uint64
+	backend *Backend
+}
+
+// Router proxies requests to the replica owning each request's shape hash.
+type Router struct {
+	cfg      Config
+	backends []*Backend
+	ring     []ringPoint // sorted by hash
+	reg      *metrics.Registry
+	rr       atomic.Uint64 // round-robin cursor for keyless requests
+	// version is the fleet's agreed version triple, set by CheckBackends.
+	version api.VersionResponse
+}
+
+// New builds a Router over cfg.Backends. Call CheckBackends before serving
+// to verify the fleet agrees on versions, then Start to begin health polls.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("route: no backends configured")
+	}
+	r := &Router{cfg: cfg, reg: metrics.NewRegistry()}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Backends {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			return nil, errors.New("route: empty backend URL")
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			u = "http://" + u
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("route: duplicate backend %s", u)
+		}
+		seen[u] = true
+		b := &Backend{url: u}
+		b.healthy.Store(true) // optimistic until the first probe
+		r.backends = append(r.backends, b)
+		for v := 0; v < cfg.VNodes; v++ {
+			r.ring = append(r.ring, ringPoint{hash: hashPoint(fmt.Sprintf("%s#%d", u, v)), backend: b})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+	return r, nil
+}
+
+// Backends exposes the replicas and their counters (bench reporting).
+func (r *Router) Backends() []*Backend { return r.backends }
+
+// Version returns the fleet's agreed version triple (valid after
+// CheckBackends).
+func (r *Router) Version() api.VersionResponse { return r.version }
+
+// hashPoint maps a string onto the ring circle.
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// CheckBackends queries every replica's /v1/version and refuses to front a
+// fleet that disagrees on the cost-model (or table-format, or API) version:
+// behind one router, identical requests must not return different optima
+// depending on which replica answers. The agreed triple becomes the
+// router's own /v1/version.
+func (r *Router) CheckBackends(ctx context.Context) error {
+	for i, b := range r.backends {
+		v, err := r.fetchVersion(ctx, b)
+		if err != nil {
+			return fmt.Errorf("route: backend %s: %w", b.url, err)
+		}
+		if i == 0 {
+			r.version = v
+			continue
+		}
+		if v != r.version {
+			return fmt.Errorf("route: version mismatch: %s reports %+v, %s reports %+v",
+				r.backends[0].url, r.version, b.url, v)
+		}
+	}
+	return nil
+}
+
+func (r *Router) fetchVersion(ctx context.Context, b *Backend) (api.VersionResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/version", nil)
+	if err != nil {
+		return api.VersionResponse{}, err
+	}
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return api.VersionResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.VersionResponse{}, fmt.Errorf("/v1/version answered %d", resp.StatusCode)
+	}
+	var v api.VersionResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&v); err != nil {
+		return api.VersionResponse{}, fmt.Errorf("decode /v1/version: %w", err)
+	}
+	return v, nil
+}
+
+// Start launches the health loop: every HealthInterval each replica is
+// probed on /readyz and /v1/version; a replica that is unready, unreachable,
+// or answering with a version other than the fleet's agreed triple is
+// marked down until it recovers. Stops when ctx is canceled.
+func (r *Router) Start(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(r.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			r.probeAll(ctx)
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+func (r *Router) probeAll(ctx context.Context) {
+	for _, b := range r.backends {
+		healthy := r.probe(ctx, b)
+		if was := b.healthy.Swap(healthy); was != healthy && r.cfg.Logf != nil {
+			if healthy {
+				r.cfg.Logf("route: backend %s up", b.url)
+			} else {
+				r.cfg.Logf("route: backend %s down", b.url)
+			}
+		}
+	}
+	r.reg.Gauge("route_backends_healthy").Set(int64(len(r.healthyBackends())))
+}
+
+func (r *Router) probe(ctx context.Context, b *Backend) bool {
+	pctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	if cerr := resp.Body.Close(); cerr != nil || resp.StatusCode != http.StatusOK {
+		return false
+	}
+	v, err := r.fetchVersion(ctx, b)
+	if err != nil || v != r.version {
+		if err == nil && r.cfg.Logf != nil {
+			r.cfg.Logf("route: backend %s drifted to %+v (fleet agreed %+v)", b.url, v, r.version)
+		}
+		return false
+	}
+	return true
+}
+
+func (r *Router) healthyBackends() []*Backend {
+	out := make([]*Backend, 0, len(r.backends))
+	for _, b := range r.backends {
+		if b.healthy.Load() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// pick chooses the replica for an affinity key: the first healthy owner at
+// or after the key's ring position. withKey=false (no extractable key)
+// falls back to round-robin over healthy replicas.
+func (r *Router) pick(key string, withKey bool) *Backend {
+	if !withKey {
+		healthy := r.healthyBackends()
+		if len(healthy) == 0 {
+			return nil
+		}
+		return healthy[int(r.rr.Add(1)-1)%len(healthy)]
+	}
+	h := hashPoint(key)
+	start := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	for i := 0; i < len(r.ring); i++ {
+		p := r.ring[(start+i)%len(r.ring)]
+		if p.backend.healthy.Load() {
+			return p.backend
+		}
+	}
+	return nil
+}
+
+// affinityKey extracts the routing key from a request body: the shape hash
+// (empty grid — lattice-independent) of the request's operator, the first
+// operator of a chain, or a model-derived key for /v1/evaluate. ok=false
+// means no key (round-robin).
+func affinityKey(body []byte) (string, bool) {
+	var peek struct {
+		Op    *api.OpSpec  `json:"op"`
+		Ops   []api.OpSpec `json:"ops"`
+		Model string       `json:"model"`
+		Seq   int          `json:"seq"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		return "", false
+	}
+	switch {
+	case peek.Op != nil:
+		return api.ShapeHash(peek.Op.M, peek.Op.K, peek.Op.L, ""), true
+	case len(peek.Ops) > 0:
+		return api.ShapeHash(peek.Ops[0].M, peek.Ops[0].K, peek.Ops[0].L, ""), true
+	case peek.Model != "":
+		return fmt.Sprintf("model|%s|%d", peek.Model, peek.Seq), true
+	}
+	return "", false
+}

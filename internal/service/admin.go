@@ -1,0 +1,114 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+
+	"fusecu/api"
+	"fusecu/internal/cost"
+	"fusecu/internal/search"
+)
+
+// This file holds the introspection surface added alongside the persistent
+// table store:
+//
+//   - GET  /v1/version — the version triple (API, cost model, table format)
+//     that decides artifact compatibility; always on, because fusecu-route
+//     uses it to refuse mixed-cost-model fleets.
+//   - GET  /v1/tables — the resident candidate tables with their content
+//     address, source (disk|built), and usage; admin-gated.
+//   - DELETE /v1/tables/{shapeHash} — drop a resident table so the next
+//     request re-resolves disk → build; admin-gated.
+//
+// The admin endpoints bypass the POST middleware (no body, no deadline) but
+// keep the admission gate out of the picture deliberately: they are cheap,
+// and an operator debugging an overloaded server must not be locked out by
+// the very saturation being debugged.
+
+// handleVersion answers GET /v1/version.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	const name = "version"
+	if r.Method != http.MethodGet {
+		s.writeError(w, name, &apiError{
+			status: http.StatusMethodNotAllowed,
+			code:   api.CodeMethodNotAllowed,
+			err:    fmt.Errorf("service: %s requires GET", r.URL.Path),
+		})
+		return
+	}
+	s.writeJSON(w, name, api.VersionResponse{
+		APIVersion:         api.Version,
+		CostModelVersion:   cost.ModelVersion,
+		TableFormatVersion: search.TableFormatVersion,
+	})
+}
+
+// handleTables answers GET /v1/tables with the registry snapshot.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	const name = "tables"
+	if r.Method != http.MethodGet {
+		s.writeError(w, name, &apiError{
+			status: http.StatusMethodNotAllowed,
+			code:   api.CodeMethodNotAllowed,
+			err:    fmt.Errorf("service: %s requires GET", r.URL.Path),
+		})
+		return
+	}
+	if err := s.requireAdmin(name); err != nil {
+		s.writeError(w, name, err)
+		return
+	}
+	s.writeJSON(w, name, api.TablesResponse{Tables: s.tables.snapshot()})
+}
+
+// shapeHashPattern is the content address's wire shape: 16 lowercase hex
+// digits (api.ShapeHash's output).
+var shapeHashPattern = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// handleTableEvict answers DELETE /v1/tables/{shapeHash}.
+func (s *Server) handleTableEvict(w http.ResponseWriter, r *http.Request) {
+	const name = "table_evict"
+	if r.Method != http.MethodDelete {
+		s.writeError(w, name, &apiError{
+			status: http.StatusMethodNotAllowed,
+			code:   api.CodeMethodNotAllowed,
+			err:    fmt.Errorf("service: %s requires DELETE", r.URL.Path),
+		})
+		return
+	}
+	if err := s.requireAdmin(name); err != nil {
+		s.writeError(w, name, err)
+		return
+	}
+	hash := r.PathValue("shapeHash")
+	if !shapeHashPattern.MatchString(hash) {
+		s.writeError(w, name, badRequest("service: %q is not a shape hash (want 16 lowercase hex digits)", hash))
+		return
+	}
+	s.writeJSON(w, name, api.EvictTableResponse{ShapeHash: hash, Evicted: s.tables.evict(hash)})
+}
+
+// requireAdmin gates the table-admin endpoints behind Config.EnableAdmin.
+func (s *Server) requireAdmin(name string) error {
+	if s.cfg.EnableAdmin {
+		return nil
+	}
+	return &apiError{
+		status: http.StatusForbidden,
+		code:   api.CodeAdminDisabled,
+		err:    fmt.Errorf("service: %s requires the server to run with admin endpoints enabled (-admin)", name),
+	}
+}
+
+// writeJSON renders a 200 response with the standard counters, shared by
+// the GET endpoints that skip the POST middleware.
+func (s *Server) writeJSON(w http.ResponseWriter, name string, v any) {
+	s.reg.Counter(fmt.Sprintf("http_requests_total:%s:%d", name, http.StatusOK)).Inc()
+	s.reg.Counter(fmt.Sprintf("http_responses_total:%d", http.StatusOK)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.reg.Counter("http_encode_errors_total").Inc()
+	}
+}

@@ -1,0 +1,326 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"fusecu/api"
+	"fusecu/internal/cost"
+	"fusecu/internal/op"
+	"fusecu/internal/search"
+	"fusecu/internal/tablestore"
+)
+
+// do sends a bodyless request (GET/DELETE) and decodes a 200 response into
+// out (which may be nil). It returns the status code and raw body.
+func do(t *testing.T, ts *httptest.Server, method, path string, out any) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("close body: %v", err)
+		}
+	}()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s response %q: %v", path, raw, err)
+		}
+	}
+	return resp.StatusCode, raw
+}
+
+// TestVersionEndpoint pins /v1/version: always on (no admin flag), GET
+// only, and reporting exactly the triple that governs artifact and fleet
+// compatibility.
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var v api.VersionResponse
+	if code, raw := do(t, ts, http.MethodGet, "/v1/version", &v); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	want := api.VersionResponse{
+		APIVersion:         api.Version,
+		CostModelVersion:   cost.ModelVersion,
+		TableFormatVersion: search.TableFormatVersion,
+	}
+	if v != want {
+		t.Fatalf("version = %+v, want %+v", v, want)
+	}
+	if code, raw := do(t, ts, http.MethodPost, "/v1/version", nil); code != http.StatusMethodNotAllowed ||
+		errCode(t, raw) != api.CodeMethodNotAllowed {
+		t.Fatalf("POST /v1/version: status %d body %s", code, raw)
+	}
+}
+
+// TestAdminEndpointsGated: without EnableAdmin both table-admin endpoints
+// answer 403 admin_disabled; /v1/version stays open.
+func TestAdminEndpointsGated(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/tables"},
+		{http.MethodDelete, "/v1/tables/0011223344556677"},
+	} {
+		code, raw := do(t, ts, tc.method, tc.path, nil)
+		if code != http.StatusForbidden || errCode(t, raw) != api.CodeAdminDisabled {
+			t.Fatalf("%s %s without -admin: status %d body %s", tc.method, tc.path, code, raw)
+		}
+	}
+}
+
+// TestTablesIntrospection drives two searches through an admin-enabled
+// server and reads back GET /v1/tables: per-table content address, source,
+// candidate count, hit count, and age must reflect the traffic.
+func TestTablesIntrospection(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnableAdmin: true})
+	mm := op.MatMul{Name: "intro", M: 16, K: 12, L: 10}
+	for i := 0; i < 3; i++ { // 1 build + 2 registry hits
+		if code, raw := post(t, ts, "/v1/search", searchBody(mm, 1024, "exhaustive"), nil); code != http.StatusOK {
+			t.Fatalf("search: status %d: %s", code, raw)
+		}
+	}
+	var tr api.TablesResponse
+	if code, raw := do(t, ts, http.MethodGet, "/v1/tables", &tr); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if len(tr.Tables) != 1 {
+		t.Fatalf("tables = %+v, want exactly one", tr.Tables)
+	}
+	ti := tr.Tables[0]
+	wantHash := api.ShapeHash(mm.M, mm.K, mm.L, search.GridFull.String())
+	if ti.ShapeHash != wantHash {
+		t.Fatalf("shape hash %s, want %s", ti.ShapeHash, wantHash)
+	}
+	if ti.Op.M != mm.M || ti.Op.K != mm.K || ti.Op.L != mm.L || ti.Grid != "full" {
+		t.Fatalf("table identity %+v, want %v over full", ti, mm)
+	}
+	if ti.Source != "built" {
+		t.Fatalf("source %q, want built (no table store configured)", ti.Source)
+	}
+	if want := search.TableCandidates(op.MatMul{M: mm.M, K: mm.K, L: mm.L}, search.GridFull); ti.Candidates != want {
+		t.Fatalf("candidates %d, want %d", ti.Candidates, want)
+	}
+	if ti.Hits != 2 {
+		t.Fatalf("hits %d, want 2", ti.Hits)
+	}
+	if ti.AgeMS < 0 {
+		t.Fatalf("age %dms is negative", ti.AgeMS)
+	}
+	if code, raw := do(t, ts, http.MethodPost, "/v1/tables", nil); code != http.StatusMethodNotAllowed ||
+		errCode(t, raw) != api.CodeMethodNotAllowed {
+		t.Fatalf("POST /v1/tables: status %d body %s", code, raw)
+	}
+}
+
+// TestTableEvictEndpoint: DELETE /v1/tables/{shapeHash} drops the resident
+// table (idempotently), validates the hash shape, and the next request for
+// the shape resolves afresh.
+func TestTableEvictEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{EnableAdmin: true})
+	mm := op.MatMul{Name: "evict", M: 14, K: 12, L: 10}
+	if code, raw := post(t, ts, "/v1/search", searchBody(mm, 1024, "exhaustive"), nil); code != http.StatusOK {
+		t.Fatalf("search: status %d: %s", code, raw)
+	}
+	hash := api.ShapeHash(mm.M, mm.K, mm.L, search.GridFull.String())
+
+	var ev api.EvictTableResponse
+	if code, raw := do(t, ts, http.MethodDelete, "/v1/tables/"+hash, &ev); code != http.StatusOK {
+		t.Fatalf("delete: status %d: %s", code, raw)
+	}
+	if !ev.Evicted || ev.ShapeHash != hash {
+		t.Fatalf("evict response %+v, want evicted %s", ev, hash)
+	}
+	if s.tables.len() != 0 {
+		t.Fatalf("%d tables resident after evict", s.tables.len())
+	}
+	// Idempotent: a second delete reports evicted=false.
+	if code, _ := do(t, ts, http.MethodDelete, "/v1/tables/"+hash, &ev); code != http.StatusOK || ev.Evicted {
+		t.Fatalf("second delete: status %d, evicted %v", code, ev.Evicted)
+	}
+	// Malformed hashes are rejected before touching the registry.
+	if code, raw := do(t, ts, http.MethodDelete, "/v1/tables/not-a-hash", nil); code != http.StatusBadRequest ||
+		errCode(t, raw) != api.CodeInvalidRequest {
+		t.Fatalf("bad hash: status %d body %s", code, raw)
+	}
+	// GET on the item path is not allowed.
+	if code, raw := do(t, ts, http.MethodGet, "/v1/tables/"+hash, nil); code != http.StatusMethodNotAllowed ||
+		errCode(t, raw) != api.CodeMethodNotAllowed {
+		t.Fatalf("GET item: status %d body %s", code, raw)
+	}
+	// The shape still answers: it rebuilds on next use.
+	if code, raw := post(t, ts, "/v1/search", searchBody(mm, 1024, "exhaustive"), nil); code != http.StatusOK {
+		t.Fatalf("post-evict search: status %d: %s", code, raw)
+	}
+	if tb := s.Registry().Counter("table_builds").Value(); tb != 2 {
+		t.Fatalf("table_builds = %d, want 2 (build, evict, rebuild)", tb)
+	}
+}
+
+// newStoreServer builds a server fronted by a tablestore over dir.
+func newStoreServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := tablestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TableStore = st
+	return newTestServer(t, cfg)
+}
+
+// TestSearchServedFromDiskArtifact is the service half of the persistence
+// acceptance: with a pre-generated artifact on disk, a search request is
+// answered bit-identically to the reference with zero runtime builds, and
+// the introspection reports the table as disk-sourced.
+func TestSearchServedFromDiskArtifact(t *testing.T) {
+	dir := t.TempDir()
+	mm := op.MatMul{Name: "disk", M: 36, K: 28, L: 30}
+	st, err := tablestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := search.NewCandTable(op.MatMul{M: mm.M, K: mm.K, L: mm.L}, search.GridFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(tab); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newStoreServer(t, dir, Config{EnableAdmin: true})
+	want, err := search.ReferenceExhaustive(mm, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp searchResponse
+	if code, raw := post(t, ts, "/v1/search", searchBody(mm, 2048, "exhaustive"), &resp); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if resp.Dataflow.MemoryAccess != want.Access.Total ||
+		resp.Dataflow.TM != want.Dataflow.Tiling.TM ||
+		resp.Dataflow.TK != want.Dataflow.Tiling.TK ||
+		resp.Dataflow.TL != want.Dataflow.Tiling.TL {
+		t.Fatalf("disk-served answer %+v != reference %+v", resp.Dataflow, want.Dataflow)
+	}
+	if loads, builds := s.Registry().Counter("table_loads").Value(),
+		s.Registry().Counter("table_builds").Value(); loads != 1 || builds != 0 {
+		t.Fatalf("table_loads/table_builds = %d/%d, want 1/0", loads, builds)
+	}
+	var tr api.TablesResponse
+	if code, raw := do(t, ts, http.MethodGet, "/v1/tables", &tr); code != http.StatusOK {
+		t.Fatalf("tables: status %d: %s", code, raw)
+	}
+	if len(tr.Tables) != 1 || tr.Tables[0].Source != "disk" {
+		t.Fatalf("introspection %+v, want one disk-sourced table", tr.Tables)
+	}
+}
+
+// TestCorruptArtifactFallsBackToBuild is the service half of the corruption
+// contract: a truncated artifact is rejected on load (table_load_errors,
+// reason logged), the shape is rebuilt fresh, and the answer matches the
+// reference — a corrupt file can degrade startup cost, never correctness.
+func TestCorruptArtifactFallsBackToBuild(t *testing.T) {
+	dir := t.TempDir()
+	mm := op.MatMul{Name: "corrupt", M: 16, K: 12, L: 10}
+	st, err := tablestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := op.MatMul{M: mm.M, K: mm.K, L: mm.L}
+	tab, err := search.NewCandTable(bare, search.GridFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(tab); err != nil {
+		t.Fatal(err)
+	}
+	path := st.Path(bare, search.GridFull)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	s, ts := newStoreServer(t, dir, Config{EnableAdmin: true, Logf: func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}})
+	want, err := search.ReferenceExhaustive(mm, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp searchResponse
+	if code, raw := post(t, ts, "/v1/search", searchBody(mm, 1024, "exhaustive"), &resp); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if resp.Degraded || resp.Dataflow.MemoryAccess != want.Access.Total {
+		t.Fatalf("fallback answer %+v != reference %+v", resp.Dataflow, want.Dataflow)
+	}
+	if le, tb := s.Registry().Counter("table_load_errors").Value(),
+		s.Registry().Counter("table_builds").Value(); le != 1 || tb != 1 {
+		t.Fatalf("table_load_errors/table_builds = %d/%d, want 1/1", le, tb)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "rejecting disk artifact") {
+		t.Fatalf("load failure not logged with a reason: %q", logs)
+	}
+	var tr api.TablesResponse
+	if code, raw := do(t, ts, http.MethodGet, "/v1/tables", &tr); code != http.StatusOK {
+		t.Fatalf("tables: status %d: %s", code, raw)
+	}
+	if len(tr.Tables) != 1 || tr.Tables[0].Source != "built" {
+		t.Fatalf("introspection %+v, want one built table", tr.Tables)
+	}
+}
+
+// TestEvictThenReloadFromDisk: DELETE on a disk-backed shape drops the
+// resident copy, and the next request loads the artifact again instead of
+// rebuilding — the admin workflow for picking up a republished artifact.
+func TestEvictThenReloadFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	mm := op.MatMul{Name: "reload", M: 14, K: 10, L: 8}
+	st, err := tablestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := op.MatMul{M: mm.M, K: mm.K, L: mm.L}
+	tab, err := search.NewCandTable(bare, search.GridFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(tab); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newStoreServer(t, dir, Config{EnableAdmin: true})
+	body := searchBody(mm, 1024, "exhaustive")
+	if code, raw := post(t, ts, "/v1/search", body, nil); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	hash := api.ShapeHash(mm.M, mm.K, mm.L, search.GridFull.String())
+	if code, raw := do(t, ts, http.MethodDelete, "/v1/tables/"+hash, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d: %s", code, raw)
+	}
+	if code, raw := post(t, ts, "/v1/search", body, nil); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if loads, builds := s.Registry().Counter("table_loads").Value(),
+		s.Registry().Counter("table_builds").Value(); loads != 2 || builds != 0 {
+		t.Fatalf("table_loads/table_builds = %d/%d, want 2/0", loads, builds)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"fusecu/api"
 	"fusecu/internal/arch"
 	"fusecu/internal/core"
 	"fusecu/internal/dataflow"
@@ -15,63 +16,49 @@ import (
 	"fusecu/internal/search"
 )
 
-// opSpec is the wire form of one matrix multiplication.
-type opSpec struct {
-	Name string `json:"name,omitempty"`
-	M    int    `json:"m"`
-	K    int    `json:"k"`
-	L    int    `json:"l"`
-}
+// The wire schemas live in the public api package — the single source of
+// truth the client package aliases too. The local names below keep the
+// handlers readable and pin that this server speaks exactly those structs.
+type (
+	opSpec           = api.OpSpec
+	dataflowJSON     = api.Dataflow
+	optimizeRequest  = api.OptimizeRequest
+	optimizeResponse = api.OptimizeResponse
+	planRequest      = api.PlanRequest
+	planGroup        = api.PlanGroup
+	planDecision     = api.PlanDecision
+	planResponse     = api.PlanResponse
+	searchRequest    = api.SearchRequest
+	searchResponse   = api.SearchResponse
+	evaluateRequest  = api.EvaluateRequest
+	platformResult   = api.PlatformResult
+	evaluateResponse = api.EvaluateResponse
+)
 
-func (o opSpec) matmul() op.MatMul {
+func matmulOf(o opSpec) op.MatMul {
 	return op.MatMul{Name: o.Name, M: o.M, K: o.K, L: o.L}
-}
-
-// dataflowJSON is the wire form of a tiling + scheduling decision.
-type dataflowJSON struct {
-	Order  string   `json:"order"`
-	TM     int      `json:"tm"`
-	TK     int      `json:"tk"`
-	TL     int      `json:"tl"`
-	NRA    string   `json:"nra"`
-	MA     int64    `json:"memory_access"`
-	PerABC [3]int64 `json:"per_tensor"`
 }
 
 func dataflowOf(df dataflow.Dataflow, nra dataflow.NRAClass, total int64, per [3]int64) dataflowJSON {
 	return dataflowJSON{
-		Order:  df.Order.String(),
-		TM:     df.Tiling.TM,
-		TK:     df.Tiling.TK,
-		TL:     df.Tiling.TL,
-		NRA:    nra.String(),
-		MA:     total,
-		PerABC: per,
+		Order:        df.Order.String(),
+		TM:           df.Tiling.TM,
+		TK:           df.Tiling.TK,
+		TL:           df.Tiling.TL,
+		NRA:          nra.String(),
+		MemoryAccess: total,
+		PerTensor:    per,
 	}
 }
 
 // --- /v1/optimize -----------------------------------------------------------
-
-type optimizeRequest struct {
-	Op        opSpec `json:"op"`
-	Buffer    int64  `json:"buffer"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
-}
-
-type optimizeResponse struct {
-	Regime     string       `json:"regime"`
-	Principle  int          `json:"principle"`
-	Note       string       `json:"note"`
-	Dataflow   dataflowJSON `json:"dataflow"`
-	Considered int          `json:"considered"`
-}
 
 func (s *Server) handleOptimize(ctx context.Context, body []byte) (any, error) {
 	var req optimizeRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err
 	}
-	res, err := core.Optimize(req.Op.matmul(), req.Buffer)
+	res, err := core.Optimize(matmulOf(req.Op), req.Buffer)
 	if err != nil {
 		return nil, err
 	}
@@ -86,39 +73,6 @@ func (s *Server) handleOptimize(ctx context.Context, body []byte) (any, error) {
 
 // --- /v1/plan ---------------------------------------------------------------
 
-type planRequest struct {
-	Name      string   `json:"name"`
-	Ops       []opSpec `json:"ops"`
-	Buffer    int64    `json:"buffer"`
-	TimeoutMS int64    `json:"timeout_ms,omitempty"`
-}
-
-type planGroup struct {
-	Start   int    `json:"start"`
-	Len     int    `json:"len"`
-	Fused   bool   `json:"fused"`
-	MA      int64  `json:"memory_access"`
-	Pattern string `json:"pattern,omitempty"`
-}
-
-type planDecision struct {
-	Pair      int   `json:"pair"`
-	SameNRA   bool  `json:"same_nra"`
-	Fuse      bool  `json:"fuse"`
-	UnfusedMA int64 `json:"unfused_ma"`
-	FusedMA   int64 `json:"fused_ma"`
-	Gain      int64 `json:"gain"`
-}
-
-type planResponse struct {
-	Chain     string         `json:"chain"`
-	Groups    []planGroup    `json:"groups"`
-	Decisions []planDecision `json:"decisions"`
-	TotalMA   int64          `json:"total_ma"`
-	UnfusedMA int64          `json:"unfused_ma"`
-	Saving    float64        `json:"saving"`
-}
-
 func (s *Server) handlePlan(ctx context.Context, body []byte) (any, error) {
 	var req planRequest
 	if err := decodeStrict(body, &req); err != nil {
@@ -126,7 +80,7 @@ func (s *Server) handlePlan(ctx context.Context, body []byte) (any, error) {
 	}
 	ops := make([]op.MatMul, len(req.Ops))
 	for i, o := range req.Ops {
-		ops[i] = o.matmul()
+		ops[i] = matmulOf(o)
 	}
 	chain, err := op.NewChain(req.Name, ops...)
 	if err != nil {
@@ -143,7 +97,7 @@ func (s *Server) handlePlan(ctx context.Context, body []byte) (any, error) {
 		Saving:    plan.Saving(),
 	}
 	for _, g := range plan.Groups {
-		pg := planGroup{Start: g.Start, Len: g.Len, Fused: g.Fusedp(), MA: g.MA}
+		pg := planGroup{Start: g.Start, Len: g.Len, Fused: g.Fusedp(), MemoryAccess: g.MA}
 		if g.Fusedp() {
 			pg.Pattern = g.Fused.Dataflow.Pattern.String()
 		}
@@ -160,32 +114,6 @@ func (s *Server) handlePlan(ctx context.Context, body []byte) (any, error) {
 
 // --- /v1/search -------------------------------------------------------------
 
-type searchRequest struct {
-	Op     opSpec `json:"op"`
-	Buffer int64  `json:"buffer"`
-	Seed   int64  `json:"seed,omitempty"`
-	// Workers sizes this request's scan pool; 0 inherits the server's
-	// configured pool size (which itself defaults to GOMAXPROCS).
-	Workers int `json:"workers,omitempty"`
-	// Engine selects the search strategy: "auto" (default — exhaustive on
-	// small lattices, coarse+genetic otherwise), "exhaustive", "coarse", or
-	// "genetic".
-	Engine    string `json:"engine,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
-}
-
-type searchResponse struct {
-	Method      string       `json:"method"`
-	Dataflow    dataflowJSON `json:"dataflow"`
-	Evaluations int64        `json:"evaluations"`
-	CacheHits   int64        `json:"cache_hits"`
-	// Degraded marks an answer produced by the principle-based fallback
-	// after the scan exhausted its deadline budget or failed internally;
-	// DegradedReason says which ("deadline" or "engine_failure").
-	Degraded       bool   `json:"degraded,omitempty"`
-	DegradedReason string `json:"degraded_reason,omitempty"`
-}
-
 func (s *Server) handleSearch(ctx context.Context, body []byte) (any, error) {
 	var req searchRequest
 	if err := decodeStrict(body, &req); err != nil {
@@ -198,7 +126,7 @@ func (s *Server) handleSearch(ctx context.Context, body []byte) (any, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	mm := req.Op.matmul()
+	mm := matmulOf(req.Op)
 
 	// The scan gets only DegradeFraction of the remaining deadline budget:
 	// if it cannot finish inside that, the leftover slack is spent producing
@@ -330,29 +258,6 @@ func (s *Server) degradedAnswer(mm op.MatMul, buffer int64, reason string) (sear
 
 // --- /v1/evaluate -----------------------------------------------------------
 
-type evaluateRequest struct {
-	// Model names a Table II configuration; Seq (optional, LLaMA2 only)
-	// overrides the sequence length as in the Fig. 11 sweep.
-	Model string `json:"model"`
-	Seq   int    `json:"seq,omitempty"`
-	// Platforms restricts evaluation; empty means all five.
-	Platforms []string `json:"platforms,omitempty"`
-	TimeoutMS int64    `json:"timeout_ms,omitempty"`
-}
-
-type platformResult struct {
-	Platform    string  `json:"platform"`
-	MA          int64   `json:"memory_access"`
-	Cycles      int64   `json:"cycles"`
-	MACs        int64   `json:"macs"`
-	Utilization float64 `json:"utilization"`
-}
-
-type evaluateResponse struct {
-	Workload string           `json:"workload"`
-	Results  []platformResult `json:"results"`
-}
-
 func (s *Server) handleEvaluate(ctx context.Context, body []byte) (any, error) {
 	var req evaluateRequest
 	if err := decodeStrict(body, &req); err != nil {
@@ -390,11 +295,11 @@ func (s *Server) handleEvaluate(ctx context.Context, body []byte) (any, error) {
 			return nil, err
 		}
 		resp.Results = append(resp.Results, platformResult{
-			Platform:    r.Platform,
-			MA:          r.MA,
-			Cycles:      r.Cycles,
-			MACs:        r.MACs,
-			Utilization: r.Utilization,
+			Platform:     r.Platform,
+			MemoryAccess: r.MA,
+			Cycles:       r.Cycles,
+			MACs:         r.MACs,
+			Utilization:  r.Utilization,
 		})
 	}
 	return resp, nil

@@ -99,7 +99,7 @@ func TestChaosPanicWaveKeepsServing(t *testing.T) {
 					t.Errorf("client %d decode: %v", i, err)
 					return
 				}
-				if sr.Degraded || sr.Dataflow.MA != want.Access.Total ||
+				if sr.Degraded || sr.Dataflow.MemoryAccess != want.Access.Total ||
 					sr.Dataflow.TM != want.Dataflow.Tiling.TM ||
 					sr.Dataflow.TK != want.Dataflow.Tiling.TK ||
 					sr.Dataflow.TL != want.Dataflow.Tiling.TL {
@@ -154,8 +154,8 @@ func TestDeadlinePressureDegradesToPrinciple(t *testing.T) {
 	if !resp.Degraded || resp.DegradedReason != "deadline" || resp.Method != "principle" {
 		t.Fatalf("response not marked degraded-by-deadline: %+v", resp)
 	}
-	if resp.Dataflow.MA != want.Access.Total {
-		t.Fatalf("degraded MA %d != principle optimum %d", resp.Dataflow.MA, want.Access.Total)
+	if resp.Dataflow.MemoryAccess != want.Access.Total {
+		t.Fatalf("degraded MA %d != principle optimum %d", resp.Dataflow.MemoryAccess, want.Access.Total)
 	}
 	if got := s.Registry().Counter("degraded_responses").Value(); got != 1 {
 		t.Fatalf("degraded_responses = %d, want 1", got)
@@ -196,8 +196,8 @@ func TestDegradedConformance(t *testing.T) {
 			if fp := tm*tk + tk*tl + tm*tl; fp > tc.buffer {
 				t.Fatalf("degraded tiling infeasible: footprint %d > buffer %d", fp, tc.buffer)
 			}
-			if resp.Dataflow.MA != want.Access.Total {
-				t.Fatalf("degraded MA %d != principle optimum %d", resp.Dataflow.MA, want.Access.Total)
+			if resp.Dataflow.MemoryAccess != want.Access.Total {
+				t.Fatalf("degraded MA %d != principle optimum %d", resp.Dataflow.MemoryAccess, want.Access.Total)
 			}
 		})
 	}
@@ -225,8 +225,8 @@ func TestEngineFailureDegrades(t *testing.T) {
 	if !resp.Degraded || resp.DegradedReason != "engine_failure" {
 		t.Fatalf("response not marked degraded-by-engine-failure: %+v", resp)
 	}
-	if resp.Dataflow.MA != want.Access.Total {
-		t.Fatalf("degraded MA %d != principle optimum %d", resp.Dataflow.MA, want.Access.Total)
+	if resp.Dataflow.MemoryAccess != want.Access.Total {
+		t.Fatalf("degraded MA %d != principle optimum %d", resp.Dataflow.MemoryAccess, want.Access.Total)
 	}
 	if got := s.Registry().Counter("panics_recovered").Value(); got != 0 {
 		t.Fatalf("engine panic leaked to the middleware: panics_recovered = %d", got)

@@ -45,10 +45,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fusecu/api"
 	"fusecu/internal/errs"
 	"fusecu/internal/faultinject"
 	"fusecu/internal/metrics"
 	"fusecu/internal/search"
+	"fusecu/internal/tablestore"
 )
 
 // Config tunes a Server. The zero value selects production defaults.
@@ -87,6 +89,19 @@ type Config struct {
 	// DisableTables turns the candidate-table fast path off entirely,
 	// restoring the per-request scan behaviour for every shape.
 	DisableTables bool
+	// TableStore, when non-nil, fronts the table registry with a disk store
+	// of precomputed artifacts (fusecu-tablegen output): resolution becomes
+	// disk → LRU → build. Artifacts are fully re-validated on load; a
+	// corrupt or stale file is logged, counted in table_load_errors, and
+	// the shape falls back to a fresh build — never a wrong answer.
+	TableStore *tablestore.Store
+	// EnableAdmin exposes the table-administration endpoints
+	// (GET /v1/tables, DELETE /v1/tables/{shapeHash}); without it they
+	// answer 403 admin_disabled. /v1/version is always on.
+	EnableAdmin bool
+	// Logf receives operational log lines (table-load fallbacks and the
+	// like). nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -142,8 +157,15 @@ func New(cfg Config) *Server {
 		reg:   metrics.NewRegistry(),
 		gate:  make(chan struct{}, cfg.MaxInFlight),
 	}
-	s.tables = newTableRegistry(cfg.TableCapacity, s.cache, s.reg)
+	s.tables = newTableRegistry(cfg.TableCapacity, s.cache, s.reg, cfg.TableStore, s.logf)
 	return s
+}
+
+// logf forwards to Config.Logf, discarding when none is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // SetReady flips the readiness probe. Liveness (/healthz) is unaffected.
@@ -177,6 +199,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", s.recovered("plan", s.endpoint("plan", s.handlePlan)))
 	mux.HandleFunc("/v1/search", s.recovered("search", s.endpoint("search", s.handleSearch)))
 	mux.HandleFunc("/v1/evaluate", s.recovered("evaluate", s.endpoint("evaluate", s.handleEvaluate)))
+	mux.HandleFunc("/v1/version", s.recovered("version", s.handleVersion))
+	mux.HandleFunc("/v1/tables", s.recovered("tables", s.handleTables))
+	mux.HandleFunc("/v1/tables/{shapeHash}", s.recovered("table_evict", s.handleTableEvict))
 	mux.HandleFunc("/metrics", s.recovered("metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.recovered("healthz", s.handleHealthz))
 	mux.HandleFunc("/readyz", s.recovered("readyz", s.handleReadyz))
@@ -199,7 +224,7 @@ func (s *Server) recovered(name string, h http.HandlerFunc) http.HandlerFunc {
 				s.reg.Counter("panics_recovered").Inc()
 				s.writeError(w, name, &apiError{
 					status: http.StatusInternalServerError,
-					code:   "internal_error",
+					code:   api.CodeInternalError,
 					err:    fmt.Errorf("service: panic in %s handler: %v", name, rec),
 				})
 			}
@@ -222,7 +247,7 @@ func (e *apiError) Unwrap() error { return e.err }
 // badRequest wraps a request-shape error (malformed JSON, missing field)
 // that no library sentinel covers.
 func badRequest(format string, args ...any) *apiError {
-	return &apiError{status: http.StatusBadRequest, code: "invalid_request", err: fmt.Errorf(format, args...)}
+	return &apiError{status: http.StatusBadRequest, code: api.CodeInvalidRequest, err: fmt.Errorf(format, args...)}
 }
 
 // statusClientClosedRequest is the de-facto (nginx) status for a request
@@ -241,33 +266,30 @@ func toAPIError(err error) *apiError {
 	case errors.Is(err, errs.ErrInvalidOperator),
 		errors.Is(err, errs.ErrInvalidChain),
 		errors.Is(err, errs.ErrInvalidDataflow):
-		return &apiError{status: http.StatusBadRequest, code: "invalid_request", err: err}
+		return &apiError{status: http.StatusBadRequest, code: api.CodeInvalidRequest, err: err}
 	case errors.Is(err, errs.ErrBufferTooSmall):
-		return &apiError{status: http.StatusUnprocessableEntity, code: "buffer_too_small", err: err}
+		return &apiError{status: http.StatusUnprocessableEntity, code: api.CodeBufferTooSmall, err: err}
 	case errors.Is(err, errs.ErrInfeasible):
-		return &apiError{status: http.StatusUnprocessableEntity, code: "infeasible", err: err}
+		return &apiError{status: http.StatusUnprocessableEntity, code: api.CodeInfeasible, err: err}
 	case errors.Is(err, errs.ErrUnknownPlatform),
 		errors.Is(err, errs.ErrUnknownModel):
-		return &apiError{status: http.StatusNotFound, code: "not_found", err: err}
+		return &apiError{status: http.StatusNotFound, code: api.CodeNotFound, err: err}
 	case errors.Is(err, errs.ErrInternal):
-		return &apiError{status: http.StatusInternalServerError, code: "internal_error", err: err}
+		return &apiError{status: http.StatusInternalServerError, code: api.CodeInternalError, err: err}
 	case errors.Is(err, context.DeadlineExceeded):
-		return &apiError{status: http.StatusGatewayTimeout, code: "deadline_exceeded", err: err}
+		return &apiError{status: http.StatusGatewayTimeout, code: api.CodeDeadlineExceeded, err: err}
 	case errors.Is(err, context.Canceled):
-		return &apiError{status: statusClientClosedRequest, code: "client_closed_request", err: err}
+		return &apiError{status: statusClientClosedRequest, code: api.CodeClientClosedRequest, err: err}
 	}
-	return &apiError{status: http.StatusInternalServerError, code: "internal", err: err}
+	return &apiError{status: http.StatusInternalServerError, code: api.CodeInternal, err: err}
 }
 
-// errorEnvelope is the uniform JSON error body.
-type errorEnvelope struct {
-	Error errorBody `json:"error"`
-}
-
-type errorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+// errorEnvelope is the uniform JSON error body — the api package's
+// ErrorEnvelope, aliased so in-package tests read naturally.
+type (
+	errorEnvelope = api.ErrorEnvelope
+	errorBody     = api.ErrorBody
+)
 
 // handlerFunc is a typed endpoint body: decode already done, context
 // already deadline-bound; return a JSON-marshalable response or an error.
@@ -286,7 +308,7 @@ func (s *Server) endpoint(name string, h handlerFunc) http.HandlerFunc {
 			w.Header().Set("Connection", "close")
 			s.writeError(w, name, &apiError{
 				status: http.StatusServiceUnavailable,
-				code:   "draining",
+				code:   api.CodeDraining,
 				err:    fmt.Errorf("service: draining, not accepting new requests"),
 			})
 			return
@@ -294,7 +316,7 @@ func (s *Server) endpoint(name string, h handlerFunc) http.HandlerFunc {
 		if r.Method != http.MethodPost {
 			s.writeError(w, name, &apiError{
 				status: http.StatusMethodNotAllowed,
-				code:   "method_not_allowed",
+				code:   api.CodeMethodNotAllowed,
 				err:    fmt.Errorf("service: %s requires POST", r.URL.Path),
 			})
 			return
@@ -306,7 +328,7 @@ func (s *Server) endpoint(name string, h handlerFunc) http.HandlerFunc {
 			s.reg.Counter("http_rejected_total").Inc()
 			s.writeError(w, name, &apiError{
 				status: http.StatusTooManyRequests,
-				code:   "overloaded",
+				code:   api.CodeOverloaded,
 				err:    fmt.Errorf("service: %d requests already in flight", s.cfg.MaxInFlight),
 			})
 			return

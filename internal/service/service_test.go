@@ -68,7 +68,7 @@ func TestOptimizeEndpoint(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, raw)
 	}
-	if resp.Dataflow.MA <= 0 || resp.Dataflow.TM <= 0 {
+	if resp.Dataflow.MemoryAccess <= 0 || resp.Dataflow.TM <= 0 {
 		t.Fatalf("degenerate response: %+v", resp)
 	}
 	if resp.Regime == "" || resp.Dataflow.NRA == "" {
@@ -114,8 +114,8 @@ func TestSearchEndpointMatchesReference(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, raw)
 	}
-	if resp.Dataflow.MA != want.Access.Total {
-		t.Fatalf("served search MA %d != reference %d", resp.Dataflow.MA, want.Access.Total)
+	if resp.Dataflow.MemoryAccess != want.Access.Total {
+		t.Fatalf("served search MA %d != reference %d", resp.Dataflow.MemoryAccess, want.Access.Total)
 	}
 	if got := fmt.Sprintf("%d/%d/%d", resp.Dataflow.TM, resp.Dataflow.TK, resp.Dataflow.TL); got !=
 		fmt.Sprintf("%d/%d/%d", want.Dataflow.Tiling.TM, want.Dataflow.Tiling.TK, want.Dataflow.Tiling.TL) {
@@ -169,14 +169,14 @@ func TestEvaluateEndpoint(t *testing.T) {
 	}
 	var fuse, tpu int64
 	for _, r := range resp.Results {
-		if r.MA <= 0 || r.Cycles <= 0 {
+		if r.MemoryAccess <= 0 || r.Cycles <= 0 {
 			t.Fatalf("degenerate platform result: %+v", r)
 		}
 		switch r.Platform {
 		case "FuseCU":
-			fuse = r.MA
+			fuse = r.MemoryAccess
 		case "TPUv4i":
-			tpu = r.MA
+			tpu = r.MemoryAccess
 		}
 	}
 	if fuse == 0 || tpu == 0 || fuse >= tpu {
@@ -425,7 +425,7 @@ func TestConcurrentSearchLoad(t *testing.T) {
 					t.Errorf("client %d decode: %v", i, err)
 					return
 				}
-				if sr.Dataflow.MA != want.Access.Total ||
+				if sr.Dataflow.MemoryAccess != want.Access.Total ||
 					sr.Dataflow.TM != want.Dataflow.Tiling.TM ||
 					sr.Dataflow.TK != want.Dataflow.Tiling.TK ||
 					sr.Dataflow.TL != want.Dataflow.Tiling.TL {

@@ -43,7 +43,7 @@ func TestSearchTableBitIdentityAcrossEngines(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("%s: status %d: %s", tc.engine, code, raw)
 		}
-		if resp.Dataflow.MA != tc.want.Access.Total ||
+		if resp.Dataflow.MemoryAccess != tc.want.Access.Total ||
 			resp.Dataflow.TM != tc.want.Dataflow.Tiling.TM ||
 			resp.Dataflow.TK != tc.want.Dataflow.Tiling.TK ||
 			resp.Dataflow.TL != tc.want.Dataflow.Tiling.TL {
@@ -64,7 +64,7 @@ func TestSearchTableBitIdentityAcrossEngines(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("auto: status %d: %s", code, raw)
 	}
-	if resp.Dataflow.MA != wantAuto.Access.Total ||
+	if resp.Dataflow.MemoryAccess != wantAuto.Access.Total ||
 		resp.Dataflow.TM != wantAuto.Dataflow.Tiling.TM ||
 		resp.Dataflow.TK != wantAuto.Dataflow.Tiling.TK ||
 		resp.Dataflow.TL != wantAuto.Dataflow.Tiling.TL {
@@ -114,8 +114,8 @@ func TestTableRegistryEvictsLRU(t *testing.T) {
 	if code, raw := post(t, ts, "/v1/search", searchBody(shapes[0], 1024, "exhaustive"), &resp); code != http.StatusOK {
 		t.Fatalf("rebuild: status %d: %s", code, raw)
 	}
-	if resp.Dataflow.MA != want.Access.Total {
-		t.Fatalf("rebuilt table MA %d != reference %d", resp.Dataflow.MA, want.Access.Total)
+	if resp.Dataflow.MemoryAccess != want.Access.Total {
+		t.Fatalf("rebuilt table MA %d != reference %d", resp.Dataflow.MemoryAccess, want.Access.Total)
 	}
 	if tb := s.Registry().Counter("table_builds").Value(); tb != 4 {
 		t.Fatalf("table_builds = %d, want 4 (3 shapes + 1 rebuild after eviction)", tb)
@@ -154,7 +154,7 @@ func TestTableBuildErrorRetries(t *testing.T) {
 	if code, raw := post(t, ts, "/v1/search", body, &second); code != http.StatusOK {
 		t.Fatalf("second: status %d: %s", code, raw)
 	}
-	if second.Degraded || second.Dataflow.MA != want.Access.Total {
+	if second.Degraded || second.Dataflow.MemoryAccess != want.Access.Total {
 		t.Fatalf("retry after transient fault not clean: %+v", second)
 	}
 	if got := s.tables.len(); got != 1 {
@@ -194,8 +194,8 @@ func TestTableCapRoutesLargeShapesToScan(t *testing.T) {
 	if code, raw := post(t, ts, "/v1/search", searchBody(mm, 1024, "exhaustive"), &resp); code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, raw)
 	}
-	if resp.Dataflow.MA != want.Access.Total {
-		t.Fatalf("scan fallback MA %d != reference %d", resp.Dataflow.MA, want.Access.Total)
+	if resp.Dataflow.MemoryAccess != want.Access.Total {
+		t.Fatalf("scan fallback MA %d != reference %d", resp.Dataflow.MemoryAccess, want.Access.Total)
 	}
 	if tb := s.Registry().Counter("table_builds").Value(); tb != 0 {
 		t.Fatalf("table_builds = %d, want 0 above the candidate cap", tb)
