@@ -132,6 +132,11 @@ type Stats struct {
 	BreakerOpen int64
 	// Degraded counts Search responses served by the principle fallback.
 	Degraded int64
+	// TransportErrors counts attempts that failed before a response arrived
+	// (connection refused, reset, per-attempt timeout, truncated body).
+	TransportErrors int64
+	// ServerErrors counts attempts answered with a 5xx status.
+	ServerErrors int64
 }
 
 // Client is a resilient fusecu-serve client; safe for concurrent use.
@@ -142,10 +147,12 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	attempts    atomic.Int64
-	retries     atomic.Int64
-	breakerOpen atomic.Int64
-	degraded    atomic.Int64
+	attempts        atomic.Int64
+	retries         atomic.Int64
+	breakerOpen     atomic.Int64
+	degraded        atomic.Int64
+	transportErrors atomic.Int64
+	serverErrors    atomic.Int64
 }
 
 // New builds a Client; see Config for defaults.
@@ -164,10 +171,12 @@ func New(cfg Config) (*Client, error) {
 // Stats returns a snapshot of the cumulative counters.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Attempts:    c.attempts.Load(),
-		Retries:     c.retries.Load(),
-		BreakerOpen: c.breakerOpen.Load(),
-		Degraded:    c.degraded.Load(),
+		Attempts:        c.attempts.Load(),
+		Retries:         c.retries.Load(),
+		BreakerOpen:     c.breakerOpen.Load(),
+		Degraded:        c.degraded.Load(),
+		TransportErrors: c.transportErrors.Load(),
+		ServerErrors:    c.serverErrors.Load(),
 	}
 }
 
@@ -334,6 +343,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 			return attemptResult{err: fmt.Errorf("client: %s: %w", path, err)}
 		}
 		// Transport failure or per-attempt timeout: the server is unwell.
+		c.transportErrors.Add(1)
 		c.breaker.failure(c.cfg.Now())
 		return attemptResult{err: fmt.Errorf("client: %s: %w", path, err), retryable: true}
 	}
@@ -342,6 +352,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		err = cerr
 	}
 	if err != nil {
+		c.transportErrors.Add(1)
 		c.breaker.failure(c.cfg.Now())
 		return attemptResult{err: fmt.Errorf("client: %s: read response: %w", path, err), retryable: true}
 	}
@@ -369,6 +380,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		}
 		return attemptResult{err: apiErr, retryable: true, delayHint: hint}
 	case resp.StatusCode >= 500:
+		c.serverErrors.Add(1)
 		c.breaker.failure(c.cfg.Now())
 		return attemptResult{err: apiErr, retryable: true}
 	default:

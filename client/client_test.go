@@ -387,3 +387,30 @@ func TestSearchSurfacesDegradedAnswers(t *testing.T) {
 		t.Fatalf("Degraded counter = %d, want 1", got.Degraded)
 	}
 }
+
+// TestStatsSplitTransportAndServerErrors: the failure counters distinguish
+// attempts that never got a response from attempts answered with a 5xx, so
+// the chaos harness can attribute client-observed errors.
+func TestStatsSplitTransportAndServerErrors(t *testing.T) {
+	in := faultinject.New(1, faultinject.Plan{Site: "service.optimize", Mode: faultinject.ModeError, Times: 2})
+	_, ts := newServer(t, service.Config{Injector: in})
+	ns := &noSleep{}
+	c := newClient(t, Config{BaseURL: ts.URL, Sleep: ns.sleep})
+
+	// Two injected 500s, then success: two server errors, no transport ones.
+	if _, err := c.Optimize(context.Background(), OptimizeRequest{Op: OpSpec{M: 64, K: 64, L: 64}, Buffer: 4096}); err != nil {
+		t.Fatalf("Optimize through 5xx wave: %v", err)
+	}
+	if got := c.Stats(); got.ServerErrors != 2 || got.TransportErrors != 0 {
+		t.Fatalf("stats after 5xx wave = %+v, want ServerErrors=2 TransportErrors=0", got)
+	}
+
+	// A dead endpoint: every attempt is a transport error.
+	dead := newClient(t, Config{BaseURL: "http://127.0.0.1:1", MaxAttempts: 2, Sleep: ns.sleep, BreakerThreshold: -1})
+	if _, err := dead.Version(context.Background()); err == nil {
+		t.Fatal("Version against a dead endpoint succeeded")
+	}
+	if got := dead.Stats(); got.TransportErrors != 2 || got.ServerErrors != 0 {
+		t.Fatalf("stats against dead endpoint = %+v, want TransportErrors=2 ServerErrors=0", got)
+	}
+}

@@ -84,10 +84,25 @@ func main() {
 		repl    = flag.Int("replicas", 1, "fusecu-serve replicas behind the shape-affinity router for -serve-load")
 		tdir    = flag.String("table-dir", "", "pregenerated candidate-table directory for -serve-load (fusecu-tablegen -set bench output); the wave then asserts zero runtime table builds")
 		pprofAt = flag.String("pprof", "", "expose net/http/pprof on this separate listener during -serve-load (empty = disabled)")
+		chaos   = flag.Bool("chaos", false, "with -serve-load: run the seeded chaos schedule — replicas hard-killed and restarted mid-wave, one table artifact corrupted — and assert the failover/ejection/recovery contract")
+		cseed   = flag.Int64("chaos-seed", 1, "seed for the chaos schedule's victim order and injected-fault RNG")
+		ckills  = flag.Int("chaos-kills", 2, "kill/restart cycles in the chaos schedule")
+		hedge   = flag.Duration("hedge-after", 0, "router hedge delay for affinity-keyed requests in chaos mode (0 = hedging off)")
+		proxyAt = flag.Int("proxy-attempts", 3, "router per-request upstream attempt budget in chaos mode")
 	)
 	flag.Parse()
+	if *chaos && !*load {
+		fmt.Fprintln(os.Stderr, "fusecu-bench: -chaos requires -serve-load")
+		os.Exit(2)
+	}
 	if *load {
-		if err := serveLoad(*loadOut, *clients, *maxInFl, *workers, *repl, *tdir, *pprofAt); err != nil {
+		var err error
+		if *chaos {
+			err = chaosLoad(*loadOut, *clients, *maxInFl, *workers, *repl, *tdir, *cseed, *ckills, *hedge, *proxyAt)
+		} else {
+			err = serveLoad(*loadOut, *clients, *maxInFl, *workers, *repl, *tdir, *pprofAt)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "fusecu-bench:", err)
 			os.Exit(1)
 		}

@@ -105,6 +105,42 @@ type serveReplica struct {
 	errc chan error
 }
 
+// startServeReplica boots one in-process fusecu-serve replica on addr and
+// marks it ready once the listener is accepting. "127.0.0.1:0" picks a free
+// port; the chaos harness instead passes a dead incarnation's fixed addr so
+// the restarted replica rebinds the same URL the router was configured with.
+func startServeReplica(addr string, cfg service.Config) (*serveReplica, error) {
+	svc := service.New(cfg)
+	srv := &http.Server{Handler: svc.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &serveReplica{svc: svc, srv: srv, addr: ln.Addr().String(), errc: make(chan error, 1)}
+	svc.SetReady(true)
+	go func() { r.errc <- srv.Serve(ln) }()
+	return r, nil
+}
+
+// shutdown drains the replica gracefully (bench teardown).
+func (r *serveReplica) shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := r.srv.Shutdown(ctx)
+	<-r.errc
+	return err
+}
+
+// kill aborts the replica: the listener and every open connection close
+// immediately, which is what a process crash looks like from the router's
+// side — in-flight proxy attempts see a transport error, not a drain.
+func (r *serveReplica) kill() {
+	// Close's error is the listener's close result; the interesting signal
+	// (aborted connections) reaches the router as transport errors.
+	_ = r.srv.Close()
+	<-r.errc
+}
+
 // serveLoad boots a fleet of in-process fusecu-serve replicas behind the
 // shape-affinity router, fires clients concurrent /v1/search calls over the
 // serve-load shape set through the public retrying client, verifies every
@@ -158,28 +194,21 @@ func serveLoad(out string, clients, maxInFlight, workers, replicas int, tableDir
 	fleet := make([]*serveReplica, 0, replicas)
 	defer func() {
 		for _, r := range fleet {
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			if err := r.srv.Shutdown(ctx); err != nil {
+			if err := r.shutdown(); err != nil {
 				fmt.Fprintln(os.Stderr, "fusecu-bench: shutdown:", err)
 			}
-			cancel()
-			<-r.errc
 		}
 	}()
 	backends := make([]string, 0, replicas)
 	for i := 0; i < replicas; i++ {
-		svc := service.New(service.Config{
+		r, err := startServeReplica("127.0.0.1:0", service.Config{
 			MaxInFlight:   maxInFlight,
 			SearchWorkers: workers,
 			TableStore:    store,
 		})
-		srv := &http.Server{Handler: svc.Handler()}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
-		r := &serveReplica{svc: svc, srv: srv, addr: ln.Addr().String(), errc: make(chan error, 1)}
-		go func() { r.errc <- srv.Serve(ln) }()
 		fleet = append(fleet, r)
 		backends = append(backends, "http://"+r.addr)
 	}

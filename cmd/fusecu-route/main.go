@@ -51,6 +51,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			"period between /readyz + /v1/version probes of each replica")
 		probeTimeout = fs.Duration("probe-timeout", 2*time.Second, "per-probe deadline")
 		drain        = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		attempts     = fs.Int("proxy-attempts", 3,
+			"per-request upstream attempt budget (first try, failovers and hedges included)")
+		ejectAfter = fs.Int("eject-threshold", 3,
+			"consecutive failed attempts that eject a replica from rotation")
+		ejectFor = fs.Duration("eject-window", 5*time.Second,
+			"how long an ejected replica sits out before one half-open probe request may test it")
+		hedgeAfter = fs.Duration("hedge-after", 0,
+			"duplicate an affinity-keyed request to the next ring owner if the primary has not answered within this delay; first response wins (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,6 +84,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fs.Usage()
 		return 2
 	}
+	if *attempts <= 0 || *ejectAfter <= 0 || *ejectFor <= 0 {
+		fmt.Fprintln(stderr, "fusecu-route: -proxy-attempts, -eject-threshold and -eject-window must be positive")
+		fs.Usage()
+		return 2
+	}
+	if *hedgeAfter < 0 {
+		fmt.Fprintln(stderr, "fusecu-route: -hedge-after must be zero (off) or positive")
+		fs.Usage()
+		return 2
+	}
 
 	logger := log.New(stderr, "fusecu-route: ", log.LstdFlags)
 	router, err := route.New(route.Config{
@@ -83,6 +101,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		VNodes:         *vnodes,
 		HealthInterval: *healthInterval,
 		ProbeTimeout:   *probeTimeout,
+		ProxyAttempts:  *attempts,
+		EjectThreshold: *ejectAfter,
+		EjectWindow:    *ejectFor,
+		HedgeAfter:     *hedgeAfter,
 		Logf:           logger.Printf,
 	})
 	if err != nil {

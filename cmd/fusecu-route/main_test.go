@@ -28,6 +28,10 @@ func TestRunFlagErrors(t *testing.T) {
 		{"blank backends", []string{"-backends", " , "}},
 		{"bad vnodes", []string{"-backends", "http://x", "-vnodes", "0"}},
 		{"bad health interval", []string{"-backends", "http://x", "-health-interval", "-1s"}},
+		{"bad proxy attempts", []string{"-backends", "http://x", "-proxy-attempts", "0"}},
+		{"bad eject threshold", []string{"-backends", "http://x", "-eject-threshold", "-1"}},
+		{"bad eject window", []string{"-backends", "http://x", "-eject-window", "0s"}},
+		{"negative hedge delay", []string{"-backends", "http://x", "-hedge-after", "-5ms"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -17,6 +17,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -138,6 +139,37 @@ func (in *Injector) Fire(site string) error {
 	case ModeLatency:
 		time.Sleep(delay)
 		return nil
+	default:
+		return err
+	}
+}
+
+// FireCtx is Fire with a context: latency firings wait on a timer or
+// ctx.Done(), whichever comes first, returning ctx.Err() when the wait was
+// cut short. Error and panic firings behave exactly like Fire. A canceled
+// caller therefore observes its own cancellation instead of sleeping out an
+// injected delay — matching how a real slow upstream behaves when its
+// request is abandoned, which is what the router's hedging path needs.
+func (in *Injector) FireCtx(ctx context.Context, site string) error {
+	if in == nil {
+		return nil
+	}
+	mode, err, delay, fired := in.decide(site)
+	if !fired {
+		return nil
+	}
+	switch mode {
+	case ModePanic:
+		panic(Panic{Site: site})
+	case ModeLatency:
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	default:
 		return err
 	}

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -156,5 +157,51 @@ func TestActivateDeactivate(t *testing.T) {
 	}
 	if err := Active().Fire("s"); err != nil {
 		t.Fatalf("deactivated global fired: %v", err)
+	}
+}
+
+// TestFireCtxLatencyHonorsCancel: a latency firing under an already-canceled
+// context returns the context error instead of sleeping out the delay — the
+// behavior the router's hedging path needs from a "slow upstream".
+func TestFireCtxLatencyHonorsCancel(t *testing.T) {
+	in := New(1, Plan{Site: "s", Mode: ModeLatency, Delay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := in.FireCtx(ctx, "s")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("FireCtx took %v despite the canceled context", d)
+	}
+	if in.Fires("s") != 1 {
+		t.Fatalf("fires = %d, want 1 (the firing still counts)", in.Fires("s"))
+	}
+}
+
+// TestFireCtxMatchesFireForErrors: error-mode firings are identical through
+// both entry points, and an unarmed or nil receiver stays a no-op.
+func TestFireCtxMatchesFireForErrors(t *testing.T) {
+	ctx := context.Background()
+	var nilIn *Injector
+	if err := nilIn.FireCtx(ctx, "s"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	in := New(1, Plan{Site: "s", Mode: ModeError, Every: 2})
+	var fired int
+	for i := 0; i < 6; i++ {
+		if err := in.FireCtx(ctx, "s"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("error does not wrap ErrInjected: %v", err)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times over 6 visits with Every:2, want 3", fired)
+	}
+	if err := in.FireCtx(ctx, "unarmed"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
 	}
 }

@@ -84,6 +84,17 @@ func DefaultLatencyBuckets() []float64 {
 	return []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 }
 
+// LinearBuckets returns n evenly spaced histogram bounds starting at start
+// (start, start+width, ...). Useful for small discrete distributions such
+// as per-request upstream attempt counts.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
 // Histogram is a fixed-bucket distribution metric. Bounds are inclusive
 // upper bounds in ascending order; an implicit +Inf bucket catches the tail.
 type Histogram struct {

@@ -1,0 +1,141 @@
+package route
+
+import (
+	"sync"
+	"time"
+)
+
+// ejectState is the position of one backend in its ejection breaker.
+type ejectState uint8
+
+const (
+	// ejectorClosed: the backend is in rotation.
+	ejectorClosed ejectState = iota
+	// ejectorOpen: the backend is ejected and sits out until its window
+	// elapses.
+	ejectorOpen
+	// ejectorProbing: the ejection window elapsed and exactly one half-open
+	// probe request is in flight; everyone else is still refused.
+	ejectorProbing
+)
+
+// ejector is one backend's ejection breaker. A backend is ejected after
+// `threshold` consecutive request failures (or immediately, when the
+// background health probe says so), sits out for `window`, then re-admits a
+// single half-open probe request: success closes the breaker, failure
+// re-ejects for another window. The single-probe rule is what keeps a dead
+// replica from being re-tried by every in-flight request the moment its
+// window expires.
+type ejector struct {
+	threshold int
+	window    time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    ejectState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+}
+
+func newEjector(threshold int, window time.Duration, now func() time.Time) *ejector {
+	return &ejector{threshold: threshold, window: window, now: now}
+}
+
+// admit asks whether a request may be sent to the backend. probe=true means
+// the caller holds the single half-open slot and must report back via
+// success, failure, or cancelProbe.
+func (e *ejector) admit() (ok, probe bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch e.state {
+	case ejectorClosed:
+		return true, false
+	case ejectorProbing:
+		return false, false
+	default:
+		if e.now().Sub(e.openedAt) >= e.window {
+			e.state = ejectorProbing
+			return true, true
+		}
+		return false, false
+	}
+}
+
+// wouldAdmit reports whether admit would currently return ok, without
+// transitioning state or consuming the half-open slot.
+func (e *ejector) wouldAdmit() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch e.state {
+	case ejectorClosed:
+		return true
+	case ejectorProbing:
+		return false
+	default:
+		return e.now().Sub(e.openedAt) >= e.window
+	}
+}
+
+// success reports a completed request (or background probe) that proves the
+// backend alive. Returns true when this closed a previously open breaker.
+func (e *ejector) success() (recovered bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	recovered = e.state != ejectorClosed
+	e.state = ejectorClosed
+	e.fails = 0
+	return recovered
+}
+
+// failure reports one failed request attempt. Returns true when this
+// ejected the backend: the half-open probe failed, or consecutive failures
+// reached the threshold.
+func (e *ejector) failure() (ejected bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch e.state {
+	case ejectorProbing:
+		e.state = ejectorOpen
+		e.openedAt = e.now()
+		return true
+	case ejectorClosed:
+		e.fails++
+		if e.fails >= e.threshold {
+			e.state = ejectorOpen
+			e.openedAt = e.now()
+			return true
+		}
+	}
+	return false
+}
+
+// eject force-opens the breaker regardless of failure counts — the
+// background health probe and version-drift detection are authoritative.
+// Returns true when the backend was not already ejected.
+func (e *ejector) eject() (transitioned bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	transitioned = e.state != ejectorOpen
+	e.state = ejectorOpen
+	e.openedAt = e.now()
+	e.fails = 0
+	return transitioned
+}
+
+// cancelProbe releases the half-open slot without a verdict (the inbound
+// client hung up mid-probe). The breaker reopens with its original window
+// start, so the next request may probe again immediately.
+func (e *ejector) cancelProbe() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == ejectorProbing {
+		e.state = ejectorOpen
+	}
+}
+
+// healthy reports whether the backend is in rotation (breaker closed).
+func (e *ejector) healthy() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state == ejectorClosed
+}

@@ -1,0 +1,51 @@
+package route
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"fusecu/api"
+)
+
+// FuzzAffinityKey feeds raw request bodies to the routing-key extractor.
+// Invariants: it never panics, it is deterministic (the same bytes always
+// produce the same key), a reported key is never empty, and two bodies
+// describing the same operator shape get the same key no matter what else
+// the body carries — the property consistent-hash affinity rests on.
+func FuzzAffinityKey(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"op":{"name":"t","m":16,"k":12,"l":8},"buffer":1024}`))
+	f.Add([]byte(`{"ops":[{"name":"a","m":4,"k":4,"l":4},{"name":"b","m":8,"k":8,"l":8}]}`))
+	f.Add([]byte(`{"model":"llama2","seq":1024}`))
+	f.Add([]byte(`{"op":null,"ops":[],"model":""}`))
+	f.Add([]byte(`{"op":{"m":-1,"k":0,"l":9223372036854775807}}`))
+	f.Add([]byte(`{"seq":-5,"model":"x"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		k1, ok1 := affinityKey(body)
+		k2, ok2 := affinityKey(body)
+		if k1 != k2 || ok1 != ok2 {
+			t.Fatalf("affinityKey unstable on %q: (%q,%v) then (%q,%v)", body, k1, ok1, k2, ok2)
+		}
+		if ok1 && k1 == "" {
+			t.Fatalf("affinityKey reported ok with an empty key on %q", body)
+		}
+		var peek struct {
+			Op *api.OpSpec `json:"op"`
+		}
+		if err := json.Unmarshal(body, &peek); err == nil && peek.Op != nil {
+			// A minimal body with the same shape must map to the same key.
+			minimal := fmt.Sprintf(`{"op":{"m":%d,"k":%d,"l":%d}}`, peek.Op.M, peek.Op.K, peek.Op.L)
+			mk, mok := affinityKey([]byte(minimal))
+			if !ok1 || !mok || mk != k1 {
+				t.Fatalf("equal shapes got different keys: full %q -> (%q,%v), minimal %q -> (%q,%v)",
+					body, k1, ok1, minimal, mk, mok)
+			}
+			if want := api.ShapeHash(peek.Op.M, peek.Op.K, peek.Op.L, ""); k1 != want {
+				t.Fatalf("op key %q, want lattice-independent shape hash %q", k1, want)
+			}
+		}
+	})
+}

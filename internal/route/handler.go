@@ -2,13 +2,20 @@ package route
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 
 	"fusecu/api"
+	"fusecu/internal/faultinject"
+	"fusecu/internal/metrics"
 )
+
+// statusClientClosedRequest mirrors the service's convention (nginx's 499)
+// for requests abandoned by the inbound client mid-proxy.
+const statusClientClosedRequest = 499
 
 // Handler returns the router's surface: /v1/* proxied by shape affinity,
 // plus the router's own probes, metrics, and version report. Every
@@ -55,9 +62,66 @@ func (r *Router) writeError(w http.ResponseWriter, status int, code, msg string)
 	}
 }
 
+// retryableStatus reports whether an upstream status is worth retrying on
+// another replica: 500 (a replica-local failure of a pure, deterministic
+// query — safe to re-ask), 502/503 (the replica is dying or draining). 504
+// is excluded because the deadline already consumed the request's time
+// budget, as is 429, which is admission backpressure the client must obey.
+func retryableStatus(code int) bool {
+	return code == http.StatusInternalServerError ||
+		code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable
+}
+
+// upstreamResult is one finished upstream attempt. cancel, when non-nil,
+// releases the attempt's private hedge context and must be called only
+// after the response body is consumed (deliver and discard both do).
+type upstreamResult struct {
+	b      *Backend
+	probe  bool
+	resp   *http.Response
+	err    error
+	cancel context.CancelFunc
+}
+
+// attemptUpstream issues one proxy attempt against b. On the error path the
+// hedge context (if any) is released immediately; on success the cancel
+// travels on the result so the body can be streamed first.
+func (r *Router) attemptUpstream(ctx context.Context, cancel context.CancelFunc, b *Backend, probe bool, method, uri, contentType string, body []byte) upstreamResult {
+	fail := func(err error) upstreamResult {
+		if cancel != nil {
+			cancel()
+		}
+		return upstreamResult{b: b, probe: probe, err: err}
+	}
+	b.attempts.Add(1)
+	if err := faultinject.Active().FireCtx(ctx, SiteProxy); err != nil {
+		return fail(err)
+	}
+	var reqBody io.Reader
+	if len(body) > 0 {
+		reqBody = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(ctx, method, b.url+uri, reqBody)
+	if err != nil {
+		return fail(err)
+	}
+	if contentType != "" {
+		out.Header.Set("Content-Type", contentType)
+	}
+	resp, err := r.cfg.HTTPClient.Do(out)
+	if err != nil {
+		return fail(err)
+	}
+	return upstreamResult{b: b, probe: probe, resp: resp, cancel: cancel}
+}
+
 // handleProxy forwards one /v1/* request to the replica owning its affinity
-// key and streams the response back verbatim — status, envelope, and
-// Retry-After included.
+// key. The body is fully buffered up front, so a replica dying mid-request
+// is retried against the next candidate (ring successor for affinity keys,
+// round-robin rotation otherwise) under the per-request attempt budget —
+// the client sees one successful response instead of a 502. The winning
+// response streams back verbatim — status, envelope, Retry-After included.
 func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
 	if err != nil {
@@ -66,58 +130,121 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	key, withKey := affinityKey(body)
-	b := r.pick(key, withKey)
-	if b == nil {
-		r.reg.Counter("route_no_backend_total").Inc()
-		r.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
-			"route: no healthy replica available")
-		return
-	}
-	b.requests.Add(1)
-	if withKey {
-		b.affinity.Add(1)
-		r.reg.Counter("route_affinity_total").Inc()
-	} else {
-		r.reg.Counter("route_roundrobin_total").Inc()
-	}
+	it := &attemptIter{cands: r.candidates(key, withKey)}
+	uri := req.URL.RequestURI()
+	ct := req.Header.Get("Content-Type")
 
-	var reqBody io.Reader
-	if len(body) > 0 {
-		reqBody = bytes.NewReader(body)
-	}
-	out, err := http.NewRequestWithContext(req.Context(), req.Method, b.url+req.URL.RequestURI(), reqBody)
-	if err != nil {
-		r.writeError(w, http.StatusInternalServerError, api.CodeInternalError,
-			fmt.Sprintf("route: build upstream request: %v", err))
-		return
-	}
-	if ct := req.Header.Get("Content-Type"); ct != "" {
-		out.Header.Set("Content-Type", ct)
-	}
-	resp, err := r.cfg.HTTPClient.Do(out)
-	if err != nil {
-		// The replica died mid-request; mark it down so the next probe (and
-		// the next request) route around it.
-		b.healthy.Store(false)
-		r.reg.Counter("route_upstream_errors_total").Inc()
-		r.writeError(w, http.StatusBadGateway, api.CodeNoBackend,
-			fmt.Sprintf("route: upstream %s: %v", b.url, err))
-		return
-	}
-	defer func() {
-		if cerr := resp.Body.Close(); cerr != nil {
-			r.reg.Counter("route_encode_errors_total").Inc()
+	attempts := 0
+	var lastErr error
+	for attempts < r.cfg.ProxyAttempts {
+		b, probe := it.next()
+		if b == nil {
+			break
 		}
-	}()
+		if attempts > 0 {
+			r.reg.Counter("route_failovers_total").Inc()
+		}
+		var res upstreamResult
+		if attempts == 0 && withKey && r.cfg.HedgeAfter > 0 {
+			var n int
+			res, n = r.raceHedge(req, it, b, probe, ct, uri, body)
+			attempts += n
+		} else {
+			attempts++
+			res = r.attemptUpstream(req.Context(), nil, b, probe, req.Method, uri, ct, body)
+		}
+		if res.err != nil {
+			if req.Context().Err() != nil {
+				// The inbound client hung up (or timed out) while we were
+				// proxying: the upstream failure is our own cancellation
+				// propagating, not replica sickness — don't eject a healthy
+				// replica for it. Release the half-open slot if this attempt
+				// held one, since it produced no verdict.
+				if res.probe {
+					res.b.ej.cancelProbe()
+				}
+				r.reg.Counter("route_client_disconnects_total").Inc()
+				r.writeError(w, statusClientClosedRequest, api.CodeClientClosedRequest,
+					"route: client closed request")
+				return
+			}
+			r.reg.Counter("route_upstream_errors_total").Inc()
+			r.noteFailure(res.b, fmt.Sprintf("transport: %v", res.err))
+			lastErr = fmt.Errorf("upstream %s: %w", res.b.url, res.err)
+			continue
+		}
+		if retryableStatus(res.resp.StatusCode) && attempts < r.cfg.ProxyAttempts && it.more() {
+			// A retryable 5xx with somewhere else to go: count the failure,
+			// drop the response, fail over. At the end of the line the
+			// response instead falls through below and passes through
+			// verbatim — the pass-through contract.
+			r.reg.Counter("route_retryable_status_total").Inc()
+			r.noteFailure(res.b, fmt.Sprintf("status %d", res.resp.StatusCode))
+			lastErr = fmt.Errorf("upstream %s answered %d", res.b.url, res.resp.StatusCode)
+			r.discard(res)
+			continue
+		}
+		if res.resp.StatusCode < http.StatusInternalServerError {
+			r.noteSuccess(res.b)
+		} else {
+			r.noteFailure(res.b, fmt.Sprintf("status %d", res.resp.StatusCode))
+		}
+		res.b.requests.Add(1)
+		if withKey {
+			res.b.affinity.Add(1)
+			r.reg.Counter("route_affinity_total").Inc()
+		} else {
+			r.reg.Counter("route_roundrobin_total").Inc()
+		}
+		r.reg.Histogram("route_proxy_attempts", metrics.LinearBuckets(1, 1, 8)).Observe(float64(attempts))
+		r.deliver(w, res)
+		return
+	}
+	if lastErr != nil {
+		r.writeError(w, http.StatusBadGateway, api.CodeNoBackend,
+			fmt.Sprintf("route: upstreams exhausted after %d attempts: %v", attempts, lastErr))
+		return
+	}
+	r.reg.Counter("route_no_backend_total").Inc()
+	r.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+		"route: no healthy replica available")
+}
+
+// deliver streams a winning upstream response to the client verbatim.
+// Mid-stream copy failures (the client saw a truncated body) and body-close
+// failures (benign connection noise) are counted separately so chaos
+// assertions can tell them apart.
+func (r *Router) deliver(w http.ResponseWriter, res upstreamResult) {
 	for _, h := range []string{"Content-Type", "Retry-After", "Connection"} {
-		if v := resp.Header.Get(h); v != "" {
+		if v := res.resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
-	r.reg.Counter(fmt.Sprintf("route_responses_total:%d", resp.StatusCode)).Inc()
-	w.WriteHeader(resp.StatusCode)
-	if _, err := io.Copy(w, resp.Body); err != nil {
-		r.reg.Counter("route_encode_errors_total").Inc()
+	r.reg.Counter(fmt.Sprintf("route_responses_total:%d", res.resp.StatusCode)).Inc()
+	w.WriteHeader(res.resp.StatusCode)
+	if _, err := io.Copy(w, res.resp.Body); err != nil {
+		r.reg.Counter("route_copy_errors_total").Inc()
+	}
+	if cerr := res.resp.Body.Close(); cerr != nil {
+		r.reg.Counter("route_close_errors_total").Inc()
+	}
+	if res.cancel != nil {
+		res.cancel()
+	}
+}
+
+// discard disposes of a losing or failed attempt: body drained (errors are
+// expected — the attempt may have been canceled) and closed, hedge context
+// released.
+func (r *Router) discard(res upstreamResult) {
+	if res.resp != nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(res.resp.Body, 1<<12))
+		if cerr := res.resp.Body.Close(); cerr != nil {
+			r.reg.Counter("route_close_errors_total").Inc()
+		}
+	}
+	if res.cancel != nil {
+		res.cancel()
 	}
 }
 
@@ -137,9 +264,18 @@ func (r *Router) handleVersion(w http.ResponseWriter, req *http.Request) {
 func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	// Fold the per-backend counters in at scrape time.
 	for _, b := range r.backends {
-		c := r.reg.Counter("route_backend_requests:" + b.url)
-		if d := b.requests.Load() - c.Value(); d > 0 {
-			c.Add(d)
+		for _, f := range []struct {
+			name string
+			v    int64
+		}{
+			{"route_backend_requests:" + b.url, b.requests.Load()},
+			{"route_backend_attempts:" + b.url, b.attempts.Load()},
+			{"route_backend_failures:" + b.url, b.failures.Load()},
+		} {
+			c := r.reg.Counter(f.name)
+			if d := f.v - c.Value(); d > 0 {
+				c.Add(d)
+			}
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")

@@ -145,7 +145,7 @@ func TestFailoverPreservesAffinity(t *testing.T) {
 	var downed *Backend
 	for _, b := range r.Backends() {
 		if b.URL() == strings.TrimRight(b2.URL, "/") {
-			b.healthy.Store(false)
+			b.ej.eject()
 			downed = b
 		}
 	}
@@ -171,7 +171,7 @@ func TestFailoverPreservesAffinity(t *testing.T) {
 	}
 
 	// Recovery restores the original owner.
-	downed.healthy.Store(true)
+	downed.ej.success()
 	for body, was := range owner {
 		if got := replicaFor(t, h, body); got != was {
 			t.Fatalf("after recovery shape moved from %s to %s", was, got)
@@ -293,7 +293,7 @@ func TestNoBackendAvailable(t *testing.T) {
 	b1 := newBackend(t, "r1", fleetVersion)
 	r := newFleetRouter(t, b1.URL)
 	for _, b := range r.Backends() {
-		b.healthy.Store(false)
+		b.ej.eject()
 	}
 	req := httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader(searchBody(8, 8, 8)))
 	rec := httptest.NewRecorder()
@@ -372,9 +372,10 @@ func TestVersionEndpointReportsFleetTriple(t *testing.T) {
 	}
 }
 
-// TestUpstreamErrorMarksBackendDown: a replica dying mid-request yields a
-// 502 and is immediately routed around without waiting for the next probe.
-func TestUpstreamErrorMarksBackendDown(t *testing.T) {
+// TestUpstreamFailureFailsOver: a replica dying no longer surfaces as a
+// 502 — the buffered request is retried against the ring successor and the
+// client sees a single 200 from the survivor.
+func TestUpstreamFailureFailsOver(t *testing.T) {
 	b1 := newBackend(t, "r1", fleetVersion)
 	b2 := newBackend(t, "r2", fleetVersion)
 	r := newFleetRouter(t, b1.URL, b2.URL)
@@ -383,21 +384,23 @@ func TestUpstreamErrorMarksBackendDown(t *testing.T) {
 	// Kill whichever replica owns this shape.
 	body := searchBody(20, 16, 12)
 	owner := replicaFor(t, h, body)
+	survivor := "r1"
 	if owner == "r1" {
 		b1.Close()
+		survivor = "r2"
 	} else {
 		b2.Close()
 	}
 
-	req := httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader(body))
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadGateway {
-		t.Fatalf("status %d, want 502", rec.Code)
+	if got := replicaFor(t, h, body); got != survivor {
+		t.Fatalf("request answered by %q, want failover to %q", got, survivor)
 	}
-	// The dead replica is marked down, so the retry lands on the survivor.
-	if got := replicaFor(t, h, body); got == owner {
-		t.Fatalf("still routed to dead replica %s", got)
+	snap := r.Registry().Snapshot()
+	if got := snap["route_failovers_total"]; got != 1 {
+		t.Fatalf("route_failovers_total = %v, want 1", got)
+	}
+	if got := snap["route_upstream_errors_total"]; got != 1 {
+		t.Fatalf("route_upstream_errors_total = %v, want 1", got)
 	}
 }
 
@@ -425,7 +428,7 @@ func TestStartHealthLoop(t *testing.T) {
 	if err := r.CheckBackends(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	r.Backends()[0].healthy.Store(false)
+	r.Backends()[0].ej.eject()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	r.Start(ctx)
