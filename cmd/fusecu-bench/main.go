@@ -10,10 +10,16 @@
 //   - search-sweep-table: one footprint-indexed candidate table per operator,
 //     answering every buffer point by binary search over the table
 //     (experiments.Fig9Sweep).
+//   - search-sweep-analytic: the closed-form analytic optimizer alone — no
+//     lattice, no cache; tens of exact evaluations per point
+//     (experiments.Fig9Analytic). Compared on MA values only, since its
+//     visit counts are intentionally tiny rather than conserved.
 //
 // The report (default BENCH_search.json) records wall time, cost-model
-// invocations, and cache hits per engine, plus whether all three produced
-// bit-identical memory-access results — which they must.
+// invocations, and cache hits per engine, whether every engine produced
+// bit-identical memory-access results — which they must — and the polish
+// evaluation drop: the uncached GA polish's evaluation count over the
+// analytic polish's across the same sweep points, gated ≥ 10×.
 //
 //	fusecu-bench -out BENCH_search.json        # reduced sweep (CI smoke)
 //	fusecu-bench -full -out BENCH_search.json  # the paper's 32KiB–32MiB sweep
@@ -62,15 +68,29 @@ type report struct {
 	SpeedupPrunedCached *float64 `json:"speedup_pruned_cached"`
 	SpeedupParallel     *float64 `json:"speedup_parallel"`
 	SpeedupTable        *float64 `json:"speedup_table"`
+	SpeedupAnalytic     *float64 `json:"speedup_analytic"`
 	// SingleCore is true when the parallel engine effectively ran one
 	// worker (single-core container or -workers=1), so no parallel-scaling
 	// conclusion can be drawn from this report.
 	SingleCore bool `json:"single_core,omitempty"`
 	// IdenticalResults is true iff every (operator, buffer) point's
 	// principle MA, search MA, and total candidate-visit count agree across
-	// all three engines.
+	// the lattice-backed engines, and the analytic engine matches them on
+	// every MA value (its visit counts are intentionally smaller).
 	IdenticalResults bool `json:"identical_results"`
+	// PolishEvalsGA / PolishEvalsAnalytic sum, over the same sweep points,
+	// the uncached evaluation counts of the two polish engines; their ratio
+	// PolishEvalDrop is the per-request polish cost reduction and is gated
+	// ≥ minPolishDrop by run().
+	PolishEvalsGA       int64   `json:"polish_evals_ga"`
+	PolishEvalsAnalytic int64   `json:"polish_evals_analytic"`
+	PolishEvalDrop      float64 `json:"polish_eval_drop"`
 }
+
+// minPolishDrop is the acceptance floor for the analytic polish: its
+// uncached evaluation count must be at least this factor below the GA
+// polish's over the sweep, or the bench fails loudly.
+const minPolishDrop = 10
 
 func main() {
 	var (
@@ -167,18 +187,40 @@ func run(out string, full bool, workers int) error {
 	}
 	tabWall := time.Since(tabStart)
 
+	anaStart := time.Now()
+	ana, err := experiments.Fig9Analytic(ops, buffers)
+	if err != nil {
+		return fmt.Errorf("analytic engine: %w", err)
+	}
+	anaWall := time.Since(anaStart)
+
 	rep.Engines = []engineReport{
 		tally("reference-sequential", refWall, 1, ref),
 		tally("pruned-cached", prunedWall, 1, pruned),
 		tally("parallel", parWall, effectiveWorkers, par),
 		tally("search-sweep-table", tabWall, 1, tab),
+		tally("search-sweep-analytic", anaWall, 1, ana),
 	}
 	rep.SpeedupPrunedCached = ratio(refWall, prunedWall)
 	rep.SpeedupTable = ratio(refWall, tabWall)
+	rep.SpeedupAnalytic = ratio(refWall, anaWall)
 	if !rep.SingleCore {
 		rep.SpeedupParallel = ratio(refWall, parWall)
 	}
-	rep.IdenticalResults = identical(ref, pruned) && identical(ref, par) && identical(ref, tab)
+	rep.IdenticalResults = identical(ref, pruned) && identical(ref, par) && identical(ref, tab) &&
+		identicalMA(ref, ana)
+
+	// The analytic sweep's evaluations ARE its polish cost (it has no other
+	// stage); price the GA polish once over the same points for the drop.
+	rep.PolishEvalsAnalytic = tally("", 0, 1, ana).Evaluations
+	rep.PolishEvalsGA, err = gaPolishEvals(ops, buffers, 1)
+	if err != nil {
+		return fmt.Errorf("ga polish baseline: %w", err)
+	}
+	if rep.PolishEvalsAnalytic > 0 {
+		rep.PolishEvalDrop = float64(rep.PolishEvalsGA) / float64(rep.PolishEvalsAnalytic)
+	}
+
 	if !rep.IdenticalResults {
 		// Still write the report, but fail loudly: equivalence is the whole
 		// contract of the optimized engines.
@@ -187,6 +229,13 @@ func run(out string, full bool, workers int) error {
 		}
 		return fmt.Errorf("engines disagree on the sweep results (see %s)", out)
 	}
+	if rep.PolishEvalDrop < minPolishDrop {
+		if werr := write(out, rep); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("analytic polish eval drop %.1fx below the %dx floor: GA %d vs analytic %d (see %s)",
+			rep.PolishEvalDrop, minPolishDrop, rep.PolishEvalsGA, rep.PolishEvalsAnalytic, out)
+	}
 	if err := write(out, rep); err != nil {
 		return err
 	}
@@ -194,10 +243,28 @@ func run(out string, full bool, workers int) error {
 	if rep.SingleCore {
 		parNote = "single-core"
 	}
-	fmt.Printf("wrote %s: reference %.1fms, pruned+cached %.1fms (%s), parallel %.1fms (%s), table %.1fms (%s), identical=%v\n",
+	fmt.Printf("wrote %s: reference %.1fms, pruned+cached %.1fms (%s), parallel %.1fms (%s), table %.1fms (%s), analytic %.1fms (%s), polish-drop %.1fx, identical=%v\n",
 		out, ms(refWall), ms(prunedWall), fmtSpeedup(rep.SpeedupPrunedCached),
-		ms(parWall), parNote, ms(tabWall), fmtSpeedup(rep.SpeedupTable), rep.IdenticalResults)
+		ms(parWall), parNote, ms(tabWall), fmtSpeedup(rep.SpeedupTable),
+		ms(anaWall), fmtSpeedup(rep.SpeedupAnalytic), rep.PolishEvalDrop, rep.IdenticalResults)
 	return nil
+}
+
+// gaPolishEvals prices the frozen GA polish — uncached, default options —
+// over every sweep point and returns its summed evaluation count: the
+// denominatorless "before" column of the polish-drop gate.
+func gaPolishEvals(ops []op.MatMul, buffers []int64, seed int64) (int64, error) {
+	var total int64
+	for _, mm := range ops {
+		for _, bs := range buffers {
+			r, err := search.Genetic(mm, bs, search.GeneticOptions{Seed: seed})
+			if err != nil {
+				return 0, fmt.Errorf("ga polish %v BS=%d: %w", mm, bs, err)
+			}
+			total += r.Evaluations
+		}
+	}
+	return total, nil
 }
 
 // fmtSpeedup renders a guarded speedup for the one-line summary.
@@ -227,8 +294,7 @@ func sweep(full bool) ([]op.MatMul, []int64) {
 
 // referenceFig9 reproduces experiments.Fig9 exactly, but drives the frozen
 // reference engines: unpruned coarse enumeration, no evaluation cache, and
-// the same engine-selection threshold and genetic polish as
-// search.Optimize.
+// the same engine-selection threshold and polish stage as search.Optimize.
 func referenceFig9(ops []op.MatMul, buffers []int64, seed int64) ([]experiments.Fig9Result, error) {
 	var results []experiments.Fig9Result
 	for _, mm := range ops {
@@ -256,21 +322,22 @@ func referenceFig9(ops []op.MatMul, buffers []int64, seed int64) ([]experiments.
 }
 
 // referenceOptimize mirrors search.Optimize's engine selection — exact
-// coarse enumeration when the lattice is small, genetic polish kept when it
-// wins — using the frozen ReferenceCoarse scan and the uncached GA.
-func referenceOptimize(mm op.MatMul, bufferSize, seed int64) (search.Result, error) {
-	opts := search.GeneticOptions{Seed: seed}
+// coarse enumeration when the lattice is small, the analytic polish kept
+// when it wins — using the frozen ReferenceCoarse scan and the same
+// closed-form polish the optimized engines run (seed only matters under
+// the GA escape hatch, which the reference path does not take).
+func referenceOptimize(mm op.MatMul, bufferSize, _ int64) (search.Result, error) {
 	if search.CoarseLattice(mm) > search.CoarseLatticeLimit {
-		return search.Genetic(mm, bufferSize, opts)
+		return search.OptimizeAnalytic(mm, bufferSize)
 	}
 	r, err := search.ReferenceCoarse(mm, bufferSize)
 	if err != nil {
 		return search.Result{}, err
 	}
-	g, gerr := search.Genetic(mm, bufferSize, opts)
+	g, gerr := search.OptimizeAnalytic(mm, bufferSize)
 	if gerr == nil && g.Access.Total < r.Access.Total {
 		g.Evaluations += r.Evaluations
-		g.Method = "coarse+genetic"
+		g.Method = "coarse+analytic"
 		return g, nil
 	}
 	r.Evaluations += g.Evaluations
@@ -306,6 +373,29 @@ func identical(a, b []experiments.Fig9Result) bool {
 			if pa.BufferElems != pb.BufferElems || pa.PrincipleMA != pb.PrincipleMA ||
 				pa.SearchMA != pb.SearchMA || pa.Ideal != pb.Ideal ||
 				pa.SearchEvals+pa.SearchCacheHits != pb.SearchEvals+pb.SearchCacheHits {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// identicalMA is identical() without the visit-count clause: the analytic
+// engine's evaluation counts are its whole point of difference (tens
+// versus the lattice engines' thousands), so it is held to the MA values
+// only — which must still match bit for bit.
+func identicalMA(a, b []experiments.Fig9Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op || len(a[i].Points) != len(b[i].Points) {
+			return false
+		}
+		for j := range a[i].Points {
+			pa, pb := a[i].Points[j], b[i].Points[j]
+			if pa.BufferElems != pb.BufferElems || pa.PrincipleMA != pb.PrincipleMA ||
+				pa.SearchMA != pb.SearchMA || pa.Ideal != pb.Ideal {
 				return false
 			}
 		}

@@ -28,11 +28,14 @@ func TestRunWritesConsistentReport(t *testing.T) {
 	if !rep.IdenticalResults {
 		t.Fatal("engines disagreed on the sweep")
 	}
-	if len(rep.Engines) != 4 {
+	if len(rep.Engines) != 5 {
 		t.Fatalf("engines = %d", len(rep.Engines))
 	}
 	if rep.Engines[3].Name != "search-sweep-table" {
 		t.Fatalf("fourth engine = %q, want search-sweep-table", rep.Engines[3].Name)
+	}
+	if rep.Engines[4].Name != "search-sweep-analytic" {
+		t.Fatalf("fifth engine = %q, want search-sweep-analytic", rep.Engines[4].Name)
 	}
 	if rep.Cores <= 0 || rep.Workers <= 0 {
 		t.Fatalf("cores/workers not resolved: %d/%d", rep.Cores, rep.Workers)
@@ -42,8 +45,18 @@ func TestRunWritesConsistentReport(t *testing.T) {
 		if e.WallMs <= 0 {
 			t.Errorf("%s: wall %.3fms", e.Name, e.WallMs)
 		}
+		if e.Name == "search-sweep-analytic" {
+			// The analytic engine runs no lattice stage at all: its visit
+			// count is its whole advantage, so it sits far below the
+			// conserved lattice sum and never touches the cache.
+			if e.Evaluations <= 0 || e.Evaluations >= refEvals || e.CacheHits != 0 {
+				t.Errorf("analytic engine visits %d/%d hits (lattice sum %d)",
+					e.Evaluations, e.CacheHits, refEvals)
+			}
+			continue
+		}
 		// Caching reassigns visits between the counters but must conserve
-		// their sum across engines.
+		// their sum across the lattice-backed engines.
 		if e.Evaluations+e.CacheHits != refEvals {
 			t.Errorf("%s: visits %d, reference %d", e.Name, e.Evaluations+e.CacheHits, refEvals)
 		}
@@ -53,6 +66,20 @@ func TestRunWritesConsistentReport(t *testing.T) {
 	}
 	if rep.Engines[1].CacheHits == 0 {
 		t.Error("cached engine reported no cache hits")
+	}
+	// The polish-drop gate is the new path's acceptance criterion: the
+	// analytic polish must price at least 10× fewer candidates than the GA
+	// it replaced, over the same sweep points.
+	if rep.PolishEvalsGA <= 0 || rep.PolishEvalsAnalytic <= 0 {
+		t.Fatalf("polish eval counts not reported: GA %d, analytic %d",
+			rep.PolishEvalsGA, rep.PolishEvalsAnalytic)
+	}
+	if rep.PolishEvalDrop < minPolishDrop {
+		t.Errorf("polish eval drop %.1fx below the %dx floor", rep.PolishEvalDrop, minPolishDrop)
+	}
+	if rep.Engines[4].Evaluations != rep.PolishEvalsAnalytic {
+		t.Errorf("analytic polish evals %d != analytic engine evals %d",
+			rep.PolishEvalsAnalytic, rep.Engines[4].Evaluations)
 	}
 	for i, e := range rep.Engines {
 		want := 1

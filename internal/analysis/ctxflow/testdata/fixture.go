@@ -103,6 +103,22 @@ func RunErr(ch chan int) error {
 	return runErr(context.Background(), ch)
 }
 
+// OptimizeStyleShim is the search-engine facade-pair shape (OptimizeAnalytic
+// → OptimizeAnalyticCtx): one statement, several passthrough arguments, a
+// (value, error) return. It must pass with zero suppressions.
+func OptimizeStyleShim(ch chan int, n int) (int, error) {
+	return optimizeStyleCtx(context.Background(), ch, n)
+}
+
+func optimizeStyleCtx(ctx context.Context, ch chan int, n int) (int, error) {
+	select {
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case v := <-ch:
+		return v + n, nil
+	}
+}
+
 func run(ctx context.Context, ch chan int) {
 	select {
 	case <-ctx.Done():

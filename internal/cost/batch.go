@@ -153,6 +153,51 @@ func NewBatchEval(mm op.MatMul, orders []dataflow.Order) (*BatchEval, error) {
 // Op returns the operator the kernel was compiled for.
 func (k *BatchEval) Op() op.MatMul { return k.mm }
 
+// Regime describes the cost model's exact affine form inside one activity
+// cell of order index oi. A cell fixes which trip counts exceed one
+// (multi[d] for trip slot d: 0=M, 1=K, 2=L); within it every streaming
+// condition in evalOne resolves to a constant, so the total memory access of
+// any tiling in the cell is exactly
+//
+//	Total = base + coef[0]·n_M + coef[1]·n_K + coef[2]·n_L.
+//
+// Each coefficient is the size of the tensor the trip count streams — sizeB
+// for n_M, sizeC for n_K, sizeA for n_L — or zero when the cell keeps that
+// tensor resident. The innermost dim's coefficient is structurally zero for
+// every cell (its inner dim list is empty), which is what caps the analytic
+// optimizer's per-cell problems at two free variables. Pinned bit-identical
+// to evalOne by TestRegimeMatchesEvalOne.
+func (k *BatchEval) Regime(oi uint8, multi [3]bool) (base int64, coef [3]int64) {
+	p := &k.plans[oi]
+	streams := func(inner []uint8, irr bool) bool {
+		if !irr {
+			return false
+		}
+		for _, d := range inner {
+			if multi[d] {
+				return true
+			}
+		}
+		return false
+	}
+	if streams(p.innerA[:p.nInnerA], multi[2]) {
+		coef[2] = k.sizeA
+	} else {
+		base += k.sizeA
+	}
+	if streams(p.innerB[:p.nInnerB], multi[0]) {
+		coef[0] = k.sizeB
+	} else {
+		base += k.sizeB
+	}
+	if streams(p.innerC[:p.nInnerC], multi[1]) {
+		coef[1] = k.sizeC
+	} else {
+		base += k.sizeC
+	}
+	return base, coef
+}
+
 // Stationary returns the rotation class of order index oi.
 func (k *BatchEval) Stationary(oi uint8) dataflow.StationaryKind {
 	return k.plans[oi].stationary

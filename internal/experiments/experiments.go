@@ -99,7 +99,8 @@ func fig9Point(ctx context.Context, mm op.MatMul, bs, seed int64, cache *search.
 }
 
 // Fig9 validates the principles against the search baseline across the
-// buffer sweep. seed feeds the genetic engine. Each operator owns one
+// buffer sweep. seed feeds the polish engine when it is the GA (the
+// default analytic polish is seedless). Each operator owns one
 // evaluation cache spanning its buffer sweep, so a candidate dataflow is
 // costed once and every later sweep point filters it by footprint only
 // (the repeat visits land in Fig9Point.SearchCacheHits).
@@ -130,8 +131,8 @@ func Fig9Ctx(ctx context.Context, ops []op.MatMul, buffers []int64, seed int64) 
 // Fig9Parallel computes the same sweep as Fig9 with the (operator, buffer)
 // points fanned across a worker pool (workers ≤ 0 selects GOMAXPROCS).
 // Every MA value and the per-point SearchEvals + SearchCacheHits sum are
-// deterministic and identical to Fig9's — the genetic engine's RNG stream
-// does not depend on the cache — but the split between evaluations and
+// deterministic and identical to Fig9's — the polish stage is
+// cache-independent — but the split between evaluations and
 // cache hits at a given point depends on which point warmed the shared
 // per-operator cache first. Failed points are reported joined, sorted by
 // sweep position, so failures reproduce run to run.

@@ -15,7 +15,8 @@ import (
 // lattice at every buffer point (memoized through the EvalCache, but still
 // O(lattice) visits per point); the fast paths build one footprint-indexed
 // CandTable per operator shape and serve every sweep point with an O(log n)
-// query plus the unchanged genetic polish. Results are bit-identical —
+// query plus the unchanged polish stage (analytic by default, GA behind
+// PolishGA). Results are bit-identical —
 // same MA values, same total candidate-visit counts — which the tests pin
 // against the plain harness.
 

@@ -75,6 +75,71 @@ func TestEvalCacheSharedAcrossIdenticallyShapedOps(t *testing.T) {
 	}
 }
 
+// TestOptimizeConservationWithAnalyticPolish pins the visit-conservation
+// story for the hybrid entry points now that the uncached column is the
+// analytic polish rather than the GA: an uncached Optimize equals the
+// lattice scan's evaluations plus the analytic engine's small exact count;
+// a cached rerun moves lattice visits into CacheHits but conserves the sum,
+// with the polish contributing zero hits (it is deliberately uncached — its
+// boundary candidates are off-lattice points that almost never repeat).
+func TestOptimizeConservationWithAnalyticPolish(t *testing.T) {
+	mm := op.MatMul{Name: "conserve", M: 96, K: 48, L: 64}
+	const bs = 4096
+
+	lattice, err := ExhaustiveCoarse(mm, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polish, err := OptimizeAnalytic(mm, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polish.CacheHits != 0 {
+		t.Fatalf("analytic polish reported %d cache hits, want 0", polish.CacheHits)
+	}
+
+	cold, err := OptimizeCached(mm, bs, GeneticOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 {
+		t.Errorf("uncached optimize reported %d cache hits", cold.CacheHits)
+	}
+	if want := lattice.Evaluations + polish.Evaluations; cold.Evaluations != want {
+		t.Errorf("uncached evaluations %d != lattice %d + analytic polish %d",
+			cold.Evaluations, lattice.Evaluations, polish.Evaluations)
+	}
+
+	cache := NewEvalCache()
+	if _, err := ExhaustiveCoarseCached(mm, bs, cache); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := OptimizeCached(mm, bs, GeneticOptions{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Evaluations+warm.CacheHits != cold.Evaluations {
+		t.Errorf("warm visits %d+%d break conservation with uncached %d",
+			warm.Evaluations, warm.CacheHits, cold.Evaluations)
+	}
+	// Everything cacheable was prewarmed, so the only remaining cost-model
+	// invocations are the polish's own — the small exact count that replaced
+	// the GA's thousands.
+	if warm.Evaluations != polish.Evaluations {
+		t.Errorf("warm evaluations %d != analytic polish count %d",
+			warm.Evaluations, polish.Evaluations)
+	}
+	if ga, err := Genetic(mm, bs, GeneticOptions{}); err != nil {
+		t.Fatal(err)
+	} else if polish.Evaluations*10 > ga.Evaluations {
+		t.Errorf("analytic polish %d evals not 10x below the GA's %d",
+			polish.Evaluations, ga.Evaluations)
+	}
+	if warm.Access.Total != cold.Access.Total || warm.Dataflow != cold.Dataflow {
+		t.Errorf("cached optimum diverged: %+v vs %+v", warm, cold)
+	}
+}
+
 // TestEvalCacheEntriesEqualMissesConcurrent drives mixed hit/miss traffic
 // from racing goroutines (run under -race in CI) and asserts the accounting
 // invariant the docs promise: every miss inserts exactly one entry into

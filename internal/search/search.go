@@ -15,6 +15,11 @@
 //   - Genetic is a DAT-style genetic algorithm for spaces where exhaustive
 //     enumeration is intractable. Like DAT's GA it does not guarantee the
 //     global optimum, which is exactly the behaviour Fig. 9 exercises.
+//   - OptimizeAnalytic derives per-regime closed-form optima of the
+//     piecewise-affine cost model and prices only the integer boundary
+//     candidates around them — tens-to-hundreds of exact evaluations where
+//     the GA pays thousands. It is the default polish stage of Optimize/
+//     OptimizeTable and the sole engine above CoarseLatticeLimit.
 //
 // Every engine has a *Cached variant accepting an EvalCache so buffer-size
 // sweeps evaluate each candidate dataflow once (cost does not depend on the
@@ -180,6 +185,12 @@ type GeneticOptions struct {
 	// 0 selects the default of 4; a negative value requests no elitism
 	// (the zero value cannot, since it must keep the default behaviour).
 	Elitism int
+	// Polish selects the engine Optimize/OptimizeTable polish with (and run
+	// exclusively above CoarseLatticeLimit): the analytic closed-form
+	// optimizer by default (the zero value), or the genetic algorithm behind
+	// the -polish=ga escape hatch. The Genetic* entry points ignore it —
+	// they are the GA, whatever the polish default.
+	Polish PolishMode
 }
 
 func (o GeneticOptions) withDefaults() GeneticOptions {
@@ -418,9 +429,35 @@ func geneticCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts Geneti
 	return Result{Dataflow: df, Access: a, Evaluations: evals, CacheHits: hits, Method: "genetic"}, nil
 }
 
+// polishCtx runs the configured polish engine. Both modes deliberately run
+// uncached: their candidates are off-lattice tilings that almost never
+// repeat, so probing and flooding the shared cache with them costs more
+// than the evaluation it would save — the cacheable (lattice) work already
+// lives in the scan or the table. Both modes are deterministic and
+// cache-independent, so the hybrid entry points stay bit-identical across
+// the scan-backed, parallel and table-backed paths, including the
+// Evaluations+CacheHits conservation sum the equivalence tests pin.
+func polishCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error) {
+	if opts.Polish == PolishGA {
+		return geneticCtx(ctx, mm, bufferSize, opts, nil)
+	}
+	return OptimizeAnalyticCtx(ctx, mm, bufferSize)
+}
+
+// solePolish is the engine selection above CoarseLatticeLimit, where the
+// polish is the only stage: the analytic engine by default (it needs no
+// lattice and prices O(1) candidates), the cached GA behind PolishGA.
+func solePolish(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *EvalCache) (Result, error) {
+	if opts.Polish == PolishGA {
+		return geneticCtx(ctx, mm, bufferSize, opts, cache)
+	}
+	return OptimizeAnalyticCtx(ctx, mm, bufferSize)
+}
+
 // Optimize picks the engine by space size: exact enumeration over the coarse
-// lattice when it is small enough, otherwise the genetic algorithm. This is
-// the entry point the Fig. 9 harness uses as "DAT".
+// lattice when it is small enough (plus the analytic polish), otherwise the
+// polish engine alone. This is the entry point the Fig. 9 harness uses as
+// "DAT".
 func Optimize(mm op.MatMul, bufferSize int64, opts GeneticOptions) (Result, error) {
 	return OptimizeCached(mm, bufferSize, opts, nil)
 }
@@ -433,16 +470,17 @@ func OptimizeCached(mm op.MatMul, bufferSize int64, opts GeneticOptions, cache *
 }
 
 // OptimizeParallel is Optimize with the lattice stage sharded across
-// workers (workers ≤ 0 selects GOMAXPROCS); the genetic polish stays
-// sequential — it is a dependent chain by construction.
+// workers (workers ≤ 0 selects GOMAXPROCS); the polish stays sequential —
+// it prices only a handful of closed-form candidates (or, under PolishGA,
+// is a dependent chain by construction).
 func OptimizeParallel(mm op.MatMul, bufferSize int64, opts GeneticOptions, workers int, cache *EvalCache) (Result, error) {
 	return OptimizeParallelCtx(context.Background(), mm, bufferSize, opts, workers, cache)
 }
 
 // OptimizeParallelCtx is OptimizeParallel with cooperative cancellation
 // threaded through both stages: the sharded lattice scan stops its worker
-// pool promptly (see ParallelExhaustiveCtx) and the genetic polish checks
-// between generations. When ctx is canceled the call returns an error
+// pool promptly (see ParallelExhaustiveCtx) and the polish checks its own
+// stride. When ctx is canceled the call returns an error
 // wrapping ctx.Err(); an uncancelled ctx changes nothing — results stay
 // bit-identical to OptimizeParallel.
 func OptimizeParallelCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticOptions, workers int, cache *EvalCache) (Result, error) {
@@ -450,9 +488,9 @@ func OptimizeParallelCtx(ctx context.Context, mm op.MatMul, bufferSize int64, op
 }
 
 // CoarseLatticeLimit is the coarse-lattice size up to which Optimize runs
-// the exact enumeration stage (plus genetic polish); above it only the
-// genetic engine runs. Exported so table-backed callers can reproduce the
-// engine selection exactly.
+// the exact enumeration stage (plus polish); above it only the polish
+// engine runs — analytic by default, the GA behind PolishGA. Exported so
+// table-backed callers can reproduce the engine selection exactly.
 const CoarseLatticeLimit = 200_000
 
 // CoarseLattice returns the size of mm's coarse candidate lattice — the
@@ -468,7 +506,7 @@ func OptimizeTable(mm op.MatMul, bufferSize int64, opts GeneticOptions, table *C
 
 // OptimizeTableCtx is Optimize with the coarse lattice stage served by a
 // prebuilt candidate table instead of a per-call scan: an O(log n) step
-// lookup replaces the O(lattice) enumeration, and the genetic polish runs
+// lookup replaces the O(lattice) enumeration, and the polish runs
 // unchanged. Results are bit-identical to OptimizeParallelCtx for the same
 // inputs (property-tested), including the Evaluations+CacheHits accounting.
 //
@@ -480,7 +518,7 @@ func OptimizeTableCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts 
 		return Result{}, err
 	}
 	if CoarseLattice(mm) > CoarseLatticeLimit {
-		return geneticCtx(ctx, mm, bufferSize, opts, cache)
+		return solePolish(ctx, mm, bufferSize, opts, cache)
 	}
 	if table == nil {
 		return Result{}, fmt.Errorf("search: OptimizeTable needs a coarse candidate table for %v: %w", mm, errs.ErrInternal)
@@ -495,19 +533,14 @@ func OptimizeTableCtx(ctx context.Context, mm op.MatMul, bufferSize int64, opts 
 	if err != nil {
 		return Result{}, err
 	}
-	// Same polish-and-keep-better rule as optimize(); the genetic trajectory
-	// is cache-independent, so the combined result matches the scan path
-	// bit for bit. The polish deliberately runs uncached: GA candidates are
-	// off-lattice tilings that almost never repeat, so memoizing them costs
-	// more than it saves and floods the shared cache with dead entries —
-	// the cacheable (lattice) work already lives in the table. The visit
-	// accounting only moves between Evaluations and CacheHits; the sum the
-	// equivalence tests pin is unchanged.
-	g, gerr := geneticCtx(ctx, mm, bufferSize, opts, nil)
+	// Same polish-and-keep-better rule as optimize(); the polish is
+	// deterministic and uncached (see polishCtx), so the combined result —
+	// including the conservation sum — matches the scan path bit for bit.
+	g, gerr := polishCtx(ctx, mm, bufferSize, opts)
 	if gerr == nil && g.Access.Total < r.Access.Total {
 		g.Evaluations += r.Evaluations
 		g.CacheHits += r.CacheHits
-		g.Method = "table+genetic"
+		g.Method = "table+" + opts.Polish.methodSuffix()
 		return g, nil
 	}
 	r.Evaluations += g.Evaluations
@@ -531,26 +564,23 @@ func optimize(ctx context.Context, mm op.MatMul, bufferSize int64, opts GeneticO
 			return Result{}, err
 		}
 		// The coarse lattice can miss boundary tile values such as
-		// (BS−K)/(K+1); polish with the GA seeded from scratch and keep the
-		// better of the two, mirroring DAT's MIP+GA hybrid. The polish runs
-		// uncached for the same reason OptimizeTableCtx's does: GA candidates
-		// are off-lattice tilings that almost never repeat, so probing and
-		// flooding the shared cache with them costs more than the batch-kernel
-		// evaluation it would save. The GA trajectory is cache-independent and
-		// visits only move between Evaluations and CacheHits, so results and
-		// the conservation sum are bit-identical either way.
-		g, gerr := geneticCtx(ctx, mm, bufferSize, opts, nil)
+		// (BS−K)/(K+1); polish — the analytic engine's closed-form boundary
+		// candidates by default, DAT's MIP+GA hybrid under PolishGA — and
+		// keep the better of the two. The polish runs uncached (see
+		// polishCtx); its deterministic evaluation count only moves the
+		// Evaluations/CacheHits split, never the conserved sum.
+		g, gerr := polishCtx(ctx, mm, bufferSize, opts)
 		if gerr == nil && g.Access.Total < r.Access.Total {
 			g.Evaluations += r.Evaluations
 			g.CacheHits += r.CacheHits
-			g.Method = "coarse+genetic"
+			g.Method = "coarse+" + opts.Polish.methodSuffix()
 			return g, nil
 		}
 		r.Evaluations += g.Evaluations
 		r.CacheHits += g.CacheHits
 		return r, nil
 	}
-	return geneticCtx(ctx, mm, bufferSize, opts, cache)
+	return solePolish(ctx, mm, bufferSize, opts, cache)
 }
 
 func clampT(v, hi int) int {

@@ -152,13 +152,18 @@ func (s *Server) handleSearch(ctx context.Context, body []byte) (any, error) {
 	var err error
 	switch req.Engine {
 	case "", "auto":
-		opts := search.GeneticOptions{Seed: req.Seed}
+		opts := search.GeneticOptions{Seed: req.Seed, Polish: s.cfg.Polish}
 		if tab, used, terr := s.searchTable(mm, search.GridCoarse, search.CoarseLattice(mm) <= search.CoarseLatticeLimit); terr != nil {
 			err = terr
 		} else if used {
 			res, err = search.OptimizeTableCtx(scanCtx, mm, req.Buffer, opts, tab, s.cache)
 		} else {
 			res, err = search.OptimizeParallelCtx(scanCtx, mm, req.Buffer, opts, workers, s.cache)
+		}
+		if err == nil && s.cfg.Polish == search.PolishAnalytic {
+			// Observability for the polish migration: how many auto answers
+			// were produced with the analytic polish in the loop.
+			s.reg.Counter("analytic_polish").Inc()
 		}
 	case "exhaustive":
 		if tab, used, terr := s.searchTable(mm, search.GridFull, true); terr != nil {
